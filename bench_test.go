@@ -1,0 +1,433 @@
+// Package softdb's top-level benchmarks: one testing.B benchmark per
+// experiment in EXPERIMENTS.md (E1–E13), each re-running the experiment's
+// measured configuration so `go test -bench=.` regenerates the reproduction
+// numbers. For the formatted result tables, run cmd/scbench.
+package softdb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"softdb/internal/bench"
+	"softdb/internal/engine"
+	"softdb/internal/mining"
+	"softdb/internal/softc"
+	"softdb/internal/types"
+	"softdb/internal/workload"
+)
+
+// reportPages attaches a pages-per-op metric so benchmark output carries
+// the paper's unit of cost alongside wall time.
+func runQueryBench(b *testing.B, db *engine.Database, q string) {
+	b.Helper()
+	var pages, cmps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages = res.Ctx.IO.PagesRead
+		cmps = res.Ctx.Comparisons
+	}
+	b.ReportMetric(float64(pages), "pages/op")
+	b.ReportMetric(float64(cmps), "cmp/op")
+}
+
+// BenchmarkE1PredicateIntroduction measures the ship_date equality query
+// with the mined correlation installed (the optimized side of E1); the
+// /baseline variant disables the rewrite.
+func BenchmarkE1PredicateIntroduction(b *testing.B) {
+	for _, mode := range []string{"baseline", "sqo"} {
+		b.Run(mode, func(b *testing.B) {
+			db := engine.Open()
+			db.DisablePlanCache = true
+			if err := workload.LoadPurchase(db, workload.PurchaseConfig{
+				N: 50000, Seed: 1, IndexOrderDate: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			mgr := softc.NewManager(db.Catalog())
+			cands, err := mgr.DiscoverTable("purchase")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mgr.InstallCorrelations(mgr.SelectCorrelations(cands.Correlations, 1)); err != nil {
+				b.Fatal(err)
+			}
+			db.RewriteOpts.NoPredIntro = mode == "baseline"
+			runQueryBench(b, db, "SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + 6000")
+		})
+	}
+}
+
+// BenchmarkE2JoinHoles measures the straddling range join with and without
+// hole trimming.
+func BenchmarkE2JoinHoles(b *testing.B) {
+	for _, mode := range []string{"baseline", "holetrim"} {
+		b.Run(mode, func(b *testing.B) {
+			db := setupHoleBench(b, 10000, 2)
+			db.RewriteOpts.NoHoleTrim = mode == "baseline"
+			runQueryBench(b, db, holesQueryFor(10000))
+		})
+	}
+}
+
+func setupHoleBench(b *testing.B, orders, lines int) *engine.Database {
+	b.Helper()
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadOrdersLineitem(db, workload.HolesConfig{
+		Orders: orders, LinesPer: lines, Seed: 5, BandLo: orders / 4, BandHi: orders / 2,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	left, _ := db.Catalog().Table("orders")
+	right, _ := db.Catalog().Table("lineitem")
+	jh, _, err := mining.MineJoinHoles(mining.JoinHoleRequest{
+		Left: left, Right: right,
+		JoinLeft: "okey", JoinRight: "okey",
+		AttrLeft: "odate", AttrRight: "shipdate",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Catalog().AddJoinHoles(jh); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func holesQueryFor(orders int) string {
+	lo := orders/4 + orders/16
+	hi := orders/2 + orders/8
+	return fmt.Sprintf(`SELECT COUNT(*) AS n FROM orders o, lineitem l
+		WHERE o.okey = l.okey
+		AND o.odate >= DATE '1999-01-01' + %d AND o.odate <= DATE '1999-01-01' + %d
+		AND l.shipdate >= DATE '1999-01-01' + %d AND l.shipdate <= DATE '1999-01-01' + %d`,
+		lo, hi, lo, hi+90)
+}
+
+// BenchmarkE3Cardinality measures estimation latency with and without SSC
+// twins and reports the mean q-error of each mode as a custom metric.
+func BenchmarkE3Cardinality(b *testing.B) {
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadProject(db, workload.ProjectConfig{
+		N: 20000, LongFrac: 0.1, Seed: 3, Confidence: 0.9,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	q := "SELECT id FROM project WHERE start_date <= DATE '1999-01-01' + 5000 AND end_date >= DATE '1999-01-01' + 5000"
+	for _, mode := range []string{"independence", "ssctwin"} {
+		b.Run(mode, func(b *testing.B) {
+			db.NoSSCEstimation = mode == "independence"
+			var est float64
+			for i := 0; i < b.N; i++ {
+				res, err := db.Exec(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = res.EstRows
+			}
+			b.ReportMetric(est, "est-rows")
+		})
+	}
+}
+
+// BenchmarkE4JoinElimination measures the fact⋈dim aggregate with and
+// without join elimination.
+func BenchmarkE4JoinElimination(b *testing.B) {
+	for _, mode := range []string{"join", "eliminated"} {
+		b.Run(mode, func(b *testing.B) {
+			db := engine.Open()
+			db.DisablePlanCache = true
+			if err := workload.LoadStar(db, workload.StarConfig{
+				DimRows: 1000, FactRows: 30000, Seed: 2, FKMode: "informational",
+			}); err != nil {
+				b.Fatal(err)
+			}
+			db.RewriteOpts.NoJoinElim = mode == "join"
+			runQueryBench(b, db, "SELECT SUM(f.qty) AS s FROM fact f, dim d WHERE f.dim_id = d.id")
+		})
+	}
+}
+
+// BenchmarkE5BranchPrune measures the Jan–Mar query against the 12-branch
+// view with and without branch elimination.
+func BenchmarkE5BranchPrune(b *testing.B) {
+	for _, mode := range []string{"all-branches", "pruned"} {
+		b.Run(mode, func(b *testing.B) {
+			db := engine.Open()
+			db.DisablePlanCache = true
+			if err := workload.LoadPartitionedSales(db, 2000, 3); err != nil {
+				b.Fatal(err)
+			}
+			db.RewriteOpts.NoBranchPrune = mode == "all-branches"
+			runQueryBench(b, db, "SELECT SUM(amount) AS s FROM sales WHERE month >= 1 AND month <= 3")
+		})
+	}
+}
+
+// BenchmarkE6ExceptionAST measures the late-shipments query under the three
+// E6 configurations.
+func BenchmarkE6ExceptionAST(b *testing.B) {
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadPurchase(db, workload.PurchaseConfig{
+		N: 30000, LateFrac: 0.01, Seed: 4, ShipWindowMode: "ssc", IndexOrderDate: true,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec(`CREATE SUMMARY TABLE late_shipments AS
+		(SELECT * FROM purchase WHERE ship_date > order_date + 21)`)
+	if err := db.LinkException("ship_window", "late_shipments"); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec("ANALYZE purchase")
+	q := "SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + 3500"
+	for _, mode := range []string{"scan", "exception-ast"} {
+		b.Run(mode, func(b *testing.B) {
+			db.RewriteOpts.NoExceptionAST = mode == "scan"
+			db.RewriteOpts.NoSSCTwins = mode == "scan"
+			runQueryBench(b, db, q)
+		})
+	}
+}
+
+// BenchmarkE7FDSort measures the FD-simplified ORDER BY.
+func BenchmarkE7FDSort(b *testing.B) {
+	for _, mode := range []string{"full-keys", "fd-simplified"} {
+		b.Run(mode, func(b *testing.B) {
+			db := engine.Open()
+			db.DisablePlanCache = true
+			if err := workload.LoadDenormalized(db, 20000, 100, 7); err != nil {
+				b.Fatal(err)
+			}
+			mgr := softc.NewManager(db.Catalog())
+			mgr.FDs = mining.FDMinerConfig{MaxLHS: 1}
+			cands, err := mgr.DiscoverTable("orders_wide")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var useful []mining.FD
+			for _, fd := range cands.FDs {
+				if fd.Det[0] == "cust_id" && fd.Confidence >= 1 {
+					useful = append(useful, fd)
+				}
+			}
+			if err := mgr.InstallFDs("orders_wide", useful); err != nil {
+				b.Fatal(err)
+			}
+			db.RewriteOpts.NoSortOpt = mode == "full-keys"
+			runQueryBench(b, db, "SELECT cust_id, cust_name FROM orders_wide ORDER BY cust_id, cust_name, region")
+		})
+	}
+}
+
+// BenchmarkE8CheckingOverhead measures bulk-load cost with enforced vs
+// informational constraints (the §1 loading argument). Each op loads a
+// fixed 2000-row batch into a fresh table, so the two modes run at
+// identical scale.
+func BenchmarkE8CheckingOverhead(b *testing.B) {
+	const batch = 2000
+	for _, mode := range []string{"informational", "enforced"} {
+		b.Run(mode, func(b *testing.B) {
+			fkSuffix, checkSuffix := "", ""
+			if mode == "informational" {
+				fkSuffix, checkSuffix = " NOT ENFORCED", " INFORMATIONAL"
+			}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := engine.Open()
+				db.MustExec("CREATE TABLE dim (id INT PRIMARY KEY)")
+				for d := 0; d < 100; d++ {
+					db.MustExec(fmt.Sprintf("INSERT INTO dim VALUES (%d)", d))
+				}
+				// No fact PK: isolates the FK+check cost.
+				db.MustExec(fmt.Sprintf(`CREATE TABLE fact (
+					id INT, dim_id INT NOT NULL, qty INT,
+					FOREIGN KEY (dim_id) REFERENCES dim (id)%s,
+					CHECK (qty >= 0)%s)`, fkSuffix, checkSuffix))
+				te, err := db.Catalog().Table("fact")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows := make([]types.Row, batch)
+				for r := 0; r < batch; r++ {
+					row, err := te.Def.ValidateRow(benchFactRow(r))
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows[r] = row
+				}
+				b.StartTimer()
+				for _, row := range rows {
+					if err := db.InsertRow(te, row); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch), "rows/op")
+		})
+	}
+}
+
+// BenchmarkE9Currency measures the margin-of-error bookkeeping under an
+// update stream.
+func BenchmarkE9Currency(b *testing.B) {
+	db := engine.Open()
+	if err := workload.LoadProject(db, workload.ProjectConfig{
+		N: 10000, LongFrac: 0, Seed: 9, Confidence: 0.999,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustExec(fmt.Sprintf("UPDATE project SET end_date = start_date + 400 WHERE id = %d", i%10000))
+	}
+}
+
+// BenchmarkE10Miners measures the two discovery algorithms.
+func BenchmarkE10Miners(b *testing.B) {
+	b.Run("correlation-50k", func(b *testing.B) {
+		db := engine.Open()
+		if err := workload.LoadPurchase(db, workload.PurchaseConfig{N: 50000, Seed: 6}); err != nil {
+			b.Fatal(err)
+		}
+		te, _ := db.Catalog().Table("purchase")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mining.FitLinear(te.Heap, 2, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("holes-20k", func(b *testing.B) {
+		db := engine.Open()
+		if err := workload.LoadOrdersLineitem(db, workload.HolesConfig{
+			Orders: 20000, LinesPer: 1, Seed: 6, BandLo: 5000, BandHi: 10000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		left, _ := db.Catalog().Table("orders")
+		right, _ := db.Catalog().Table("lineitem")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mining.MineJoinHoles(mining.JoinHoleRequest{
+				Left: left, Right: right,
+				JoinLeft: "okey", JoinRight: "okey",
+				AttrLeft: "odate", AttrRight: "shipdate",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11Violation measures the synchronous cheap-repair path: a write
+// that retires holes and invalidates dependent plans.
+func BenchmarkE11Violation(b *testing.B) {
+	db := setupHoleBench(b, 10000, 2)
+	db.DisablePlanCache = false
+	q := holesQueryFor(10000)
+	if _, err := db.Exec(q); err != nil {
+		b.Fatal(err)
+	}
+	bandMid := 10000/4 + 1250
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		okey := 20000 + i
+		db.MustExec(fmt.Sprintf("INSERT INTO orders VALUES (%d, DATE '1999-01-01' + %d)", okey, bandMid))
+		db.MustExec(fmt.Sprintf("INSERT INTO lineitem VALUES (%d, %d, DATE '1999-01-01' + %d, 1)",
+			2000000+i, okey, bandMid+10))
+	}
+}
+
+// BenchmarkFullSuite runs every experiment once per iteration; useful for
+// spotting regressions across the whole reproduction.
+func BenchmarkFullSuiteSmoke(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite is slow")
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.E5BranchPrune(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}
+
+// benchFactRow builds one deterministic fact row.
+func benchFactRow(i int) types.Row {
+	return types.Row{
+		types.NewInt(int64(i)),
+		types.NewInt(int64(i % 100)),
+		types.NewInt(int64(i % 500)),
+	}
+}
+
+// BenchmarkE12ASTRouting measures the correlated-predicate query with and
+// without AST routing.
+func BenchmarkE12ASTRouting(b *testing.B) {
+	db := engine.Open()
+	db.DisablePlanCache = true
+	db.MustExec("CREATE TABLE purchase (id INT PRIMARY KEY, region INT, amount FLOAT)")
+	te, err := db.Catalog().Table("purchase")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		region, amount := i%7, i%90
+		if i%20 == 0 {
+			region, amount = 3, 90+i%10
+		}
+		row, err := te.Def.ValidateRow(types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(region)), types.NewFloat(float64(amount)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.InsertRow(te, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.MustExec("CREATE SUMMARY TABLE premium AS (SELECT * FROM purchase WHERE amount >= 90 AND region = 3)")
+	db.MustExec("ANALYZE purchase")
+	q := "SELECT id FROM purchase WHERE amount >= 90 AND region = 3"
+	for _, mode := range []string{"base-table", "ast-routed"} {
+		b.Run(mode, func(b *testing.B) {
+			db.RewriteOpts.NoASTRouting = mode == "base-table"
+			runQueryBench(b, db, q)
+		})
+	}
+}
+
+// BenchmarkE13VirtualColumn measures the expression-predicate query before
+// and after registering the duration virtual column (estimation-only; wall
+// time is flat, the est-rows metric is the result).
+func BenchmarkE13VirtualColumn(b *testing.B) {
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadProject(db, workload.ProjectConfig{N: 20000, LongFrac: 0.1, Seed: 13}); err != nil {
+		b.Fatal(err)
+	}
+	q := "SELECT id FROM project WHERE end_date - start_date <= 5"
+	run := func(b *testing.B) {
+		var est float64
+		for i := 0; i < b.N; i++ {
+			res, err := db.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est = res.EstRows
+		}
+		b.ReportMetric(est, "est-rows")
+	}
+	b.Run("default-estimate", run)
+	if err := db.AddVirtualColumn("project", "duration", "end_date - start_date"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("virtual-column", run)
+}

@@ -1,0 +1,208 @@
+// Command softdb is an interactive SQL shell over a softdb instance.
+// Statements end with ';'. Besides SQL (CREATE TABLE with constraint modes,
+// CREATE [INFORMATIONAL] SUMMARY TABLE, CREATE VIEW, INSERT/UPDATE/DELETE,
+// SELECT, EXPLAIN, ANALYZE), the shell accepts backslash commands:
+//
+//	\d           list tables and views
+//	\d NAME      describe a table (columns, constraints, indexes, stats)
+//	\sc          list soft characterizations (correlations, holes)
+//	\discover T  run the miners over table T and report candidates
+//	\q           quit
+//
+// An optional file argument is executed as a script before the prompt.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"softdb/internal/engine"
+	"softdb/internal/softc"
+	"softdb/internal/types"
+)
+
+func main() {
+	db := engine.Open()
+	if len(os.Args) > 1 {
+		script, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := db.ExecScript(string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s\n", os.Args[1])
+	}
+	repl(db)
+}
+
+func repl(db *engine.Database) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("softdb> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func run(db *engine.Database, stmt string) {
+	res, err := db.Exec(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, n := range res.Notices {
+		fmt.Println("notice:", n)
+	}
+	if len(res.Columns) > 0 {
+		printRows(res.Columns, res.Rows)
+		fmt.Printf("(%d rows; %s)\n", len(res.Rows), res.Ctx.String())
+	} else {
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+	}
+}
+
+func printRows(cols []string, rows []types.Row) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for ri, r := range rows {
+		cells[ri] = make([]string, len(r))
+		for ci, d := range r {
+			// Strings display raw (no SQL quoting) in the shell.
+			var s string
+			if d.Kind() == types.KindString {
+				s = d.Str()
+			} else {
+				s = d.String()
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], p)
+		}
+		fmt.Println()
+	}
+	line(cols)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range cells {
+		line(r)
+	}
+}
+
+func command(db *engine.Database, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q":
+		return false
+	case "\\d":
+		if len(fields) == 1 {
+			for _, t := range db.Catalog().TableNames() {
+				fmt.Println(t)
+			}
+			return true
+		}
+		describe(db, fields[1])
+	case "\\sc":
+		cat := db.Catalog()
+		for _, t := range cat.TableNames() {
+			for _, lc := range cat.Correlations(t) {
+				fmt.Println(lc.Describe())
+			}
+		}
+		for _, jh := range cat.AllJoinHoles() {
+			fmt.Println(jh.Describe())
+		}
+	case "\\discover":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\discover TABLE")
+			return true
+		}
+		mgr := softc.NewManager(db.Catalog())
+		c, err := mgr.DiscoverTable(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, lc := range c.Correlations {
+			fmt.Println("correlation:", lc.Describe())
+		}
+		for _, fd := range c.FDs {
+			fmt.Printf("fd: %s -> %s @%.3f\n", strings.Join(fd.Det, ","), fd.Dep, fd.Confidence)
+		}
+		for _, rg := range c.Ranges {
+			fmt.Println("range:", rg.Describe())
+		}
+	default:
+		fmt.Println("unknown command; try \\d, \\sc, \\discover, \\q")
+	}
+	return true
+}
+
+func describe(db *engine.Database, table string) {
+	te, err := db.Catalog().Table(table)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(te.Def.String())
+	for _, con := range te.Constraints {
+		fmt.Println("  constraint:", con.Describe())
+	}
+	for _, ix := range te.Indexes {
+		u := ""
+		if ix.Unique {
+			u = "UNIQUE "
+		}
+		fmt.Printf("  index: %s%s (%s)\n", u, ix.Name, strings.Join(ix.Columns, ", "))
+	}
+	fmt.Printf("  rows: %d, pages: %d\n", te.Heap.RowCount(), te.Heap.PageCount())
+	if te.Stats != nil {
+		for _, col := range te.Def.Columns {
+			if cs := te.Stats.Column(col.Name); cs != nil {
+				fmt.Println("  stats:", cs.String())
+			}
+		}
+	}
+}

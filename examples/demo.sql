@@ -1,0 +1,42 @@
+-- demo.sql — a script for the interactive shell:
+--
+--   go run ./cmd/softdb examples/demo.sql
+--
+-- then try, at the prompt:
+--
+--   EXPLAIN SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15';
+--   \discover purchase
+--   \d purchase
+--   \sc
+
+CREATE TABLE purchase (
+    id INT PRIMARY KEY,
+    order_date DATE NOT NULL,
+    ship_date  DATE,
+    amount     FLOAT,
+    CONSTRAINT amount_pos  CHECK (amount >= 0) INFORMATIONAL,
+    CONSTRAINT ship_window CHECK (ship_date >= order_date AND ship_date <= order_date + 21) SOFT
+);
+
+CREATE INDEX idx_order_date ON purchase (order_date);
+
+INSERT INTO purchase VALUES
+    (1, DATE '1999-12-01', DATE '1999-12-08', 125.00),
+    (2, DATE '1999-12-02', DATE '1999-12-15', 89.50),
+    (3, DATE '1999-12-05', DATE '1999-12-15', 42.00),
+    (4, DATE '1999-12-10', DATE '1999-12-20', 310.75),
+    (5, DATE '1999-12-12', DATE '1999-12-15', 18.25),
+    (6, DATE '1999-12-14', DATE '1999-12-28', 77.00);
+
+ANALYZE purchase;
+
+CREATE TABLE sales_01 (month INT NOT NULL, amount FLOAT, CHECK (month = 1));
+CREATE TABLE sales_02 (month INT NOT NULL, amount FLOAT, CHECK (month = 2));
+CREATE TABLE sales_03 (month INT NOT NULL, amount FLOAT, CHECK (month = 3));
+INSERT INTO sales_01 VALUES (1, 100.0), (1, 150.0);
+INSERT INTO sales_02 VALUES (2, 200.0);
+INSERT INTO sales_03 VALUES (3, 300.0);
+CREATE VIEW sales AS
+    SELECT * FROM sales_01
+    UNION ALL SELECT * FROM sales_02
+    UNION ALL SELECT * FROM sales_03;

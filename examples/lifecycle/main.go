@@ -1,0 +1,91 @@
+// Lifecycle: the paper's §3.2 soft-constraint process end to end —
+// discovery, workload-directed selection, probationary installation,
+// promotion, exploitation, violation handling with §4.1 backup plans, and
+// §3.3 asynchronous refresh.
+// Run with: go run ./examples/lifecycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softdb/internal/engine"
+	"softdb/internal/softc"
+	"softdb/internal/workload"
+)
+
+func main() {
+	db := engine.Open()
+	if err := workload.LoadPurchase(db, workload.PurchaseConfig{
+		N: 30000, Seed: 61, IndexOrderDate: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stage 0: loaded purchase (30k rows), index on order_date only")
+
+	// Run a workload so the engine observes which columns queries filter on.
+	for day := 0; day < 40; day++ {
+		q := fmt.Sprintf("SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + %d", 100+day*50)
+		if _, err := db.Exec(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	wl := db.WorkloadColumnCounts()
+	fmt.Printf("\nstage 1: workload observed — predicate counts: %v\n", wl["purchase"])
+
+	// Discovery (§3.2 stage 1).
+	mgr := softc.NewManager(db.Catalog())
+	cands, err := mgr.DiscoverTable("purchase")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstage 2: discovery — %d correlation candidates\n", len(cands.Correlations))
+
+	// Workload-directed selection (§3.2 stage 2).
+	scored := mgr.SelectCorrelationsForWorkload(cands.Correlations, 2, softc.WorkloadCounts(wl))
+	for _, sc := range scored {
+		fmt.Printf("   %.2f %s\n        %s\n", sc.Score, sc.Corr.Describe(), sc.Why)
+	}
+
+	// Probationary installation (§3.2 stage 3, dynamic selection).
+	if err := mgr.InstallOnProbation(scored[:1]); err != nil {
+		log.Fatal(err)
+	}
+	name := scored[0].Corr.Name
+	fmt.Printf("\nstage 3: %s installed ON PROBATION (maintained, not yet employed)\n", name)
+	q := "SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + 3000"
+	res, _ := db.Exec(q)
+	fmt.Printf("   query during probation: %d pages (optimizer not using it yet)\n", res.Ctx.IO.PagesRead)
+
+	// Probation survived the workload: promote.
+	if err := mgr.Promote(name); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = db.Exec(q)
+	fmt.Printf("\nstage 4: promoted — query now reads %d pages via the introduced predicate\n", res.Ctx.IO.PagesRead)
+
+	// A violating write overturns the ASC; the cached plan reverts to its
+	// §4.1 backup instead of recompiling, and answers stay exact.
+	db.ResetCacheStats()
+	vres := db.MustExec("INSERT INTO purchase VALUES (999999, DATE '1998-01-01', DATE '1999-01-01' + 3000, 1.0)")
+	for _, n := range vres.Notices {
+		fmt.Println("\nstage 5 notice:", n)
+	}
+	res, _ = db.Exec(q)
+	cs := db.CacheStats()
+	fmt.Printf("   after violation: %d pages, %d rows (includes the violating row), failovers=%d recompiles=%d\n",
+		res.Ctx.IO.PagesRead, len(res.Rows), cs.Failovers, cs.Misses)
+
+	// Asynchronous repair: delete the offender, refresh, reactivate (§3.3).
+	db.MustExec("DELETE FROM purchase WHERE id = 999999")
+	if err := mgr.RefreshCorrelation(name); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = db.Exec(q)
+	fmt.Printf("\nstage 6: refreshed and reactivated — back to %d pages\n", res.Ctx.IO.PagesRead)
+
+	fmt.Println("\nlifecycle log:")
+	for _, e := range mgr.Events {
+		fmt.Println("  ", e)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: create tables with the paper's constraint modes, load data,
+// run queries, and look at plans. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softdb/internal/engine"
+)
+
+func main() {
+	db := engine.Open()
+
+	// DDL: enforcement modes straight out of the paper. ENFORCED is a
+	// classic IC; INFORMATIONAL is an unchecked promise (§1); SOFT is an
+	// absolute soft constraint (checked, but a violating write deactivates
+	// it instead of failing, §4.1); SOFT STATISTICAL holds for a fraction
+	// of rows and feeds cardinality estimation only (§5).
+	mustExec(db, `CREATE TABLE purchase (
+		id INT PRIMARY KEY,
+		order_date DATE NOT NULL,
+		ship_date DATE,
+		amount FLOAT,
+		CONSTRAINT amount_pos CHECK (amount >= 0) INFORMATIONAL,
+		CONSTRAINT ship_window CHECK (ship_date >= order_date AND ship_date <= order_date + 21) SOFT
+	)`)
+	mustExec(db, "CREATE INDEX idx_order_date ON purchase (order_date)")
+
+	for i := 0; i < 2000; i++ {
+		mustExec(db, fmt.Sprintf(
+			"INSERT INTO purchase VALUES (%d, DATE '1999-01-01' + %d, DATE '1999-01-01' + %d, %d.50)",
+			i, i/2, i/2+i%20, i%100))
+	}
+	mustExec(db, "ANALYZE purchase")
+
+	// A query the soft constraint helps: equality on the unindexed
+	// ship_date implies a three-week order_date window (predicate
+	// introduction), unlocking the index.
+	q := "SELECT id, amount FROM purchase WHERE ship_date = DATE '1999-06-01'"
+	res := mustExec(db, "EXPLAIN "+q)
+	fmt.Println("plan for:", q)
+	for _, r := range res.Rows {
+		fmt.Println("  ", r[0].Str())
+	}
+
+	res = mustExec(db, q)
+	fmt.Printf("\n%d rows, runtime: %s\n", len(res.Rows), res.Ctx.String())
+	for _, r := range res.Rows {
+		fmt.Printf("  id=%s amount=%s\n", r[0], r[1])
+	}
+
+	// A violating write does not fail — the ASC is deactivated instead.
+	res = mustExec(db, "INSERT INTO purchase VALUES (99999, DATE '1999-06-01', DATE '2000-06-01', 1.0)")
+	for _, n := range res.Notices {
+		fmt.Println("\nnotice:", n)
+	}
+	res = mustExec(db, "EXPLAIN "+q)
+	fmt.Println("\nplan after the ASC was overturned (back to a scan):")
+	for _, r := range res.Rows {
+		fmt.Println("  ", r[0].Str())
+	}
+}
+
+func mustExec(db *engine.Database, q string) *engine.Result {
+	res, err := db.Exec(q)
+	if err != nil {
+		log.Fatalf("%s: %v", q, err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module softdb
+
+go 1.22

@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"softdb/internal/engine"
+	"softdb/internal/softc"
+	"softdb/internal/types"
+	"softdb/internal/workload"
+)
+
+// factRow builds one deterministic fact row for the load benchmarks.
+func factRow(i int) types.Row {
+	return types.Row{
+		types.NewInt(int64(i)),
+		types.NewInt(int64(i % 200)),
+		types.NewInt(int64(i % 1000)),
+	}
+}
+
+// E3Cardinality reproduces §5.1: for the project-active-on-day query, the
+// independence assumption badly underestimates the correlated
+// (start_date, end_date) predicate pair; the SSC twinned predicate reduces
+// the range pair on two columns to a range on one column and applies the
+// confidence adjustment, cutting estimation error.
+func E3Cardinality(n int, longFrac float64) (*Report, error) {
+	rep := &Report{
+		ID:     "E3",
+		Title:  "SSC twinned-predicate cardinality estimation",
+		Claim:  "twinning end_date predicates onto start_date converts a cross-column range pair into a single-column range where statistics are reliable, beating the independence assumption (§5.1)",
+		Header: []string{"day offset", "actual", "est independence", "est SSC twin", "q-err indep", "q-err twin"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadProject(db, workload.ProjectConfig{
+		N: n, LongFrac: longFrac, Seed: 3, Confidence: 1 - longFrac,
+	}); err != nil {
+		return nil, err
+	}
+	var qIndep, qTwin []float64
+	for _, frac := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		day := int64(float64(n/2) * frac)
+		actual, err := workload.ActualActiveOn(db, day)
+		if err != nil {
+			return nil, err
+		}
+		q := fmt.Sprintf(
+			"SELECT id FROM project WHERE start_date <= DATE '1999-01-01' + %d AND end_date >= DATE '1999-01-01' + %d",
+			day, day)
+		db.NoSSCEstimation = true
+		resIndep, err := db.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		db.NoSSCEstimation = false
+		resTwin, err := db.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		qi := qError(resIndep.EstRows, float64(actual))
+		qt := qError(resTwin.EstRows, float64(actual))
+		qIndep = append(qIndep, qi)
+		qTwin = append(qTwin, qt)
+		rep.AddRow(day, actual, resIndep.EstRows, resTwin.EstRows, qi, qt)
+	}
+	rep.Notef("mean q-error: independence %.2f, SSC twin %.2f", mean(qIndep), mean(qTwin))
+	rep.Notef("q-error = max(est/actual, actual/est); 1.0 is perfect")
+	return rep, nil
+}
+
+// qError is the symmetric ratio error used throughout the cardinality
+// estimation literature.
+func qError(est, actual float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	return math.Max(est/actual, actual/est)
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// E9Currency reproduces §3.3's worked example: a fact table of a million
+// records with a thousand rows modified daily has a small margin of error
+// over days, but ~3% within a month. We run the update stream, compare the
+// model's predicted margin against the measured violation drift, and show
+// the asynchronous refresh resetting it.
+func E9Currency(rows, updatesPerDay, days int) (*Report, error) {
+	rep := &Report{
+		ID:     "E9",
+		Title:  "SSC currency / margin-of-error model",
+		Claim:  "1k updates/day on a 1M-row table ⇒ ≈3% margin of error within a month; refresh resets it (§3.3)",
+		Header: []string{"day", "predicted margin %", "actual drift %", "effective confidence"},
+	}
+	// Scale down while keeping the paper's ratio (1k/1M per day).
+	db := engine.Open()
+	if err := workload.LoadProject(db, workload.ProjectConfig{
+		N: rows, LongFrac: 0, Seed: 9, Confidence: 0.999,
+	}); err != nil {
+		return nil, err
+	}
+	mgr := softc.NewManager(db.Catalog())
+	// Establish the true baseline confidence.
+	baseConf, err := mgr.RefreshCheckConfidence("project", "duration")
+	if err != nil {
+		return nil, err
+	}
+	te, err := db.Catalog().Table("project")
+	if err != nil {
+		return nil, err
+	}
+	var con = db.Catalog().ConstraintByName("duration")
+	rng := int64(1)
+	for day := 1; day <= days; day++ {
+		// Each day, updatesPerDay rows get a new (violating) end_date.
+		for u := 0; u < updatesPerDay; u++ {
+			id := (int64(day)*7919 + int64(u)*104729 + rng) % int64(rows)
+			db.MustExec(fmt.Sprintf(
+				"UPDATE project SET end_date = start_date + 400 WHERE id = %d", id))
+		}
+		if day%10 != 0 && day != days {
+			continue
+		}
+		predicted := softc.MarginOfError(con.ModsSince, te.Heap.RowCount())
+		actualConf := measureConfidence(db)
+		drift := baseConf - actualConf
+		rep.AddRow(day, 100*predicted, 100*drift,
+			softc.EffectiveConfidence(con.Confidence, con.ModsSince, te.Heap.RowCount()))
+	}
+	// Refresh: statistics brought up to date, margin resets (§3.3).
+	conf, err := mgr.RefreshCheckConfidence("project", "duration")
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("refresh", 0.0, 100*(baseConf-conf), conf)
+	rep.Notef("predicted margin is an upper bound on drift (updates may hit the same row twice)")
+	rep.Notef("scaled to %d rows, %d updates/day (paper: 1M rows, 1k/day)", rows, updatesPerDay)
+	return rep, nil
+}
+
+func measureConfidence(db *engine.Database) float64 {
+	rows, err := db.Query("SELECT COUNT(*) FROM project WHERE end_date <= start_date + 30")
+	if err != nil {
+		return 0
+	}
+	total, err := db.Query("SELECT COUNT(*) FROM project")
+	if err != nil || total[0][0].Int() == 0 {
+		return 0
+	}
+	return float64(rows[0][0].Int()) / float64(total[0][0].Int())
+}
+
+// E8CheckingOverhead reproduces §1's motivation for informational
+// constraints: in load-heavy environments the DBMS re-checking integrity
+// the loader already guarantees is pure overhead. We time bulk loads of the
+// same data under enforced and informational constraint modes.
+func E8CheckingOverhead(n int) (*Report, error) {
+	rep := &Report{
+		ID:     "E8",
+		Title:  "Constraint-checking overhead vs informational constraints",
+		Claim:  "informational constraints keep optimizer benefits while removing integrity-checking cost on load (§1)",
+		Header: []string{"mode", "rows", "load ms", "µs/row", "overhead vs informational"},
+	}
+	// Best of three runs per mode, to shrug off scheduler noise.
+	times := map[string]time.Duration{}
+	for _, mode := range []string{"informational", "enforced"} {
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			db := engine.Open()
+			start := time.Now()
+			if err := loadStarTimed(db, n, mode); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		times[mode] = best
+	}
+	for _, mode := range []string{"informational", "enforced"} {
+		d := times[mode]
+		rep.AddRow(mode, n,
+			float64(d.Microseconds())/1000,
+			float64(d.Microseconds())/float64(n),
+			float64(d)/float64(times["informational"]))
+	}
+	rep.Notef("enforced mode checks the FK (parent lookup) and check constraint per row; informational skips both")
+	return rep, nil
+}
+
+func loadStarTimed(db *engine.Database, n int, mode string) error {
+	fkSuffix := ""
+	checkSuffix := ""
+	if mode == "informational" {
+		fkSuffix = " NOT ENFORCED"
+		checkSuffix = " INFORMATIONAL"
+	}
+	if _, err := db.Exec(`CREATE TABLE dim (id INT PRIMARY KEY, name VARCHAR(20))`); err != nil {
+		return err
+	}
+	// No primary key on fact: in the loader-verified bulk-load setting the
+	// fact PK is the loader's problem too, and this isolates the FK+check
+	// cost the informational mode removes.
+	ddl := fmt.Sprintf(`CREATE TABLE fact (
+		id INT,
+		dim_id INT NOT NULL,
+		qty INT,
+		FOREIGN KEY (dim_id) REFERENCES dim (id)%s,
+		CHECK (qty >= 0 AND qty <= 1000)%s)`, fkSuffix, checkSuffix)
+	if _, err := db.Exec(ddl); err != nil {
+		return err
+	}
+	for i := 0; i < 200; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO dim VALUES (%d, 'd%d')", i, i))
+	}
+	te, err := db.Catalog().Table("fact")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row, err := te.Def.ValidateRow(factRow(i))
+		if err != nil {
+			return err
+		}
+		if err := db.InsertRow(te, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// E13VirtualColumns reproduces §5.1's second proposed mechanism: "combine
+// multiple SSCs in virtual columns where the distribution statistics on the
+// virtual column can be broken down into the individual SSCs." The paper's
+// closing example — "the number of projects completed in 5 days", predicate
+// `end_date - start_date <= 5` — is unestimable from per-column statistics;
+// a virtual column over the duration expression carries its distribution.
+func E13VirtualColumns(n int) (*Report, error) {
+	rep := &Report{
+		ID:     "E13",
+		Title:  "Virtual-column statistics for expression predicates",
+		Claim:  "distribution statistics on a virtual column estimate predicates over column expressions, e.g. end_date - start_date <= k (§5.1)",
+		Header: []string{"k (days)", "actual", "est default", "est virtual", "q-err default", "q-err virtual"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadProject(db, workload.ProjectConfig{
+		N: n, LongFrac: 0.1, Seed: 13,
+	}); err != nil {
+		return nil, err
+	}
+	type run struct {
+		k       int
+		actual  float64
+		defEst  float64
+		virtEst float64
+	}
+	var runs []run
+	for _, k := range []int{2, 5, 10, 20, 60} {
+		q := fmt.Sprintf("SELECT id FROM project WHERE end_date - start_date <= %d", k)
+		res, err := db.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{k: k, actual: float64(len(res.Rows)), defEst: res.EstRows})
+	}
+	if err := db.AddVirtualColumn("project", "duration", "end_date - start_date"); err != nil {
+		return nil, err
+	}
+	for i := range runs {
+		q := fmt.Sprintf("SELECT id FROM project WHERE end_date - start_date <= %d", runs[i].k)
+		res, err := db.Exec(q)
+		if err != nil {
+			return nil, err
+		}
+		runs[i].virtEst = res.EstRows
+		if float64(len(res.Rows)) != runs[i].actual {
+			rep.Notef("WARNING: answers changed at k=%d", runs[i].k)
+		}
+	}
+	var qd, qv []float64
+	for _, r := range runs {
+		qdk, qvk := qError(r.defEst, r.actual), qError(r.virtEst, r.actual)
+		qd = append(qd, qdk)
+		qv = append(qv, qvk)
+		rep.AddRow(r.k, int(r.actual), r.defEst, r.virtEst, qdk, qvk)
+	}
+	rep.Notef("mean q-error: default %.2f, virtual column %.2f", mean(qd), mean(qv))
+	rep.Notef("the default is the System R 1/3 range selectivity — independent of k, hence the crossover")
+	return rep, nil
+}

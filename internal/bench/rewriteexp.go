@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"softdb/internal/engine"
+	"softdb/internal/mining"
+	"softdb/internal/softc"
+	"softdb/internal/workload"
+)
+
+// runCounted executes a query and returns pages read and result count.
+func runCounted(db *engine.Database, q string) (pages int64, rows int, err error) {
+	res, err := db.Exec(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Ctx.IO.PagesRead, len(res.Rows), nil
+}
+
+// timedResult carries the measured costs of one query execution.
+type timedResult struct {
+	pages  int64
+	probes int64
+	rows   int
+	ms     float64
+}
+
+// timedExec runs the query three times and keeps the fastest wall time (the
+// page/probe counters are deterministic).
+func timedExec(db *engine.Database, q string) (timedResult, error) {
+	var out timedResult
+	best := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		res, err := db.Exec(q)
+		if err != nil {
+			return out, err
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		if elapsed < best {
+			best = elapsed
+		}
+		out.pages = res.Ctx.IO.PagesRead
+		out.probes = res.Ctx.HashProbes + res.Ctx.Comparisons
+		out.rows = len(res.Rows)
+	}
+	out.ms = best
+	return out, nil
+}
+
+// E1PredicateIntroduction reproduces [10]/§3.3: a mined linear correlation
+// between ship_date and order_date, installed as an absolute soft
+// constraint, lets the rewriter introduce an order_date range for a
+// ship_date equality query and use the order_date index. The paper claims
+// a marked improvement from the new access path; we report heap/index pages
+// touched with and without the rewrite across table sizes.
+func E1PredicateIntroduction(sizes []int) (*Report, error) {
+	rep := &Report{
+		ID:     "E1",
+		Title:  "Predicate introduction via linear-correlation ASC",
+		Claim:  "predicate introduction over a mined correlation enables an index access path; large page savings that grow with table size ([10], §2, §3.3)",
+		Header: []string{"rows", "pages no-SQO", "pages SQO", "speedup", "answers equal"},
+	}
+	for _, n := range sizes {
+		db := engine.Open()
+		db.DisablePlanCache = true
+		if err := workload.LoadPurchase(db, workload.PurchaseConfig{
+			N: n, Seed: 1, IndexOrderDate: true,
+		}); err != nil {
+			return nil, err
+		}
+		// Mine the correlation and install the top pick, as the SC process
+		// prescribes (discover → select → install).
+		mgr := softc.NewManager(db.Catalog())
+		cands, err := mgr.DiscoverTable("purchase")
+		if err != nil {
+			return nil, err
+		}
+		picks := mgr.SelectCorrelations(cands.Correlations, 1)
+		if len(picks) == 0 {
+			return nil, fmt.Errorf("E1: no correlation discovered at n=%d", n)
+		}
+		if err := mgr.InstallCorrelations(picks); err != nil {
+			return nil, err
+		}
+		q := "SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + " + fmt.Sprint(n/8)
+
+		db.RewriteOpts.NoPredIntro = true
+		basePages, baseRows, err := runCounted(db, q)
+		if err != nil {
+			return nil, err
+		}
+		db.RewriteOpts.NoPredIntro = false
+		sqoPages, sqoRows, err := runCounted(db, q)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(n, basePages, sqoPages, ratio(basePages, sqoPages), baseRows == sqoRows)
+	}
+	rep.Notef("speedup = pages(no-SQO)/pages(SQO); correlation mined from data, not declared")
+	return rep, nil
+}
+
+// E4JoinElimination reproduces [6]: a fact⋈dim query touching only fact
+// columns drops the dim join entirely when RI is declared (here as an
+// informational constraint, so no checking cost was ever paid).
+func E4JoinElimination(dimRows, factRows int) (*Report, error) {
+	rep := &Report{
+		ID:     "E4",
+		Title:  "Join elimination over referential integrity",
+		Claim:  "joins over foreign keys are removed when only child columns are used; marked improvement on TPC-D-style queries ([6], §2)",
+		Header: []string{"query", "pages join/elim", "probes join/elim", "ms join/elim", "time speedup", "answers equal"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadStar(db, workload.StarConfig{
+		DimRows: dimRows, FactRows: factRows, Seed: 2, FKMode: "informational",
+	}); err != nil {
+		return nil, err
+	}
+	queries := []struct{ name, q string }{
+		{"sum(qty)", "SELECT SUM(f.qty) AS s FROM fact f, dim d WHERE f.dim_id = d.id"},
+		{"filtered", "SELECT f.id, f.dim_id FROM fact f, dim d WHERE f.dim_id = d.id AND f.qty > 45"},
+	}
+	for _, qq := range queries {
+		db.RewriteOpts.NoJoinElim = true
+		base, err := timedExec(db, qq.q)
+		if err != nil {
+			return nil, err
+		}
+		db.RewriteOpts.NoJoinElim = false
+		elim, err := timedExec(db, qq.q)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(qq.name,
+			fmt.Sprintf("%d / %d", base.pages, elim.pages),
+			fmt.Sprintf("%d / %d", base.probes, elim.probes),
+			fmt.Sprintf("%.1f / %.1f", base.ms, elim.ms),
+			base.ms/elim.ms,
+			base.rows == elim.rows)
+	}
+	rep.Notef("FK declared NOT ENFORCED (informational): optimizer trusts it without checking cost (§1)")
+	return rep, nil
+}
+
+// E5BranchPrune reproduces §5's union-all example: a 12-branch monthly
+// view, a January–March query, and check-constraint-driven branch
+// elimination scanning only 3 branches.
+func E5BranchPrune(rowsPerMonth int) (*Report, error) {
+	rep := &Report{
+		ID:     "E5",
+		Title:  "Union-all branch elimination via check constraints",
+		Claim:  "a Jan–Mar query against a 12-month union-all view needs only the first three branches (§5)",
+		Header: []string{"months asked", "branches scanned (no prune)", "branches scanned (prune)", "pages no-prune", "pages prune", "speedup"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadPartitionedSales(db, rowsPerMonth, 3); err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		label  string
+		lo, hi int
+	}{
+		{"1..3", 1, 3},
+		{"6..6", 6, 6},
+		{"1..12", 1, 12},
+	}
+	for _, c := range cases {
+		q := fmt.Sprintf("SELECT SUM(amount) AS s FROM sales WHERE month >= %d AND month <= %d", c.lo, c.hi)
+		db.RewriteOpts.NoBranchPrune = true
+		basePages, _, err := runCounted(db, q)
+		if err != nil {
+			return nil, err
+		}
+		baseScans := countPlanScans(db, q, true)
+		db.RewriteOpts.NoBranchPrune = false
+		prunePages, _, err := runCounted(db, q)
+		if err != nil {
+			return nil, err
+		}
+		pruneScans := countPlanScans(db, q, false)
+		rep.AddRow(c.label, baseScans, pruneScans, basePages, prunePages, ratio(basePages, prunePages))
+	}
+	rep.Notef("each branch carries CHECK (month = m); pruning knocks off contradicted branches before costing")
+	return rep, nil
+}
+
+func countPlanScans(db *engine.Database, q string, disablePrune bool) int {
+	saved := db.RewriteOpts.NoBranchPrune
+	db.RewriteOpts.NoBranchPrune = disablePrune
+	defer func() { db.RewriteOpts.NoBranchPrune = saved }()
+	res, err := db.Exec("EXPLAIN " + q)
+	if err != nil {
+		return -1
+	}
+	count := 0
+	for _, r := range res.Rows {
+		line := r[0].Str()
+		if strings.Contains(line, "SeqScan") || strings.Contains(line, "IndexScan") {
+			count++
+		}
+	}
+	return count
+}
+
+// E6ExceptionAST reproduces §4.4's late_shipments example: 99% of
+// purchases ship within three weeks; the SSC plus the exception AST give an
+// exact union-all plan with an indexed main arm and a tiny exception arm.
+func E6ExceptionAST(n int, lateFrac float64) (*Report, error) {
+	rep := &Report{
+		ID:     "E6",
+		Title:  "Exception-AST union rewrite (late shipments)",
+		Claim:  "σ(purchase) ≡ indexed-range arm ∪ exception-AST arm; both arms cheap, answers exact, UNION ALL safe because arms are disjoint (§4.4)",
+		Header: []string{"config", "pages", "rows", "speedup vs scan"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadPurchase(db, workload.PurchaseConfig{
+		N: n, LateFrac: lateFrac, Seed: 4, ShipWindowMode: "ssc", IndexOrderDate: true,
+	}); err != nil {
+		return nil, err
+	}
+	db.MustExec(`CREATE SUMMARY TABLE late_shipments AS
+		(SELECT * FROM purchase WHERE ship_date > order_date + 21)`)
+	if err := db.LinkException("ship_window", "late_shipments"); err != nil {
+		return nil, err
+	}
+	db.MustExec("ANALYZE purchase")
+	q := fmt.Sprintf("SELECT id FROM purchase WHERE ship_date = DATE '1999-01-01' + %d", n/8)
+
+	db.RewriteOpts.NoExceptionAST = true
+	db.RewriteOpts.NoSSCTwins = true
+	scanPages, scanRows, err := runCounted(db, q)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("full scan (no SQO)", scanPages, scanRows, 1.0)
+
+	db.RewriteOpts.NoExceptionAST = true
+	db.RewriteOpts.NoSSCTwins = false
+	twinPages, twinRows, err := runCounted(db, q)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("SSC twin only (estimation)", twinPages, twinRows, ratio(scanPages, twinPages))
+
+	db.RewriteOpts.NoExceptionAST = false
+	astPages, astRows, err := runCounted(db, q)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddRow("exception-AST union", astPages, astRows, ratio(scanPages, astPages))
+
+	if scanRows != astRows || twinRows != scanRows {
+		rep.Notef("WARNING: answer mismatch scan=%d twin=%d ast=%d", scanRows, twinRows, astRows)
+	} else {
+		rep.Notef("all three configurations return identical answers (%d rows)", scanRows)
+	}
+	rep.Notef("exception AST holds %.2f%% of rows", 100*lateFrac)
+	return rep, nil
+}
+
+// E7FDSort reproduces §2 [29]: ORDER BY / GROUP BY lists containing
+// FD-determined columns are simplified, cutting sort comparisons and
+// grouping-key width. The FD is mined, not declared.
+func E7FDSort(n, customers int) (*Report, error) {
+	rep := &Report{
+		ID:     "E7",
+		Title:  "FD-based ORDER BY / GROUP BY simplification",
+		Claim:  "FDs beyond keys (common in denormalized schemas) remove superfluous sort/group columns, saving sort cost ([29], §2)",
+		Header: []string{"query", "comparisons no-FD", "comparisons FD", "saved %", "answers equal"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadDenormalized(db, n, customers, 7); err != nil {
+		return nil, err
+	}
+	// Mine and install FDs (cust_id → cust_name, cust_id → region).
+	mgr := softc.NewManager(db.Catalog())
+	mgr.FDs = mining.FDMinerConfig{MaxLHS: 1}
+	cands, err := mgr.DiscoverTable("orders_wide")
+	if err != nil {
+		return nil, err
+	}
+	var useful []mining.FD
+	for _, fd := range cands.FDs {
+		if fd.Det[0] == "cust_id" && fd.Confidence >= 1 {
+			useful = append(useful, fd)
+		}
+	}
+	if err := mgr.InstallFDs("orders_wide", useful); err != nil {
+		return nil, err
+	}
+	queries := []struct{ name, q string }{
+		{"order by", "SELECT cust_id, cust_name FROM orders_wide ORDER BY cust_id, cust_name, region"},
+		{"group by", "SELECT cust_id, cust_name, SUM(amount) AS s FROM orders_wide GROUP BY cust_id, cust_name ORDER BY cust_id"},
+	}
+	for _, qq := range queries {
+		db.RewriteOpts.NoSortOpt = true
+		base, err := db.Exec(qq.q)
+		if err != nil {
+			return nil, err
+		}
+		db.RewriteOpts.NoSortOpt = false
+		opt, err := db.Exec(qq.q)
+		if err != nil {
+			return nil, err
+		}
+		saved := 0.0
+		if base.Ctx.Comparisons > 0 {
+			saved = 100 * float64(base.Ctx.Comparisons-opt.Ctx.Comparisons) / float64(base.Ctx.Comparisons)
+		}
+		equal := len(base.Rows) == len(opt.Rows)
+		if equal {
+			for i := range base.Rows {
+				if !base.Rows[i].Equal(opt.Rows[i]) {
+					equal = false
+					break
+				}
+			}
+		}
+		rep.AddRow(qq.name, base.Ctx.Comparisons, opt.Ctx.Comparisons, saved, equal)
+	}
+	rep.Notef("FDs mined from data (%d exact FDs on cust_id installed)", len(useful))
+	return rep, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,386 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"softdb/internal/expr"
+	"softdb/internal/schema"
+	"softdb/internal/types"
+)
+
+func tableDef(name string) *schema.Table {
+	return schema.MustTable(name,
+		schema.Column{Name: "id", Type: types.KindInt},
+		schema.Column{Name: "v", Type: types.KindInt, Nullable: true},
+	)
+}
+
+func TestCreateDropTable(t *testing.T) {
+	c := New()
+	te, err := c.CreateTable(tableDef("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Heap == nil {
+		t.Fatal("heap should be allocated")
+	}
+	if _, err := c.CreateTable(tableDef("T")); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	if _, err := c.Table("t"); err != nil {
+		t.Error("lookup")
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("t"); err == nil {
+		t.Error("dropped table should be gone")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestVersionBumpsOnMutation(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v0 {
+		t.Error("create should bump version")
+	}
+	v1 := c.Version()
+	c.Touch()
+	if c.Version() == v1 {
+		t.Error("touch should bump version")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	c := New()
+	te, _ := c.CreateTable(tableDef("t"))
+	te.Heap.Insert(types.Row{types.NewInt(1), types.NewInt(10)})
+	te.Heap.Insert(types.Row{types.NewInt(2), types.NewInt(20)})
+	ix, err := c.CreateIndex("i1", "t", []string{"v"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 2 {
+		t.Errorf("bulk build: %d entries", ix.Tree.Len())
+	}
+	if _, err := c.CreateIndex("i1", "t", []string{"id"}, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	if _, err := c.CreateIndex("i2", "t", []string{"missing"}, false); err == nil {
+		t.Error("bad column should fail")
+	}
+	// Unique index over duplicate data fails.
+	te.Heap.Insert(types.Row{types.NewInt(3), types.NewInt(10)})
+	if _, err := c.CreateIndex("u1", "t", []string{"v"}, true); err == nil {
+		t.Error("unique index over duplicates should fail")
+	}
+	if got := te.IndexOn(1); got == nil || got.Name != "i1" {
+		t.Error("IndexOn leading ordinal")
+	}
+	if te.IndexOn(0) != nil {
+		t.Error("no index on id")
+	}
+}
+
+func TestConstraintLifecycle(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	con := &Constraint{
+		Kind: Check, Mode: ModeSoftAbsolute, Table: "t",
+		CheckExpr: expr.NewBinary(expr.OpGe,
+			expr.NewColumn("t", "v", 1, types.KindInt),
+			expr.NewConst(types.NewInt(0))),
+	}
+	if err := c.AddConstraint(con); err != nil {
+		t.Fatal(err)
+	}
+	if con.Name == "" || !con.Active || con.Confidence != 1 {
+		t.Errorf("defaults: %+v", con)
+	}
+	if got := c.ConstraintByName(con.Name); got != con {
+		t.Error("lookup by name")
+	}
+	if err := c.DeactivateConstraint("t", con.Name); err != nil {
+		t.Fatal(err)
+	}
+	if con.Active {
+		t.Error("deactivate")
+	}
+	if err := c.DropConstraint("t", con.Name); err != nil {
+		t.Fatal(err)
+	}
+	if c.ConstraintByName(con.Name) != nil {
+		t.Error("dropped constraint should be gone")
+	}
+	if err := c.DropConstraint("t", "nope"); err == nil {
+		t.Error("dropping a missing constraint should fail")
+	}
+}
+
+func TestConstraintValidation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint(&Constraint{
+		Kind: PrimaryKey, Table: "t", Columns: []string{"missing"},
+	}); err == nil {
+		t.Error("bad column should fail")
+	}
+	if err := c.AddConstraint(&Constraint{
+		Kind: ForeignKey, Table: "t", Columns: []string{"id"},
+		RefTable: "nope", RefColumns: []string{"id"},
+	}); err == nil {
+		t.Error("bad ref table should fail")
+	}
+	if err := c.AddConstraint(&Constraint{
+		Kind: FuncDep, Table: "t", Columns: []string{"id"}, DepColumns: []string{"missing"},
+	}); err == nil {
+		t.Error("bad dep column should fail")
+	}
+}
+
+func TestModeSemantics(t *testing.T) {
+	if !ModeEnforced.CheckedOnUpdate() || !ModeSoftAbsolute.CheckedOnUpdate() {
+		t.Error("checked modes")
+	}
+	if ModeInformational.CheckedOnUpdate() || ModeSoftStatistical.CheckedOnUpdate() {
+		t.Error("unchecked modes")
+	}
+	if ModeSoftStatistical.UsableInRewrite() {
+		t.Error("SSCs are estimation-only")
+	}
+	for _, m := range []Mode{ModeEnforced, ModeInformational, ModeSoftAbsolute} {
+		if !m.UsableInRewrite() {
+			t.Errorf("%v should be rewrite-usable", m)
+		}
+	}
+}
+
+func TestIsKeyOver(t *testing.T) {
+	con := &Constraint{Kind: PrimaryKey, Columns: []string{"A", "b"}, Active: true}
+	if !con.IsKeyOver([]string{"B", "a"}) {
+		t.Error("order- and case-insensitive match")
+	}
+	if con.IsKeyOver([]string{"a"}) {
+		t.Error("subset is not the key")
+	}
+	con.Active = false
+	if con.IsKeyOver([]string{"a", "b"}) {
+		t.Error("inactive key does not count")
+	}
+	ck := &Constraint{Kind: Check, Columns: []string{"a"}, Active: true}
+	if ck.IsKeyOver([]string{"a"}) {
+		t.Error("check is not a key")
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("base")); err != nil {
+		t.Fatal(err)
+	}
+	st := &SummaryTable{Name: "s1", Base: "base"}
+	if err := c.CreateSummaryTable(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Heap == nil || st.Def == nil {
+		t.Error("materialized summary gets a heap")
+	}
+	if err := c.CreateSummaryTable(&SummaryTable{Name: "s1", Base: "base"}); err == nil {
+		t.Error("duplicate summary should fail")
+	}
+	if err := c.CreateSummaryTable(&SummaryTable{Name: "base", Base: "base"}); err == nil {
+		t.Error("summary shadowing a table should fail")
+	}
+	info := &SummaryTable{Name: "s2", Base: "base", Informational: true}
+	if err := c.CreateSummaryTable(info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Heap != nil {
+		t.Error("informational summary keeps no rows")
+	}
+	if got := c.SummariesOn("base"); len(got) != 2 {
+		t.Errorf("summaries on base: %d", len(got))
+	}
+	if err := c.DropSummaryTable("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.SummaryTable("s1"); ok {
+		t.Error("dropped summary should be gone")
+	}
+}
+
+func TestExceptionLinks(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	con := &Constraint{Kind: Check, Mode: ModeSoftStatistical, Table: "t",
+		CheckExpr: expr.NewConst(types.NewBool(true)), Confidence: 0.9}
+	if err := c.AddConstraint(con); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkException(con.Name, "missing"); err == nil {
+		t.Error("missing summary should fail")
+	}
+	st := &SummaryTable{Name: "exc", Base: "t"}
+	if err := c.CreateSummaryTable(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkException("nope", "exc"); err == nil {
+		t.Error("missing constraint should fail")
+	}
+	if err := c.LinkException(con.Name, "exc"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.ExceptionFor(con.Name)
+	if !ok || got.Name != "exc" {
+		t.Error("exception lookup")
+	}
+	info := &SummaryTable{Name: "inf", Base: "t", Informational: true}
+	if err := c.CreateSummaryTable(info); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkException(con.Name, "inf"); err == nil {
+		t.Error("informational AST cannot back exceptions")
+	}
+}
+
+func TestCorrelationsRegistry(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	lc := &LinearCorrelation{Table: "t", ColA: "id", ColB: "v", K: 2, Eps: 1, Confidence: 1}
+	if err := c.AddCorrelation(lc); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Name == "" || !lc.Active {
+		t.Errorf("defaults: %+v", lc)
+	}
+	if err := c.AddCorrelation(&LinearCorrelation{Name: lc.Name, Table: "t", ColA: "id", ColB: "v"}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if got := c.Correlations("t"); len(got) != 1 {
+		t.Errorf("active correlations: %d", len(got))
+	}
+	if err := c.DeactivateCorrelation(lc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Correlations("t"); len(got) != 0 {
+		t.Error("inactive correlations are hidden")
+	}
+	if _, ok := c.CorrelationByName(lc.Name); !ok {
+		t.Error("by-name lookup sees inactive entries")
+	}
+	if err := c.DropCorrelation(lc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.CorrelationByName(lc.Name); ok {
+		t.Error("dropped correlation should be gone")
+	}
+}
+
+func TestJoinHolesRegistryAndOrientation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("l")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable(tableDef("r")); err != nil {
+		t.Fatal(err)
+	}
+	jh := &JoinHoles{
+		LeftTable: "l", RightTable: "r",
+		JoinLeft: "id", JoinRight: "id",
+		AttrLeft: "v", AttrRight: "v",
+		Holes: []Rect{{
+			A: expr.Between(types.NewInt(10), types.NewInt(20), true, true),
+			B: expr.Between(types.NewInt(0), types.NewInt(5), true, true),
+		}},
+	}
+	if err := c.AddJoinHoles(jh); err != nil {
+		t.Fatal(err)
+	}
+	got, swapped := c.JoinHolesFor("l", "id", "r", "id")
+	if got == nil || swapped {
+		t.Error("forward orientation")
+	}
+	got, swapped = c.JoinHolesFor("r", "id", "l", "id")
+	if got == nil || !swapped {
+		t.Error("reversed orientation")
+	}
+	if got, _ := c.JoinHolesFor("l", "v", "r", "id"); got != nil {
+		t.Error("wrong join column should not match")
+	}
+}
+
+func TestDropHolesIntersecting(t *testing.T) {
+	jh := &JoinHoles{Holes: []Rect{
+		{A: expr.Between(types.NewInt(0), types.NewInt(10), true, true), B: expr.Unbounded()},
+		{A: expr.Between(types.NewInt(50), types.NewInt(60), true, true), B: expr.Unbounded()},
+	}}
+	n := jh.DropHolesIntersecting(expr.Point(types.NewInt(5)), expr.Unbounded())
+	if n != 1 || len(jh.Holes) != 1 {
+		t.Errorf("drop: n=%d holes=%d", n, len(jh.Holes))
+	}
+	// Non-intersecting point drops nothing.
+	n = jh.DropHolesIntersecting(expr.Point(types.NewInt(30)), expr.Unbounded())
+	if n != 0 || len(jh.Holes) != 1 {
+		t.Errorf("no-op drop: n=%d", n)
+	}
+}
+
+func TestDropTableCascades(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableDef("t")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable(tableDef("u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSummaryTable(&SummaryTable{Name: "s", Base: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCorrelation(&LinearCorrelation{Table: "t", ColA: "id", ColB: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddJoinHoles(&JoinHoles{LeftTable: "t", RightTable: "u",
+		JoinLeft: "id", JoinRight: "id", AttrLeft: "v", AttrRight: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.SummaryTable("s"); ok {
+		t.Error("summary should cascade")
+	}
+	if got := c.Correlations("t"); len(got) != 0 {
+		t.Error("correlations should cascade")
+	}
+	if got := c.AllJoinHoles(); len(got) != 0 {
+		t.Error("holes should cascade")
+	}
+}
+
+func TestDescribeStrings(t *testing.T) {
+	con := &Constraint{Name: "c", Kind: ForeignKey, Mode: ModeInformational,
+		Table: "child", Columns: []string{"fk"}, RefTable: "parent", RefColumns: []string{"id"}, Active: true}
+	d := con.Describe()
+	if !strings.Contains(d, "REFERENCES parent") || !strings.Contains(d, "INFORMATIONAL") {
+		t.Errorf("describe: %s", d)
+	}
+	lc := &LinearCorrelation{Name: "x", Table: "t", ColA: "a", ColB: "b", K: 1.5, Eps: 2, Confidence: 0.93}
+	if !strings.Contains(lc.Describe(), "confidence 0.93") {
+		t.Errorf("correlation describe: %s", lc.Describe())
+	}
+}

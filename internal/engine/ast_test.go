@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// astFixture builds a purchase table where 10% of rows are "premium"
+// (amount >= 90) and a premium AST over them.
+func astFixture(t *testing.T, informational bool) *Database {
+	t.Helper()
+	db := newDB(t, `CREATE TABLE purchase (
+		id INT PRIMARY KEY,
+		region INT,
+		amount FLOAT)`)
+	for i := 0; i < 2000; i++ {
+		amount := i % 100
+		db.MustExec(fmt.Sprintf("INSERT INTO purchase VALUES (%d, %d, %d)", i, i%7, amount))
+	}
+	kind := ""
+	if informational {
+		kind = "INFORMATIONAL "
+	}
+	db.MustExec(fmt.Sprintf(
+		"CREATE %sSUMMARY TABLE premium AS (SELECT * FROM purchase WHERE amount >= 90)", kind))
+	db.MustExec("ANALYZE purchase")
+	db.DisablePlanCache = true
+	return db
+}
+
+func TestASTRouting(t *testing.T) {
+	db := astFixture(t, false)
+	q := "SELECT id FROM purchase WHERE amount >= 90 AND region = 3"
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "premium") {
+		t.Errorf("should route through the AST:\n%s\ntrace: %v", res.Plan, res.Trace)
+	}
+	// Answers match the unrouted plan.
+	db.RewriteOpts.NoASTRouting = true
+	want, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(want.Plan, "premium") {
+		t.Fatalf("ablation failed:\n%s", want.Plan)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Errorf("routing changed answers: %d vs %d", len(res.Rows), len(want.Rows))
+	}
+	// And far fewer pages: the AST holds 10% of rows.
+	if res.Ctx.IO.PagesRead*4 > want.Ctx.IO.PagesRead {
+		t.Errorf("routing should save pages: %d vs %d", res.Ctx.IO.PagesRead, want.Ctx.IO.PagesRead)
+	}
+}
+
+func TestASTRoutingRequiresContainment(t *testing.T) {
+	db := astFixture(t, false)
+	// The filter does not imply the AST predicate: no routing.
+	res, err := db.Exec("SELECT id FROM purchase WHERE amount >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Plan, "premium") {
+		t.Errorf("must not route on weaker predicates:\n%s", res.Plan)
+	}
+}
+
+func TestASTRoutingMaintainedUnderDML(t *testing.T) {
+	db := astFixture(t, false)
+	q := "SELECT COUNT(*) FROM purchase WHERE amount >= 90"
+	before, _ := db.Query(q)
+	db.MustExec("INSERT INTO purchase VALUES (99999, 1, 95)")
+	after, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0][0].Int() != before[0][0].Int()+1 {
+		t.Errorf("AST must track inserts: %v -> %v", before[0], after[0])
+	}
+	db.MustExec("DELETE FROM purchase WHERE id = 99999")
+	final, _ := db.Query(q)
+	if final[0][0].Int() != before[0][0].Int() {
+		t.Errorf("AST must track deletes: %v", final[0])
+	}
+}
+
+func TestInformationalASTImprovesEstimate(t *testing.T) {
+	db := astFixture(t, true)
+	// region and amount are independent here, but the point is the joint
+	// predicate estimate: the AST pins sel(amount >= 90) to exactly 10%.
+	q := "SELECT id FROM purchase WHERE amount >= 90"
+	with, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.NoASTEstimation = true
+	without, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := float64(len(with.Rows))
+	errWith := math.Abs(with.EstRows - actual)
+	errWithout := math.Abs(without.EstRows - actual)
+	if errWith > errWithout {
+		t.Errorf("AST estimate should not be worse: |%.0f-%.0f| vs |%.0f-%.0f|",
+			with.EstRows, actual, without.EstRows, actual)
+	}
+	// The AST-backed estimate is essentially exact.
+	if errWith > actual*0.05+1 {
+		t.Errorf("AST estimate should be near-exact: est %.1f actual %.0f", with.EstRows, actual)
+	}
+	// Informational ASTs must never be routed to (they hold no rows).
+	if strings.Contains(with.Plan, "ScanSummary") {
+		t.Errorf("informational AST is not routable:\n%s", with.Plan)
+	}
+}
+
+func TestInformationalASTCountTracksDML(t *testing.T) {
+	db := astFixture(t, true)
+	st, ok := db.Catalog().SummaryTable("premium")
+	if !ok {
+		t.Fatal("missing summary")
+	}
+	before := st.RowCountEstimate
+	db.MustExec("INSERT INTO purchase VALUES (99999, 1, 95)")
+	if st.RowCountEstimate != before+1 {
+		t.Errorf("estimate should bump on insert: %d -> %d", before, st.RowCountEstimate)
+	}
+	db.MustExec("UPDATE purchase SET amount = 10 WHERE id = 99999")
+	if st.RowCountEstimate != before {
+		t.Errorf("estimate should drop when the row leaves the predicate: %d", st.RowCountEstimate)
+	}
+}
+
+func TestASTRoutingPrefersSmallest(t *testing.T) {
+	db := astFixture(t, false)
+	// A tighter AST: amount >= 90 AND region = 3.
+	db.MustExec("CREATE SUMMARY TABLE premium_r3 AS (SELECT * FROM purchase WHERE amount >= 90 AND region = 3)")
+	res, err := db.Exec("SELECT id FROM purchase WHERE amount >= 90 AND region = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "premium_r3") {
+		t.Errorf("should pick the smallest containing AST:\n%s", res.Plan)
+	}
+}
+
+func TestVirtualColumnEstimation(t *testing.T) {
+	// The paper's closing example: "the number of projects completed in 5
+	// days", predicate end_date - start_date <= 5. Without help the
+	// optimizer falls back to a default selectivity; a virtual column over
+	// the duration expression carries its real distribution.
+	db := newDB(t, `CREATE TABLE project (
+		id INT PRIMARY KEY,
+		start_date DATE NOT NULL,
+		end_date DATE)`)
+	for i := 0; i < 3000; i++ {
+		dur := i % 30 // uniform 0..29: ~20% complete within 5 days
+		db.MustExec(fmt.Sprintf(
+			"INSERT INTO project VALUES (%d, DATE '1999-01-01' + %d, DATE '1999-01-01' + %d)",
+			i, i, i+dur))
+	}
+	db.MustExec("ANALYZE project")
+	db.DisablePlanCache = true
+	q := "SELECT id FROM project WHERE end_date - start_date <= 5"
+	before, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddVirtualColumn("project", "duration", "end_date - start_date"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := float64(len(after.Rows))
+	if len(before.Rows) != len(after.Rows) {
+		t.Fatalf("virtual columns must not change answers: %d vs %d", len(before.Rows), len(after.Rows))
+	}
+	errBefore := math.Abs(before.EstRows - actual)
+	errAfter := math.Abs(after.EstRows - actual)
+	if errAfter >= errBefore {
+		t.Errorf("virtual column should improve the estimate: before %.0f, after %.0f, actual %.0f",
+			before.EstRows, after.EstRows, actual)
+	}
+	if errAfter > actual*0.2 {
+		t.Errorf("virtual-column estimate should be close: est %.0f actual %.0f", after.EstRows, actual)
+	}
+	// Aliased access matches canonically too.
+	aliased, err := db.Exec("SELECT p.id FROM project p WHERE p.end_date - p.start_date <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aliased.EstRows-after.EstRows) > 1 {
+		t.Errorf("alias-insensitive matching: %.0f vs %.0f", aliased.EstRows, after.EstRows)
+	}
+}
+
+func TestVirtualColumnErrors(t *testing.T) {
+	db := newDB(t, `CREATE TABLE t (a INT)`)
+	if err := db.AddVirtualColumn("missing", "v", "a + 1"); err == nil {
+		t.Error("missing table should fail")
+	}
+	if err := db.AddVirtualColumn("t", "v", "bogus + 1"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := db.AddVirtualColumn("t", "v", "a + 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddVirtualColumn("t", "v", "a + 2"); err == nil {
+		t.Error("duplicate name should fail")
+	}
+}

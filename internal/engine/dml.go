@@ -1,0 +1,487 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/sql"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// insert evaluates the VALUES rows and applies them through the full
+// constraint pipeline.
+func (db *Database) insert(ins *sql.Insert) (*Result, error) {
+	te, err := db.cat.Table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Column mapping.
+	mapping := make([]int, te.Def.Arity())
+	if len(ins.Columns) == 0 {
+		for i := range mapping {
+			mapping[i] = i
+		}
+	} else {
+		for i := range mapping {
+			mapping[i] = -1
+		}
+		for vi, name := range ins.Columns {
+			ord := te.Def.ColumnIndex(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: no column %s in %s", name, ins.Table)
+			}
+			mapping[ord] = vi
+		}
+	}
+	var n int64
+	for _, valueRow := range ins.Rows {
+		want := len(ins.Columns)
+		if want == 0 {
+			want = te.Def.Arity()
+		}
+		if len(valueRow) != want {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, want %d", len(valueRow), want)
+		}
+		row := make(types.Row, te.Def.Arity())
+		for ord := range row {
+			vi := mapping[ord]
+			if vi < 0 || vi >= len(valueRow) {
+				row[ord] = types.Null
+				continue
+			}
+			v, err := valueRow[vi].Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			row[ord] = v
+		}
+		validated, err := te.Def.ValidateRow(row)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.InsertRow(te, validated); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// InsertRow applies one validated row: constraint checks per mode, heap and
+// index insertion, summary-table maintenance, and soft-constraint currency
+// bookkeeping. Exposed for generators and benchmarks that bypass SQL.
+func (db *Database) InsertRow(te *catalog.TableEntry, row types.Row) error {
+	if err := db.checkConstraints(te, row, storage.RowID{Page: -1}); err != nil {
+		return err
+	}
+	db.checkSoftOnWrite(te, row)
+	rid := te.Heap.Insert(row)
+	for _, ix := range te.Indexes {
+		ix.Tree.Insert(ix.KeyFor(row), rid)
+	}
+	db.maintainSummaries(te, row, true)
+	db.bumpCurrency(te)
+	return nil
+}
+
+// checkConstraints enforces ModeEnforced constraints (reject on violation).
+// selfRid identifies the row being replaced during UPDATE so uniqueness
+// ignores it; inserts pass an invalid rid.
+func (db *Database) checkConstraints(te *catalog.TableEntry, row types.Row, selfRid storage.RowID) error {
+	for _, con := range te.Constraints {
+		if !con.Active || con.Mode != catalog.ModeEnforced {
+			continue
+		}
+		if err := db.checkOne(te, con, row, selfRid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *Database) checkOne(te *catalog.TableEntry, con *catalog.Constraint, row types.Row, selfRid storage.RowID) error {
+	switch con.Kind {
+	case catalog.Check:
+		v, err := con.CheckExpr.Eval(row)
+		if err != nil {
+			return err
+		}
+		// SQL check semantics: NULL passes, FALSE fails.
+		if !v.IsNull() && !v.Bool() {
+			return fmt.Errorf("engine: row violates check constraint %s", con.Name)
+		}
+	case catalog.PrimaryKey, catalog.Unique:
+		ords := ordinalsOf(te, con.Columns)
+		key := row.Project(ords)
+		if con.Kind == catalog.PrimaryKey {
+			for _, d := range key {
+				if d.IsNull() {
+					return fmt.Errorf("engine: NULL in primary key %s", con.Name)
+				}
+			}
+		} else {
+			for _, d := range key {
+				if d.IsNull() {
+					return nil // SQL unique ignores NULL keys
+				}
+			}
+		}
+		if ix := indexOver(te, con.Columns); ix != nil {
+			dup := false
+			ix.Tree.Lookup(key, nil, func(rid storage.RowID) bool {
+				if rid != selfRid {
+					dup = true
+				}
+				return !dup
+			})
+			if dup {
+				return fmt.Errorf("engine: duplicate key %s violates %s", key, con.Name)
+			}
+			return nil
+		}
+		dup := false
+		te.Heap.Scan(nil, func(rid storage.RowID, existing types.Row) bool {
+			if rid != selfRid && existing.Project(ords).Equal(key) {
+				dup = true
+				return false
+			}
+			return true
+		})
+		if dup {
+			return fmt.Errorf("engine: duplicate key %s violates %s", key, con.Name)
+		}
+	case catalog.ForeignKey:
+		ords := ordinalsOf(te, con.Columns)
+		key := row.Project(ords)
+		for _, d := range key {
+			if d.IsNull() {
+				return nil
+			}
+		}
+		ref, err := db.cat.Table(con.RefTable)
+		if err != nil {
+			return err
+		}
+		refOrds := ordinalsOf(ref, con.RefColumns)
+		if ix := indexOver(ref, con.RefColumns); ix != nil {
+			found := false
+			ix.Tree.Lookup(key, nil, func(storage.RowID) bool { found = true; return false })
+			if !found {
+				return fmt.Errorf("engine: no parent row %s in %s for %s", key, con.RefTable, con.Name)
+			}
+			return nil
+		}
+		found := false
+		ref.Heap.Scan(nil, func(_ storage.RowID, parent types.Row) bool {
+			if parent.Project(refOrds).Equal(key) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return fmt.Errorf("engine: no parent row %s in %s for %s", key, con.RefTable, con.Name)
+		}
+	case catalog.FuncDep:
+		// FD enforcement would require a per-determinant lookup structure;
+		// FDs in softdb are informational/soft only.
+	}
+	return nil
+}
+
+// checkSoftOnWrite handles ModeSoftAbsolute constraints and other absolute
+// soft characterizations: a violating write succeeds, but the
+// characterization is deactivated (§4.1's maintenance of last resort) or
+// cheaply repaired (§4.3's hole dropping).
+func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
+	for _, con := range te.Constraints {
+		if !con.Active || con.Mode != catalog.ModeSoftAbsolute || con.Kind != catalog.Check {
+			continue
+		}
+		v, err := con.CheckExpr.Eval(row)
+		if err == nil && !v.IsNull() && !v.Bool() {
+			_ = db.cat.DeactivateConstraint(te.Def.Name, con.Name)
+			db.notify("ASC %s on %s deactivated by violating write", con.Name, te.Def.Name)
+		}
+	}
+	// Absolute linear correlations: drop on violation.
+	for _, lc := range db.cat.Correlations(te.Def.Name) {
+		if !lc.IsAbsolute() {
+			continue
+		}
+		aOrd, bOrd := te.Def.ColumnIndex(lc.ColA), te.Def.ColumnIndex(lc.ColB)
+		if aOrd < 0 || bOrd < 0 {
+			continue
+		}
+		a, b := row[aOrd], row[bOrd]
+		if a.IsNull() || b.IsNull() {
+			continue
+		}
+		diff := a.Float() - lc.K*b.Float()
+		if diff < lc.B0-lc.Eps || diff > lc.B0+lc.Eps {
+			_ = db.cat.DeactivateCorrelation(lc.Name)
+			db.notify("linear correlation %s deactivated by violating write", lc.Name)
+		}
+	}
+	// Join holes: cheap synchronous repair (§4.3) — assume the new value
+	// violates any hole containing its attribute value and retire those
+	// holes without running the join.
+	for _, jh := range db.cat.AllJoinHoles() {
+		if !jh.Active {
+			continue
+		}
+		var dropped int
+		if strings.EqualFold(jh.LeftTable, te.Def.Name) {
+			if ord := te.Def.ColumnIndex(jh.AttrLeft); ord >= 0 && !row[ord].IsNull() {
+				dropped += jh.DropHolesIntersecting(expr.Point(row[ord]), expr.Unbounded())
+			}
+		}
+		if strings.EqualFold(jh.RightTable, te.Def.Name) {
+			if ord := te.Def.ColumnIndex(jh.AttrRight); ord >= 0 && !row[ord].IsNull() {
+				dropped += jh.DropHolesIntersecting(expr.Unbounded(), expr.Point(row[ord]))
+			}
+		}
+		if dropped > 0 {
+			db.cat.Touch()
+			db.notify("join holes %s: %d holes retired by write to %s", jh.Name, dropped, te.Def.Name)
+		}
+	}
+}
+
+// maintainSummaries keeps materialized ASTs synchronized and bumps
+// informational AST estimates.
+func (db *Database) maintainSummaries(te *catalog.TableEntry, row types.Row, insert bool) {
+	for _, st := range db.cat.SummariesOn(te.Def.Name) {
+		match := true
+		if st.Where != nil {
+			ok, err := expr.EvalBool(st.Where, row)
+			if err != nil {
+				continue
+			}
+			match = ok
+		}
+		if !match {
+			continue
+		}
+		if st.Informational {
+			if insert {
+				st.RowCountEstimate++
+			} else if st.RowCountEstimate > 0 {
+				st.RowCountEstimate--
+			}
+			continue
+		}
+		if insert {
+			st.Heap.Insert(row.Clone())
+		} else {
+			// Remove one matching copy.
+			var target storage.RowID
+			found := false
+			st.Heap.Scan(nil, func(rid storage.RowID, r types.Row) bool {
+				if r.Equal(row) {
+					target, found = rid, true
+					return false
+				}
+				return true
+			})
+			if found {
+				st.Heap.Delete(target)
+			}
+		}
+	}
+}
+
+// bumpCurrency advances §3.3's staleness counters on statistical soft
+// characterizations over the table.
+func (db *Database) bumpCurrency(te *catalog.TableEntry) {
+	for _, con := range te.Constraints {
+		if con.Mode == catalog.ModeSoftStatistical {
+			con.ModsSince++
+		}
+	}
+	for _, lc := range db.cat.Correlations(te.Def.Name) {
+		lc.ModsSince++
+	}
+	for _, jh := range db.cat.AllJoinHoles() {
+		if strings.EqualFold(jh.LeftTable, te.Def.Name) || strings.EqualFold(jh.RightTable, te.Def.Name) {
+			jh.ModsSince++
+		}
+	}
+}
+
+func ordinalsOf(te *catalog.TableEntry, cols []string) []int {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		out[i] = te.Def.ColumnIndex(c)
+	}
+	return out
+}
+
+// indexOver finds an index whose key is exactly the given column list.
+func indexOver(te *catalog.TableEntry, cols []string) *catalog.Index {
+	for _, ix := range te.Indexes {
+		if len(ix.Columns) != len(cols) {
+			continue
+		}
+		all := true
+		for i := range cols {
+			if !strings.EqualFold(ix.Columns[i], cols[i]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return ix
+		}
+	}
+	return nil
+}
+
+// update applies SET clauses to matching rows.
+func (db *Database) update(upd *sql.Update) (*Result, error) {
+	te, err := db.cat.Table(upd.Table)
+	if err != nil {
+		return nil, err
+	}
+	var where expr.Expr
+	if upd.Where != nil {
+		where, err = bindToTable(upd.Where, te.Def)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type setOp struct {
+		ord int
+		val expr.Expr
+	}
+	sets := make([]setOp, len(upd.Set))
+	for i, sc := range upd.Set {
+		ord := te.Def.ColumnIndex(sc.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: no column %s in %s", sc.Column, upd.Table)
+		}
+		bound, err := bindToTable(sc.Value, te.Def)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{ord: ord, val: bound}
+	}
+	// Collect matches first (mutating while scanning is unsafe).
+	type match struct {
+		rid storage.RowID
+		row types.Row
+	}
+	var matches []match
+	var scanErr error
+	te.Heap.Scan(nil, func(rid storage.RowID, row types.Row) bool {
+		if where != nil {
+			ok, err := expr.EvalBool(where, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		matches = append(matches, match{rid: rid, row: row.Clone()})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	var n int64
+	for _, m := range matches {
+		newRow := m.row.Clone()
+		for _, s := range sets {
+			v, err := s.val.Eval(m.row)
+			if err != nil {
+				return nil, err
+			}
+			newRow[s.ord] = v
+		}
+		validated, err := te.Def.ValidateRow(newRow)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.checkConstraints(te, validated, m.rid); err != nil {
+			return nil, err
+		}
+		db.checkSoftOnWrite(te, validated)
+		// Index maintenance: remove old keys, add new.
+		for _, ix := range te.Indexes {
+			oldKey, newKey := ix.KeyFor(m.row), ix.KeyFor(validated)
+			if !oldKey.Equal(newKey) {
+				ix.Tree.Delete(oldKey, m.rid)
+				ix.Tree.Insert(newKey, m.rid)
+			}
+		}
+		te.Heap.Update(m.rid, validated)
+		db.maintainSummaries(te, m.row, false)
+		db.maintainSummaries(te, validated, true)
+		db.bumpCurrency(te)
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// delete removes matching rows.
+func (db *Database) delete(del *sql.Delete) (*Result, error) {
+	te, err := db.cat.Table(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	var where expr.Expr
+	if del.Where != nil {
+		where, err = bindToTable(del.Where, te.Def)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type match struct {
+		rid storage.RowID
+		row types.Row
+	}
+	var matches []match
+	var scanErr error
+	te.Heap.Scan(nil, func(rid storage.RowID, row types.Row) bool {
+		if where != nil {
+			ok, err := expr.EvalBool(where, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		matches = append(matches, match{rid: rid, row: row.Clone()})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, m := range matches {
+		te.Heap.Delete(m.rid)
+		for _, ix := range te.Indexes {
+			ix.Tree.Delete(ix.KeyFor(m.row), m.rid)
+		}
+		db.maintainSummaries(te, m.row, false)
+		db.bumpCurrency(te)
+	}
+	return &Result{RowsAffected: int64(len(matches))}, nil
+}
+
+// StalenessBound reports §3.3's margin-of-error model for a statistical
+// soft constraint: an upper bound on the fraction of rows that may have
+// drifted from the statement since its statistics were last refreshed.
+func StalenessBound(modsSince, rowCount int64) float64 {
+	if rowCount <= 0 {
+		return 1
+	}
+	return math.Min(1, float64(modsSince)/float64(rowCount))
+}

@@ -1,0 +1,505 @@
+// Package engine is softdb's top-level database facade: it parses SQL,
+// runs DDL against the catalog, executes DML with constraint checking that
+// honors the paper's enforcement modes, and drives queries through the
+// rewrite → cost-based-optimization → execution pipeline. It also keeps the
+// plan cache whose entries are invalidated when an absolute soft constraint
+// is overturned (§4.1).
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"softdb/internal/catalog"
+	"softdb/internal/exec"
+	"softdb/internal/expr"
+	"softdb/internal/opt"
+	"softdb/internal/plan"
+	"softdb/internal/rewrite"
+	"softdb/internal/sql"
+	"softdb/internal/stats"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []types.Row
+	RowsAffected int64
+	// Runtime counters for queries.
+	Ctx exec.Ctx
+	// Optimizer estimates (queries only).
+	EstRows float64
+	EstCost float64
+	// Plan text (EXPLAIN, or always-populated for queries).
+	Plan string
+	// Trace lists rewrite-rule firings.
+	Trace []string
+	// Notices carries soft-constraint events (e.g. "ASC xyz deactivated").
+	Notices []string
+}
+
+// CacheStats reports plan-cache behavior, the §4.1 cost surface.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64 // entries dropped by catalog changes
+	// Failovers counts §4.1 backup-plan reversions: a cached plan whose
+	// soft constraints were overturned switched to its SQO-free backup
+	// instead of recompiling.
+	Failovers int64
+}
+
+type cachedPlan struct {
+	catVersion  int64
+	hardVersion int64
+	root        exec.Operator
+	cols        []string
+	estRows     float64
+	estCost     float64
+	planText    string
+	trace       []string
+	// backup is the §4.1 alternative plan compiled with every soft rule
+	// disabled; it stays valid across soft-constraint churn (same hard
+	// version) and is reverted to instead of recompiling.
+	backup *cachedPlan
+}
+
+// Database is a softdb instance.
+type Database struct {
+	cat   *catalog.Catalog
+	views map[string]*sql.Select
+
+	// RewriteOpts toggles semantic rewrite rules (ablation).
+	RewriteOpts rewrite.Options
+	// NoIndexes disables index access paths (baseline mode).
+	NoIndexes bool
+	// NoSSCEstimation disables twinned-predicate cardinality estimation.
+	NoSSCEstimation bool
+	// NoASTEstimation disables AST-based filter-factor estimation (§4.4).
+	NoASTEstimation bool
+	// DisablePlanCache turns off plan caching.
+	DisablePlanCache bool
+	// ASCDynamicOnly implements §4.1's restriction option: plans shaped by
+	// soft rules are never cached (used only for the current, "dynamic"
+	// execution), so no precompiled plan can ever depend on an ASC.
+	ASCDynamicOnly bool
+
+	planCache map[string]*cachedPlan
+	cacheStat CacheStats
+
+	// workload records, per table and column, how many query predicates
+	// referenced the column — the observed-workload signal §3.2's
+	// selection stage directs discovery with.
+	workload map[string]map[string]int64
+
+	// notices accumulated during the current statement.
+	notices []string
+}
+
+// Open returns an empty database.
+func Open() *Database {
+	return &Database{
+		cat:       catalog.New(),
+		views:     map[string]*sql.Select{},
+		planCache: map[string]*cachedPlan{},
+		workload:  map[string]map[string]int64{},
+	}
+}
+
+// WorkloadColumnCounts returns the predicate-reference counts observed so
+// far: table → column → count. The map is shared with the recorder; treat
+// it as read-only.
+func (db *Database) WorkloadColumnCounts() map[string]map[string]int64 { return db.workload }
+
+// recordWorkload walks a freshly built logical plan and counts which base
+// columns the query's scan predicates touch.
+func (db *Database) recordWorkload(n plan.Node) {
+	if s, ok := n.(*plan.Scan); ok && s.Entry != nil {
+		for _, f := range s.Filter {
+			for _, ord := range exprColumnOrdinals(f) {
+				if ord < 0 || ord >= len(s.Def.Columns) {
+					continue
+				}
+				table := strings.ToLower(s.Table)
+				colName := strings.ToLower(s.Def.Columns[ord].Name)
+				cols := db.workload[table]
+				if cols == nil {
+					cols = map[string]int64{}
+					db.workload[table] = cols
+				}
+				cols[colName]++
+			}
+		}
+	}
+	for _, c := range n.Inputs() {
+		db.recordWorkload(c)
+	}
+}
+
+// Catalog exposes the system catalog (miners and the soft-constraint
+// manager work against it directly).
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// CacheStats returns plan-cache counters.
+func (db *Database) CacheStats() CacheStats { return db.cacheStat }
+
+// ResetCacheStats zeroes the counters.
+func (db *Database) ResetCacheStats() { db.cacheStat = CacheStats{} }
+
+// Exec parses and executes one statement.
+func (db *Database) Exec(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt, query)
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// result.
+func (db *Database) ExecScript(script string) (*Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = db.ExecStmt(s, "")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// MustExec is Exec that panics on error; for tests and generators.
+func (db *Database) MustExec(query string) *Result {
+	res, err := db.Exec(query)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %s: %v", query, err))
+	}
+	return res
+}
+
+// ExecStmt executes a parsed statement. cacheKey, when non-empty, enables
+// plan caching for selects.
+func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, error) {
+	db.notices = nil
+	var res *Result
+	var err error
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		res, err = db.createTable(s)
+	case *sql.CreateIndex:
+		res, err = db.createIndex(s)
+	case *sql.CreateView:
+		res, err = db.createView(s)
+	case *sql.CreateSummary:
+		res, err = db.createSummary(s)
+	case *sql.AlterTableAdd:
+		res, err = db.alterAdd(s)
+	case *sql.DropTable:
+		res, err = db.dropTable(s)
+	case *sql.Insert:
+		res, err = db.insert(s)
+	case *sql.Update:
+		res, err = db.update(s)
+	case *sql.Delete:
+		res, err = db.delete(s)
+	case *sql.Select:
+		res, err = db.query(s, cacheKey, false)
+	case *sql.Explain:
+		inner, ok := s.Stmt.(*sql.Select)
+		if !ok {
+			return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
+		}
+		res, err = db.query(inner, "", true)
+	case *sql.Analyze:
+		res, err = db.analyze(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if res != nil {
+		res.Notices = append(res.Notices, db.notices...)
+	}
+	return res, err
+}
+
+// Query runs a select and returns its rows.
+func (db *Database) Query(query string) ([]types.Row, error) {
+	res, err := db.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// notify records a soft-constraint event surfaced with the result.
+func (db *Database) notify(format string, args ...any) {
+	db.notices = append(db.notices, fmt.Sprintf(format, args...))
+}
+
+// --- query path ---
+
+func (db *Database) builder() *plan.Builder {
+	return &plan.Builder{Catalog: db.cat, Views: db.views}
+}
+
+// Plan builds, rewrites and optimizes a select without running it.
+func (db *Database) Plan(sel *sql.Select) (*opt.Result, *rewrite.Rewriter, error) {
+	logical, err := db.builder().BuildSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
+	logical = rw.Rewrite(logical)
+	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: db.NoSSCEstimation, NoASTEstimation: db.NoASTEstimation}
+	result, err := o.Optimize(logical)
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, rw, nil
+}
+
+func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*Result, error) {
+	useCache := cacheKey != "" && !db.DisablePlanCache && !explainOnly
+	if useCache {
+		if entry, ok := db.planCache[cacheKey]; ok {
+			if entry.catVersion == db.cat.Version() {
+				db.cacheStat.Hits++
+				return db.runCached(entry)
+			}
+			// §4.1: if only soft characterizations changed (the hard
+			// version is intact) and a backup plan was compiled, revert
+			// to it instead of recompiling.
+			if entry.hardVersion == db.cat.HardVersion() && entry.backup != nil {
+				bk := entry.backup
+				bk.catVersion = db.cat.Version()
+				bk.hardVersion = db.cat.HardVersion()
+				bk.trace = append([]string{"backup-plan: reverted after soft-constraint change (§4.1)"}, bk.trace...)
+				db.planCache[cacheKey] = bk
+				db.cacheStat.Failovers++
+				return db.runCached(bk)
+			}
+			delete(db.planCache, cacheKey)
+			db.cacheStat.Invalidations++
+		}
+		db.cacheStat.Misses++
+	}
+
+	logical, err := db.builder().BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	db.recordWorkload(logical)
+	cols := logical.Cols()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
+	logical = rw.Rewrite(logical)
+	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: db.NoSSCEstimation, NoASTEstimation: db.NoASTEstimation}
+	result, err := o.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	planText := exec.Format(result.Root)
+	if explainOnly {
+		var rows []types.Row
+		for _, line := range strings.Split(strings.TrimRight(planText, "\n"), "\n") {
+			rows = append(rows, types.Row{types.NewString(line)})
+		}
+		for _, t := range rw.Trace {
+			rows = append(rows, types.Row{types.NewString("rewrite: " + t)})
+		}
+		rows = append(rows, types.Row{types.NewString(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))})
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    rows,
+			EstRows: result.EstRows,
+			EstCost: result.EstCost,
+			Plan:    planText,
+			Trace:   rw.Trace,
+		}, nil
+	}
+	entry := &cachedPlan{
+		catVersion:  db.cat.Version(),
+		hardVersion: db.cat.HardVersion(),
+		root:        result.Root,
+		cols:        names,
+		estRows:     result.EstRows,
+		estCost:     result.EstCost,
+		planText:    planText,
+		trace:       rw.Trace,
+	}
+	if useCache {
+		if len(rw.Trace) > 0 && db.ASCDynamicOnly {
+			// §4.1: "restrict the use of ASCs in rewrite just to dynamic
+			// queries and never for precompilation" — run the rewritten
+			// plan once, cache nothing.
+			return db.runCached(entry)
+		}
+		// §4.1 backup plan: when soft rules shaped the primary plan,
+		// compile the SQO-free alternative alongside so an overturned ASC
+		// reverts instead of recompiling.
+		if len(rw.Trace) > 0 {
+			if backup, err := db.compileBackup(sel, names); err == nil {
+				entry.backup = backup
+			}
+		}
+		db.planCache[cacheKey] = entry
+	}
+	return db.runCached(entry)
+}
+
+func (db *Database) runCached(entry *cachedPlan) (*Result, error) {
+	ctx := &exec.Ctx{}
+	rows, err := exec.Collect(entry.root, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns: entry.cols,
+		Rows:    rows,
+		Ctx:     *ctx,
+		EstRows: entry.estRows,
+		EstCost: entry.estCost,
+		Plan:    entry.planText,
+		Trace:   entry.trace,
+	}, nil
+}
+
+// compileBackup builds the soft-rule-free alternative plan for a select.
+func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan, error) {
+	logical, err := db.builder().BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: rewrite.Options{
+		NoJoinElim: true, NoPredIntro: true, NoBranchPrune: true,
+		NoHoleTrim: true, NoSortOpt: true, NoExceptionAST: true,
+		NoSSCTwins: true, NoASTRouting: true,
+	}}
+	logical = rw.Rewrite(logical)
+	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: true, NoASTEstimation: true}
+	result, err := o.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedPlan{
+		catVersion:  db.cat.Version(),
+		hardVersion: db.cat.HardVersion(),
+		root:        result.Root,
+		cols:        names,
+		estRows:     result.EstRows,
+		estCost:     result.EstCost,
+		planText:    exec.Format(result.Root),
+	}, nil
+}
+
+// CachedPlanCount reports live plan-cache entries.
+func (db *Database) CachedPlanCount() int { return len(db.planCache) }
+
+// InvalidateStaleCache drops cache entries whose catalog version is stale,
+// returning how many were dropped. The engine also invalidates lazily on
+// lookup; this models the §4.1 eager "drop every dependent package" sweep.
+func (db *Database) InvalidateStaleCache() int {
+	n := 0
+	for k, e := range db.planCache {
+		if e.catVersion != db.cat.Version() {
+			delete(db.planCache, k)
+			n++
+		}
+	}
+	db.cacheStat.Invalidations += int64(n)
+	return n
+}
+
+// analyze collects statistics (DB2 runstats) for a table and for the
+// materialized summary tables defined over it.
+func (db *Database) analyze(a *sql.Analyze) (*Result, error) {
+	te, err := db.cat.Table(a.Table)
+	if err != nil {
+		return nil, err
+	}
+	ts := stats.Collect(te.Heap, stats.DefaultBuckets)
+	if err := db.cat.SetStats(te.Def.Name, ts); err != nil {
+		return nil, err
+	}
+	for _, st := range db.cat.SummariesOn(te.Def.Name) {
+		if st.Heap != nil {
+			st.Stats = stats.Collect(st.Heap, stats.DefaultBuckets)
+		}
+	}
+	// Virtual columns (§5.1's second mechanism) get a distribution too:
+	// evaluate the expression per row and build column statistics over the
+	// results.
+	for _, vc := range te.Virtual {
+		var vals []types.Datum
+		var nulls int64
+		var evalErr error
+		te.Heap.Scan(nil, func(_ storage.RowID, row types.Row) bool {
+			v, err := vc.Expr.Eval(row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if v.IsNull() {
+				nulls++
+			} else {
+				vals = append(vals, v)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, fmt.Errorf("engine: analyzing virtual column %s: %w", vc.Name, evalErr)
+		}
+		vc.Stats = stats.BuildColumnStats(vc.Name, vc.Expr.Type(), vals, nulls, stats.DefaultBuckets)
+	}
+	db.cat.Touch()
+	return &Result{RowsAffected: te.Heap.RowCount()}, nil
+}
+
+// AddVirtualColumn registers and immediately analyzes a virtual column
+// (§5.1's second mechanism). exprSQL is an expression over the table's
+// columns, e.g. "end_date - start_date".
+func (db *Database) AddVirtualColumn(table, name, exprSQL string) error {
+	te, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	parsed, err := parseExpression(exprSQL)
+	if err != nil {
+		return err
+	}
+	bound, err := bindToTable(parsed, te.Def)
+	if err != nil {
+		return err
+	}
+	if _, err := db.cat.AddVirtualColumn(table, name, bound); err != nil {
+		return err
+	}
+	_, err = db.analyze(&sql.Analyze{Table: table})
+	return err
+}
+
+// parseExpression parses a bare scalar expression by wrapping it in a
+// SELECT against a placeholder binding (binding happens later against the
+// real table).
+func parseExpression(s string) (expr.Expr, error) {
+	stmt, err := sql.Parse("SELECT " + s + " AS v FROM dualx")
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad expression %q: %w", s, err)
+	}
+	sel := stmt.(*sql.Select)
+	if len(sel.Items) != 1 || sel.Items[0].Expr == nil {
+		return nil, fmt.Errorf("engine: bad expression %q", s)
+	}
+	return sel.Items[0].Expr, nil
+}
+
+// exprColumnOrdinals is a small local helper over expr column extraction.
+func exprColumnOrdinals(e expr.Expr) []int { return expr.ColumnIndexes(e) }

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEndToEndScript drives a single session through every statement kind
+// the dialect supports and checks the visible results, the way a user at
+// cmd/softdb would.
+func TestEndToEndScript(t *testing.T) {
+	db := Open()
+	setup := `
+		CREATE TABLE region (id INT PRIMARY KEY, name VARCHAR(16));
+		CREATE TABLE customer (
+			id INT PRIMARY KEY,
+			region_id INT NOT NULL,
+			name VARCHAR(24),
+			FOREIGN KEY (region_id) REFERENCES region (id)
+		);
+		CREATE TABLE orders (
+			id INT PRIMARY KEY,
+			cust_id INT NOT NULL,
+			placed DATE NOT NULL,
+			shipped DATE,
+			total FLOAT,
+			CONSTRAINT total_pos CHECK (total >= 0) INFORMATIONAL,
+			CONSTRAINT ship_week CHECK (shipped <= placed + 7) SOFT STATISTICAL CONFIDENCE 0.95,
+			FOREIGN KEY (cust_id) REFERENCES customer (id)
+		);
+		CREATE INDEX idx_orders_placed ON orders (placed);
+		INSERT INTO region VALUES (1, 'east'), (2, 'west');
+		INSERT INTO customer VALUES (10, 1, 'acme'), (11, 2, 'globex'), (12, 1, 'initech');
+	`
+	if _, err := db.ExecScript(setup); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		lag := i % 6
+		if i%50 == 0 {
+			lag = 30
+		}
+		stmt := "INSERT INTO orders VALUES (" +
+			itos(i) + ", " + itos(10+i%3) + ", DATE '2000-01-01' + " + itos(i/4) +
+			", DATE '2000-01-01' + " + itos(i/4+lag) + ", " + itos(i%90) + ".25)"
+		db.MustExec(stmt)
+	}
+	db.MustExec("ANALYZE orders")
+
+	// Multi-way join with grouping, HAVING, ordering.
+	rows, err := db.Query(`
+		SELECT r.name, COUNT(*) AS n, SUM(o.total) AS revenue
+		FROM region r, customer c, orders o
+		WHERE r.id = c.region_id AND c.id = o.cust_id
+		GROUP BY r.name
+		HAVING n > 10
+		ORDER BY revenue DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("regions: %v", rowsAsStrings(rows))
+	}
+	// east holds customers 10 and 12 → 2/3 of orders.
+	if rows[0][0].Str() != "east" {
+		t.Errorf("east should lead: %v", rowsAsStrings(rows))
+	}
+	eastN, westN := rows[0][1].Int(), rows[1][1].Int()
+	if eastN+westN != 400 || eastN <= westN {
+		t.Errorf("counts: east %d west %d", eastN, westN)
+	}
+
+	// LIKE + IN + BETWEEN over the join.
+	rows, err = db.Query(`
+		SELECT o.id FROM customer c, orders o
+		WHERE c.id = o.cust_id AND c.name LIKE '%ex'
+		AND o.total BETWEEN 10 AND 20 AND o.id IN (1, 4, 13, 400)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// globex is customer 11 → orders with id%3==1; candidates 1,4,13,400:
+	// id 400 doesn't exist; ids 1,4,13 belong to 11,11,11; totals 1.25,
+	// 4.25, 13.25 → only 13 within [10,20].
+	if len(rows) != 1 || rows[0][0].Int() != 13 {
+		t.Errorf("like+in+between: %v", rowsAsStrings(rows))
+	}
+
+	// Update and delete ripple through constraints and indexes.
+	db.MustExec("UPDATE orders SET total = total + 100 WHERE cust_id = 11")
+	db.MustExec("DELETE FROM orders WHERE id < 10")
+	rows, _ = db.Query("SELECT COUNT(*) FROM orders")
+	if rows[0][0].Int() != 390 {
+		t.Errorf("after delete: %v", rows[0])
+	}
+
+	// Union all across selects with literals.
+	rows, err = db.Query(`
+		SELECT COUNT(*) AS n FROM orders WHERE total >= 100
+		UNION ALL
+		SELECT COUNT(*) AS n FROM orders WHERE total < 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int()+rows[1][0].Int() != 390 {
+		t.Errorf("union partition: %v", rowsAsStrings(rows))
+	}
+
+	// EXPLAIN still works at the end of the session.
+	res, err := db.Exec("EXPLAIN SELECT id FROM orders WHERE placed BETWEEN DATE '2000-02-01' AND DATE '2000-02-03'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ""
+	for _, r := range res.Rows {
+		text += r[0].Str() + "\n"
+	}
+	if !strings.Contains(text, "IndexScan") {
+		t.Errorf("selective date range should use the index:\n%s", text)
+	}
+}
+
+func itos(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+	"softdb/internal/sql"
+	"softdb/internal/types"
+)
+
+// accumulator folds rows for one aggregate in one group.
+type accumulator struct {
+	kind     sql.AggKind
+	count    int64
+	sum      float64
+	isInt    bool
+	min      types.Datum
+	max      types.Datum
+	seen     bool
+	distinct map[string]bool
+}
+
+func newAccumulator(kind sql.AggKind) *accumulator {
+	a := &accumulator{kind: kind, isInt: true, min: types.Null, max: types.Null}
+	if kind == sql.AggCountDistinct {
+		a.distinct = map[string]bool{}
+	}
+	return a
+}
+
+func (a *accumulator) add(v types.Datum) {
+	if a.kind == sql.AggCountStar {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	a.seen = true
+	switch a.kind {
+	case sql.AggCountDistinct:
+		a.distinct[types.Row{v}.Key()] = true
+	case sql.AggSum, sql.AggAvg:
+		if v.Kind() == types.KindFloat {
+			a.isInt = false
+		}
+		a.sum += v.Float()
+	case sql.AggMin:
+		if a.min.IsNull() || v.Compare(a.min) < 0 {
+			a.min = v
+		}
+	case sql.AggMax:
+		if a.max.IsNull() || v.Compare(a.max) > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *accumulator) result() types.Datum {
+	switch a.kind {
+	case sql.AggCount, sql.AggCountStar:
+		return types.NewInt(a.count)
+	case sql.AggCountDistinct:
+		return types.NewInt(int64(len(a.distinct)))
+	case sql.AggSum:
+		if !a.seen {
+			return types.Null
+		}
+		if a.isInt {
+			return types.NewInt(int64(a.sum))
+		}
+		return types.NewFloat(a.sum)
+	case sql.AggAvg:
+		if !a.seen {
+			return types.Null
+		}
+		return types.NewFloat(a.sum / float64(a.count))
+	case sql.AggMin:
+		return a.min
+	case sql.AggMax:
+		return a.max
+	default:
+		return types.Null
+	}
+}
+
+// HashAggregate groups its input by the GroupBy expressions and computes
+// the aggregates. Output rows are group values followed by aggregate
+// results, emitted in ascending group order (deterministic output). With no
+// GroupBy it produces exactly one row even for empty input (scalar
+// aggregation).
+type HashAggregate struct {
+	Input   Operator
+	GroupBy []expr.Expr
+	Aggs    []plan.AggSpec
+	// Redundant marks group expressions excluded from the grouping key
+	// because they are functionally determined by the others; their value
+	// is taken from the group's first row.
+	Redundant []bool
+}
+
+func (h *HashAggregate) isRedundant(i int) bool {
+	return i < len(h.Redundant) && h.Redundant[i]
+}
+
+type aggGroup struct {
+	key  types.Row
+	accs []*accumulator
+}
+
+// Run implements Operator.
+func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	groups := map[string]*aggGroup{}
+	var order []string
+	var inner error
+	err := h.Input.Run(ctx, func(row types.Row) bool {
+		key := make(types.Row, len(h.GroupBy))
+		hashKey := make(types.Row, 0, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				inner = err
+				return false
+			}
+			key[i] = v
+			if !h.isRedundant(i) {
+				hashKey = append(hashKey, v)
+			}
+		}
+		// Key-column work is charged per hashed column so grouping-key
+		// reduction (redundant FD-determined columns) is visible.
+		ctx.Comparisons += int64(len(hashKey))
+		k := hashKey.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &aggGroup{key: key}
+			for _, spec := range h.Aggs {
+				grp.accs = append(grp.accs, newAccumulator(spec.Kind))
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		ctx.HashProbes++
+		for i, spec := range h.Aggs {
+			if spec.Kind == sql.AggCountStar {
+				grp.accs[i].add(types.Null)
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				inner = err
+				return false
+			}
+			grp.accs[i].add(v)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	if len(h.GroupBy) == 0 && len(groups) == 0 {
+		// Scalar aggregation over empty input: one row of identities.
+		out := make(types.Row, len(h.Aggs))
+		for i, spec := range h.Aggs {
+			out[i] = newAccumulator(spec.Kind).result()
+		}
+		emit(out)
+		return nil
+	}
+	// Deterministic output order: sort groups by key.
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].key.Compare(groups[order[j]].key) < 0
+	})
+	for _, k := range order {
+		grp := groups[k]
+		out := make(types.Row, 0, len(grp.key)+len(grp.accs))
+		out = append(out, grp.key...)
+		for _, acc := range grp.accs {
+			out = append(out, acc.result())
+		}
+		if !emit(out) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Describe implements Operator.
+func (h *HashAggregate) Describe() string {
+	var gs []string
+	for i, g := range h.GroupBy {
+		s := g.String()
+		if h.isRedundant(i) {
+			s += " [redundant]"
+		}
+		gs = append(gs, s)
+	}
+	var as []string
+	for _, a := range h.Aggs {
+		as = append(as, a.Describe())
+	}
+	if len(gs) == 0 {
+		return fmt.Sprintf("HashAggregate scalar [%s]", strings.Join(as, ", "))
+	}
+	return fmt.Sprintf("HashAggregate by (%s) [%s]", strings.Join(gs, ", "), strings.Join(as, ", "))
+}
+
+// Inputs implements Operator.
+func (h *HashAggregate) Inputs() []Operator { return []Operator{h.Input} }

@@ -1,0 +1,382 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"softdb/internal/btree"
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+	"softdb/internal/schema"
+	"softdb/internal/sql"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+func intRows(vals ...int64) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, v := range vals {
+		out[i] = types.Row{types.NewInt(v)}
+	}
+	return out
+}
+
+func col(i int) *expr.Column { return expr.NewColumn("t", "c", i, types.KindInt) }
+
+func iconst(v int64) *expr.Const { return expr.NewConst(types.NewInt(v)) }
+
+func collect(t *testing.T, op Operator) []types.Row {
+	t.Helper()
+	rows, err := Collect(op, &Ctx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func testHeap(t *testing.T, n int) *storage.Heap {
+	t.Helper()
+	def := schema.MustTable("t",
+		schema.Column{Name: "a", Type: types.KindInt},
+		schema.Column{Name: "b", Type: types.KindInt},
+	)
+	h := storage.NewHeap(def)
+	for i := 0; i < n; i++ {
+		h.Insert(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 2))})
+	}
+	return h
+}
+
+func TestSeqScanFilter(t *testing.T) {
+	h := testHeap(t, 100)
+	op := &SeqScan{Table: "t", Heap: h, Filter: []expr.Expr{
+		expr.NewBinary(expr.OpLt, col(0), iconst(10)),
+	}}
+	rows := collect(t, op)
+	if len(rows) != 10 {
+		t.Errorf("rows: %d", len(rows))
+	}
+	ctx := &Ctx{}
+	_, _ = Collect(op, ctx)
+	if ctx.IO.PagesRead != h.PageCount() {
+		t.Errorf("seq scan pages: %d want %d", ctx.IO.PagesRead, h.PageCount())
+	}
+}
+
+func TestIndexScanRangeAndPageDedup(t *testing.T) {
+	h := testHeap(t, 1000)
+	ix := &catalog.Index{Name: "ia", Table: "t", Columns: []string{"a"}, Ordinal: []int{0}, Tree: btree.New()}
+	h.Scan(nil, func(id storage.RowID, row types.Row) bool {
+		ix.Tree.Insert(ix.KeyFor(row), id)
+		return true
+	})
+	op := &IndexScan{
+		Table: "t", Heap: h, Index: ix,
+		Lo: btree.Bound{Key: types.Row{types.NewInt(100)}, Inclusive: true},
+		Hi: btree.Bound{Key: types.Row{types.NewInt(199)}, Inclusive: true},
+	}
+	ctx := &Ctx{}
+	rows, err := Collect(op, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Clustered data: 100 contiguous rows span very few heap pages, each
+	// charged once despite 100 fetches.
+	if ctx.IO.PagesRead > 10 {
+		t.Errorf("clustered index scan should dedupe pages: %d", ctx.IO.PagesRead)
+	}
+	// Residual filter still applies.
+	op.Filter = []expr.Expr{expr.Eq(col(1), iconst(300))}
+	rows = collect(t, op)
+	if len(rows) != 1 || rows[0][0].Int() != 150 {
+		t.Errorf("residual: %v", rows)
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	src := &Values{Rows: intRows(1, 2, 3, 4, 5)}
+	f := &Filter{Input: src, Conds: []expr.Expr{expr.NewBinary(expr.OpGt, col(0), iconst(2))}}
+	p := &Project{Input: f, Exprs: []expr.Expr{expr.NewBinary(expr.OpMul, col(0), iconst(10))}}
+	l := &Limit{Input: p, N: 2}
+	rows := collect(t, l)
+	if len(rows) != 2 || rows[0][0].Int() != 30 || rows[1][0].Int() != 40 {
+		t.Errorf("pipeline: %v", rows)
+	}
+	// Limit 0 yields nothing.
+	if rows := collect(t, &Limit{Input: src, N: 0}); len(rows) != 0 {
+		t.Errorf("limit 0: %v", rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	src := &Values{Rows: intRows(3, 1, 3, 2, 1)}
+	rows := collect(t, &Distinct{Input: src})
+	if len(rows) != 3 {
+		t.Errorf("distinct: %v", rows)
+	}
+}
+
+func TestSortAscDescStable(t *testing.T) {
+	src := &Values{Rows: []types.Row{
+		{types.NewInt(2), types.NewString("b")},
+		{types.NewInt(1), types.NewString("c")},
+		{types.NewInt(2), types.NewString("a")},
+	}}
+	s := &Sort{Input: src, Keys: []plan.SortKey{{Ordinal: 0}, {Ordinal: 1, Desc: true}}}
+	rows := collect(t, s)
+	want := []string{"(1, 'c')", "(2, 'b')", "(2, 'a')"}
+	for i, r := range rows {
+		if r.String() != want[i] {
+			t.Errorf("row %d: %s want %s", i, r, want[i])
+		}
+	}
+}
+
+func TestUnionAllOrderAndEarlyStop(t *testing.T) {
+	u := &UnionAll{Arms: []Operator{
+		&Values{Rows: intRows(1, 2)},
+		&Values{Rows: intRows(3)},
+	}}
+	rows := collect(t, u)
+	if len(rows) != 3 || rows[2][0].Int() != 3 {
+		t.Errorf("union: %v", rows)
+	}
+	// Early stop across arms.
+	n := 0
+	err := u.Run(&Ctx{}, func(types.Row) bool { n++; return n < 2 })
+	if err != nil || n != 2 {
+		t.Errorf("early stop: %d", n)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	outer := &Values{Rows: intRows(1, 2, 3)}
+	inner := &Values{Rows: intRows(2, 3, 4)}
+	j := &NestedLoopJoin{Outer: outer, Inner: inner, Cond: []expr.Expr{
+		expr.Eq(col(0), col(1)),
+	}}
+	rows := collect(t, j)
+	if len(rows) != 2 {
+		t.Fatalf("nlj: %v", rows)
+	}
+	if rows[0][0].Int() != 2 || rows[0][1].Int() != 2 {
+		t.Errorf("nlj row: %v", rows[0])
+	}
+}
+
+func TestHashJoinWithDuplicatesAndNulls(t *testing.T) {
+	left := &Values{Rows: []types.Row{
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(1), types.NewString("b")},
+		{types.Null, types.NewString("n")},
+	}}
+	right := &Values{Rows: []types.Row{
+		{types.NewInt(1)},
+		{types.NewInt(1)},
+		{types.Null},
+	}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []expr.Expr{col(0)},
+		RightKey: []expr.Expr{col(0)},
+	}
+	rows := collect(t, j)
+	// 2 left × 2 right matching rows = 4; NULL keys never match.
+	if len(rows) != 4 {
+		t.Fatalf("hash join: %d rows: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if len(r) != 3 {
+			t.Errorf("arity: %v", r)
+		}
+	}
+}
+
+func TestHashJoinResidual(t *testing.T) {
+	left := &Values{Rows: []types.Row{
+		{types.NewInt(1), types.NewInt(10)},
+		{types.NewInt(1), types.NewInt(20)},
+	}}
+	right := &Values{Rows: []types.Row{{types.NewInt(1), types.NewInt(15)}}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []expr.Expr{col(0)},
+		RightKey: []expr.Expr{col(0)},
+		Residual: []expr.Expr{expr.NewBinary(expr.OpLt, col(1), col(3))},
+	}
+	rows := collect(t, j)
+	if len(rows) != 1 || rows[0][1].Int() != 10 {
+		t.Errorf("residual: %v", rows)
+	}
+}
+
+func TestMergeJoin(t *testing.T) {
+	left := &Values{Rows: intRows(1, 2, 2, 5)}
+	right := &Values{Rows: intRows(2, 2, 3, 5)}
+	j := &MergeJoin{Left: left, Right: right, LeftKey: col(0), RightKey: col(0)}
+	rows := collect(t, j)
+	// key 2: 2x2 = 4 pairs; key 5: 1 pair.
+	if len(rows) != 5 {
+		t.Fatalf("merge join: %v", rows)
+	}
+	counts := map[int64]int{}
+	for _, r := range rows {
+		counts[r[0].Int()]++
+	}
+	if counts[2] != 4 || counts[5] != 1 {
+		t.Errorf("merge join runs: %v", counts)
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	src := &Values{Rows: []types.Row{
+		{types.NewInt(1), types.NewInt(10)},
+		{types.NewInt(2), types.NewInt(20)},
+		{types.NewInt(1), types.NewInt(30)},
+		{types.NewInt(1), types.Null},
+	}}
+	agg := &HashAggregate{
+		Input:   src,
+		GroupBy: []expr.Expr{col(0)},
+		Aggs: []plan.AggSpec{
+			{Kind: sql.AggCountStar},
+			{Kind: sql.AggCount, Arg: col(1)},
+			{Kind: sql.AggSum, Arg: col(1)},
+			{Kind: sql.AggMin, Arg: col(1)},
+			{Kind: sql.AggMax, Arg: col(1)},
+			{Kind: sql.AggAvg, Arg: col(1)},
+		},
+	}
+	rows := collect(t, agg)
+	if len(rows) != 2 {
+		t.Fatalf("groups: %v", rows)
+	}
+	// Deterministic group order: group 1 first.
+	g1 := rows[0]
+	if g1[0].Int() != 1 || g1[1].Int() != 3 || g1[2].Int() != 2 || g1[3].Int() != 40 {
+		t.Errorf("group 1: %v", g1)
+	}
+	if g1[4].Int() != 10 || g1[5].Int() != 30 || g1[6].Float() != 20 {
+		t.Errorf("group 1 min/max/avg: %v", g1)
+	}
+}
+
+func TestHashAggregateRedundantGroup(t *testing.T) {
+	// Group by (a, b) where b is redundant (b = a*2 in the data).
+	src := &Values{Rows: []types.Row{
+		{types.NewInt(1), types.NewInt(2)},
+		{types.NewInt(1), types.NewInt(2)},
+		{types.NewInt(3), types.NewInt(6)},
+	}}
+	agg := &HashAggregate{
+		Input:     src,
+		GroupBy:   []expr.Expr{col(0), col(1)},
+		Aggs:      []plan.AggSpec{{Kind: sql.AggCountStar}},
+		Redundant: []bool{false, true},
+	}
+	rows := collect(t, agg)
+	if len(rows) != 2 {
+		t.Fatalf("groups: %v", rows)
+	}
+	// Redundant column still appears in output.
+	if rows[0][1].Int() != 2 || rows[1][1].Int() != 6 {
+		t.Errorf("redundant values: %v", rows)
+	}
+}
+
+func TestScalarAggregateOnEmpty(t *testing.T) {
+	agg := &HashAggregate{
+		Input: &Values{},
+		Aggs: []plan.AggSpec{
+			{Kind: sql.AggCountStar},
+			{Kind: sql.AggSum, Arg: col(0)},
+		},
+	}
+	rows := collect(t, agg)
+	if len(rows) != 1 || rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Errorf("empty scalar: %v", rows)
+	}
+}
+
+func TestSortComparisonCounting(t *testing.T) {
+	vals := make([]int64, 200)
+	for i := range vals {
+		vals[i] = int64(200 - i)
+	}
+	// Heavy duplication on the first key so the second key is consulted.
+	src2col := &Values{}
+	for _, v := range vals {
+		src2col.Rows = append(src2col.Rows, types.Row{types.NewInt(v % 5), types.NewInt(v)})
+	}
+	one := &Sort{Input: src2col, Keys: []plan.SortKey{{Ordinal: 0}}}
+	two := &Sort{Input: src2col, Keys: []plan.SortKey{{Ordinal: 0}, {Ordinal: 1}}}
+	c1, c2 := &Ctx{}, &Ctx{}
+	if _, err := Collect(one, c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(two, c2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Comparisons <= c1.Comparisons {
+		t.Errorf("two keys should cost more column comparisons: %d vs %d", c1.Comparisons, c2.Comparisons)
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	op := &Limit{Input: &Filter{Input: &Values{}, Conds: []expr.Expr{iconstBool(true)}}, N: 1}
+	s := Format(op)
+	if !contains(s, "Limit 1") || !contains(s, "Filter") {
+		t.Errorf("format:\n%s", s)
+	}
+}
+
+func iconstBool(b bool) expr.Expr { return expr.NewConst(types.NewBool(b)) }
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// Property: hash join matches nested-loop join on random inputs.
+func TestJoinEquivalenceProperty(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		lvals := make([]int64, 30)
+		rvals := make([]int64, 30)
+		for i := range lvals {
+			lvals[i] = int64((i*7 + seed) % 10)
+			rvals[i] = int64((i*11 + seed) % 10)
+		}
+		left := &Values{Rows: intRows(lvals...)}
+		right := &Values{Rows: intRows(rvals...)}
+		hj := &HashJoin{Left: left, Right: right,
+			LeftKeys: []expr.Expr{col(0)}, RightKey: []expr.Expr{col(0)}}
+		nl := &NestedLoopJoin{Outer: left, Inner: right,
+			Cond: []expr.Expr{expr.Eq(col(0), col(1))}}
+		h := collect(t, hj)
+		n := collect(t, nl)
+		if len(h) != len(n) {
+			t.Fatalf("seed %d: hash %d rows, nlj %d rows", seed, len(h), len(n))
+		}
+		sortRows(h)
+		sortRows(n)
+		for i := range h {
+			if !h[i].Equal(n[i]) {
+				t.Fatalf("seed %d row %d: %v vs %v", seed, i, h[i], n[i])
+			}
+		}
+	}
+}
+
+func sortRows(rows []types.Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
+}

@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"softdb/internal/expr"
+	"softdb/internal/types"
+)
+
+// NestedLoopJoin evaluates Outer once and re-runs Inner for every outer
+// row, emitting outer++inner rows that satisfy Cond (conjuncts bound to the
+// concatenated schema).
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Cond         []expr.Expr
+}
+
+// Run implements Operator.
+func (j *NestedLoopJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	var inner error
+	stopped := false
+	err := j.Outer.Run(ctx, func(orow types.Row) bool {
+		o := orow.Clone()
+		err := j.Inner.Run(ctx, func(irow types.Row) bool {
+			ctx.Comparisons++
+			joined := o.Concat(irow)
+			ok, err := evalFilters(j.Cond, joined)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			if !emit(joined) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			inner = err
+			return false
+		}
+		return !stopped && inner == nil
+	})
+	if inner != nil {
+		return inner
+	}
+	return err
+}
+
+// Describe implements Operator.
+func (j *NestedLoopJoin) Describe() string {
+	d := "NestedLoopJoin"
+	if len(j.Cond) > 0 {
+		d += " on " + expr.And(j.Cond...).String()
+	}
+	return d
+}
+
+// Inputs implements Operator.
+func (j *NestedLoopJoin) Inputs() []Operator { return []Operator{j.Outer, j.Inner} }
+
+// HashJoin builds a hash table on Left's key columns, probes with Right,
+// and emits left++right rows. Residual conjuncts (bound to the concatenated
+// schema) are applied after key matching. NULL keys never match.
+type HashJoin struct {
+	Left, Right        Operator
+	LeftKeys, RightKey []expr.Expr // parallel key expressions on each side
+	Residual           []expr.Expr
+}
+
+// Run implements Operator.
+func (j *HashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	build := map[string][]types.Row{}
+	var inner error
+	err := j.Left.Run(ctx, func(row types.Row) bool {
+		key, null, err := hashKey(j.LeftKeys, row)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if null {
+			return true
+		}
+		build[key] = append(build[key], row.Clone())
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	stopped := false
+	err = j.Right.Run(ctx, func(row types.Row) bool {
+		ctx.HashProbes++
+		key, null, err := hashKey(j.RightKey, row)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if null {
+			return true
+		}
+		for _, l := range build[key] {
+			joined := l.Concat(row)
+			ok, err := evalFilters(j.Residual, joined)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !emit(joined) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	if inner != nil {
+		return inner
+	}
+	if stopped {
+		return nil
+	}
+	return err
+}
+
+func hashKey(keys []expr.Expr, row types.Row) (string, bool, error) {
+	vals := make(types.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		vals[i] = v
+	}
+	return vals.Key(), false, nil
+}
+
+// Describe implements Operator.
+func (j *HashJoin) Describe() string {
+	var pairs []string
+	for i := range j.LeftKeys {
+		pairs = append(pairs, fmt.Sprintf("%s=%s", j.LeftKeys[i], j.RightKey[i]))
+	}
+	d := "HashJoin on " + strings.Join(pairs, ", ")
+	if len(j.Residual) > 0 {
+		d += " residual=" + expr.And(j.Residual...).String()
+	}
+	return d
+}
+
+// Inputs implements Operator.
+func (j *HashJoin) Inputs() []Operator { return []Operator{j.Left, j.Right} }
+
+// MergeJoin merge-joins two inputs already sorted on their single join
+// keys. It materializes both sides (our operators are push-based), so its
+// advantage here is the comparison count, which the cost model tracks.
+type MergeJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey expr.Expr
+	Residual          []expr.Expr
+}
+
+// Run implements Operator.
+func (j *MergeJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	lrows, err := Collect(j.Left, ctx)
+	if err != nil {
+		return err
+	}
+	rrows, err := Collect(j.Right, ctx)
+	if err != nil {
+		return err
+	}
+	lkeys := make([]types.Datum, len(lrows))
+	for i, r := range lrows {
+		v, err := j.LeftKey.Eval(r)
+		if err != nil {
+			return err
+		}
+		lkeys[i] = v
+	}
+	rkeys := make([]types.Datum, len(rrows))
+	for i, r := range rrows {
+		v, err := j.RightKey.Eval(r)
+		if err != nil {
+			return err
+		}
+		rkeys[i] = v
+	}
+	li, ri := 0, 0
+	for li < len(lrows) && ri < len(rrows) {
+		ctx.Comparisons++
+		lv, rv := lkeys[li], rkeys[ri]
+		if lv.IsNull() {
+			li++
+			continue
+		}
+		if rv.IsNull() {
+			ri++
+			continue
+		}
+		c := lv.Compare(rv)
+		switch {
+		case c < 0:
+			li++
+		case c > 0:
+			ri++
+		default:
+			// Emit the cross product of the equal runs.
+			lj := li
+			for lj < len(lrows) && lkeys[lj].Compare(lv) == 0 {
+				lj++
+			}
+			rj := ri
+			for rj < len(rrows) && rkeys[rj].Compare(rv) == 0 {
+				rj++
+			}
+			for a := li; a < lj; a++ {
+				for b := ri; b < rj; b++ {
+					joined := lrows[a].Concat(rrows[b])
+					ok, err := evalFilters(j.Residual, joined)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					if !emit(joined) {
+						return nil
+					}
+				}
+			}
+			li, ri = lj, rj
+		}
+	}
+	return nil
+}
+
+// Describe implements Operator.
+func (j *MergeJoin) Describe() string {
+	d := fmt.Sprintf("MergeJoin on %s=%s", j.LeftKey, j.RightKey)
+	if len(j.Residual) > 0 {
+		d += " residual=" + expr.And(j.Residual...).String()
+	}
+	return d
+}
+
+// Inputs implements Operator.
+func (j *MergeJoin) Inputs() []Operator { return []Operator{j.Left, j.Right} }

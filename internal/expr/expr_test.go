@@ -1,0 +1,272 @@
+package expr
+
+import (
+	"testing"
+
+	"softdb/internal/types"
+)
+
+func col(i int, k types.Kind) *Column { return NewColumn("t", "c", i, k) }
+
+func iconst(v int64) *Const { return NewConst(types.NewInt(v)) }
+
+func TestColumnEval(t *testing.T) {
+	row := types.Row{types.NewInt(10), types.NewString("x")}
+	v, err := col(1, types.KindString).Eval(row)
+	if err != nil || v.Str() != "x" {
+		t.Fatalf("column eval: %v %v", v, err)
+	}
+	if _, err := col(5, types.KindInt).Eval(row); err == nil {
+		t.Error("out-of-range column should error")
+	}
+	if _, err := NewColumn("", "c", -1, types.KindInt).Eval(row); err == nil {
+		t.Error("unbound column should error")
+	}
+}
+
+func TestArithmeticEval(t *testing.T) {
+	row := types.Row{types.NewInt(6)}
+	e := NewBinary(OpMul, NewBinary(OpAdd, col(0, types.KindInt), iconst(4)), iconst(2))
+	v, err := e.Eval(row)
+	if err != nil || v.Int() != 20 {
+		t.Fatalf("(6+4)*2 = %v, %v", v, err)
+	}
+	if e.Type() != types.KindInt {
+		t.Error("type inference")
+	}
+}
+
+func TestComparisonThreeValued(t *testing.T) {
+	lt := NewBinary(OpLt, col(0, types.KindInt), iconst(5))
+	v, _ := lt.Eval(types.Row{types.NewInt(3)})
+	if !v.Bool() {
+		t.Error("3 < 5")
+	}
+	v, _ = lt.Eval(types.Row{types.Null})
+	if !v.IsNull() {
+		t.Error("NULL < 5 is NULL")
+	}
+}
+
+func TestKleeneLogic(t *testing.T) {
+	null := NewConst(types.Null)
+	tru := NewConst(types.NewBool(true))
+	fls := NewConst(types.NewBool(false))
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewBinary(OpAnd, null, fls), "FALSE"},
+		{NewBinary(OpAnd, fls, null), "FALSE"},
+		{NewBinary(OpAnd, null, tru), "NULL"},
+		{NewBinary(OpAnd, tru, null), "NULL"},
+		{NewBinary(OpOr, null, tru), "TRUE"},
+		{NewBinary(OpOr, tru, null), "TRUE"},
+		{NewBinary(OpOr, null, fls), "NULL"},
+		{NewBinary(OpOr, fls, null), "NULL"},
+		{NewUnary(OpNot, null), "NULL"},
+		{NewUnary(OpNot, tru), "FALSE"},
+	}
+	for _, c := range cases {
+		v, err := c.e.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != c.want {
+			t.Errorf("%s = %s, want %s", c.e, v, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	isn := NewUnary(OpIsNull, col(0, types.KindInt))
+	v, _ := isn.Eval(types.Row{types.Null})
+	if !v.Bool() {
+		t.Error("NULL IS NULL")
+	}
+	v, _ = isn.Eval(types.Row{types.NewInt(0)})
+	if v.Bool() {
+		t.Error("0 IS NULL should be false")
+	}
+	v, _ = NewUnary(OpIsNotNull, col(0, types.KindInt)).Eval(types.Row{types.NewInt(0)})
+	if !v.Bool() {
+		t.Error("0 IS NOT NULL")
+	}
+}
+
+func TestInList(t *testing.T) {
+	in := NewInList(col(0, types.KindInt), []Expr{iconst(1), iconst(3)})
+	v, _ := in.Eval(types.Row{types.NewInt(3)})
+	if !v.Bool() {
+		t.Error("3 IN (1,3)")
+	}
+	v, _ = in.Eval(types.Row{types.NewInt(2)})
+	if v.Bool() {
+		t.Error("2 IN (1,3)")
+	}
+	// 2 IN (1, NULL) is NULL.
+	inNull := NewInList(col(0, types.KindInt), []Expr{iconst(1), NewConst(types.Null)})
+	v, _ = inNull.Eval(types.Row{types.NewInt(2)})
+	if !v.IsNull() {
+		t.Error("2 IN (1, NULL) should be NULL")
+	}
+	// 1 IN (1, NULL) is TRUE.
+	v, _ = inNull.Eval(types.Row{types.NewInt(1)})
+	if !v.Bool() {
+		t.Error("1 IN (1, NULL) should be TRUE")
+	}
+}
+
+func TestEvalBoolRejectsNullAndFalse(t *testing.T) {
+	lt := NewBinary(OpLt, col(0, types.KindInt), iconst(5))
+	ok, err := EvalBool(lt, types.Row{types.Null})
+	if err != nil || ok {
+		t.Error("NULL predicate rejects")
+	}
+	ok, err = EvalBool(lt, types.Row{types.NewInt(9)})
+	if err != nil || ok {
+		t.Error("FALSE predicate rejects")
+	}
+	if _, err := EvalBool(iconst(3), nil); err == nil {
+		t.Error("non-bool predicate should error")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if OpLt.Swap() != OpGt || OpGe.Swap() != OpLe || OpEq.Swap() != OpEq {
+		t.Error("Swap")
+	}
+	if OpLt.Negate() != OpGe || OpEq.Negate() != OpNe {
+		t.Error("Negate")
+	}
+	if !OpLe.IsComparison() || OpAnd.IsComparison() {
+		t.Error("IsComparison")
+	}
+}
+
+func TestAndBuilder(t *testing.T) {
+	if !IsConstTrue(And()) {
+		t.Error("empty And is TRUE")
+	}
+	p := NewBinary(OpEq, col(0, types.KindInt), iconst(1))
+	if And(p) != p {
+		t.Error("single And is identity")
+	}
+	q := NewBinary(OpEq, col(1, types.KindInt), iconst(2))
+	combined := And(p, nil, q)
+	cs := SplitConjuncts(combined)
+	if len(cs) != 2 {
+		t.Errorf("split: %d conjuncts", len(cs))
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	a := NewBinary(OpEq, col(0, types.KindInt), iconst(1))
+	b := NewBinary(OpEq, col(0, types.KindInt), iconst(1))
+	if !Equivalent(a, b) {
+		t.Error("identical trees are equivalent")
+	}
+	c := NewBinary(OpEq, col(0, types.KindInt), iconst(2))
+	if Equivalent(a, c) {
+		t.Error("different constants are not equivalent")
+	}
+}
+
+func TestLikeMatching(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%%%", true},
+		{"aXbXc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"a%b", "a%b", true}, // literal via wildcard still matches
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestLikeEvalNullAndTypes(t *testing.T) {
+	l := NewLike(NewConst(types.Null), NewConst(types.NewString("%")), false)
+	v, err := l.Eval(nil)
+	if err != nil || !v.IsNull() {
+		t.Error("NULL LIKE pattern is NULL")
+	}
+	bad := NewLike(NewConst(types.NewInt(5)), NewConst(types.NewString("%")), false)
+	if _, err := bad.Eval(nil); err == nil {
+		t.Error("non-string LIKE should error")
+	}
+	neg := NewLike(NewConst(types.NewString("abc")), NewConst(types.NewString("x%")), true)
+	v, _ = neg.Eval(nil)
+	if !v.Bool() {
+		t.Error("NOT LIKE")
+	}
+	if neg.String() != "('abc' NOT LIKE 'x%')" {
+		t.Errorf("render: %s", neg)
+	}
+}
+
+func TestCanonicalAliasInsensitive(t *testing.T) {
+	a := NewBinary(OpSub, NewColumn("p", "end_date", 2, types.KindDate), NewColumn("p", "start_date", 1, types.KindDate))
+	b := NewBinary(OpSub, NewColumn("project", "end_date", 2, types.KindDate), NewColumn("project", "start_date", 1, types.KindDate))
+	if Canonical(a) != Canonical(b) {
+		t.Errorf("canonical forms differ: %q vs %q", Canonical(a), Canonical(b))
+	}
+	if Canonical(a) != "($2 - $1)" {
+		t.Errorf("canonical: %q", Canonical(a))
+	}
+}
+
+func TestDecomposeComparison(t *testing.T) {
+	lhs := NewBinary(OpSub, col(2, types.KindInt), col(1, types.KindInt))
+	e := NewBinary(OpLe, lhs, iconst(5))
+	gotLHS, op, val, ok := DecomposeComparison(e)
+	if !ok || op != OpLe || val.Int() != 5 || gotLHS != lhs {
+		t.Errorf("decompose: %v %v %v %v", gotLHS, op, val, ok)
+	}
+	// Swapped: const on the left.
+	e = NewBinary(OpGt, iconst(5), lhs)
+	_, op, _, ok = DecomposeComparison(e)
+	if !ok || op != OpLt {
+		t.Errorf("swapped: %v %v", op, ok)
+	}
+	// Both sides columns: not decomposable.
+	if _, _, _, ok := DecomposeComparison(NewBinary(OpEq, col(0, types.KindInt), col(1, types.KindInt))); ok {
+		t.Error("col=col should not decompose")
+	}
+	// Not a comparison.
+	if _, _, _, ok := DecomposeComparison(NewBinary(OpAdd, col(0, types.KindInt), iconst(1))); ok {
+		t.Error("arithmetic should not decompose")
+	}
+}
+
+func TestIntervalForOp(t *testing.T) {
+	iv, ok := IntervalForOp(OpLe, types.NewInt(5))
+	if !ok || !iv.Contains(types.NewInt(5)) || iv.Contains(types.NewInt(6)) {
+		t.Errorf("le: %s", iv)
+	}
+	iv, ok = IntervalForOp(OpEq, types.NewInt(3))
+	if !ok || iv.EqualityConstant == nil {
+		t.Errorf("eq: %s", iv)
+	}
+	if _, ok := IntervalForOp(OpNe, types.NewInt(3)); ok {
+		t.Error("ne has no interval")
+	}
+	iv, ok = IntervalForOp(OpLt, types.Null)
+	if !ok || !iv.Empty() {
+		t.Error("comparison with NULL is empty")
+	}
+}

@@ -1,0 +1,399 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+
+	"softdb/internal/types"
+)
+
+// Interval is a (possibly half-open, possibly unbounded) range of datum
+// values over one column. It is the common currency of index access-path
+// selection, union-all branch pruning, check-constraint implication, and
+// join-hole trimming.
+type Interval struct {
+	HasLo, HasHi     bool
+	Lo, Hi           types.Datum
+	LoIncl, HiIncl   bool
+	ExactEmpty       bool         // a contradiction was detected (e.g. x=1 AND x=2)
+	EqualityConstant *types.Datum // set when the interval pins a single value
+}
+
+// Unbounded returns the interval covering everything.
+func Unbounded() Interval { return Interval{} }
+
+// Point returns the interval holding exactly v.
+func Point(v types.Datum) Interval {
+	return Interval{HasLo: true, HasHi: true, Lo: v, Hi: v, LoIncl: true, HiIncl: true, EqualityConstant: &v}
+}
+
+// AtLeast returns [v, +inf) or (v, +inf).
+func AtLeast(v types.Datum, incl bool) Interval {
+	return Interval{HasLo: true, Lo: v, LoIncl: incl}
+}
+
+// AtMost returns (-inf, v] or (-inf, v).
+func AtMost(v types.Datum, incl bool) Interval {
+	return Interval{HasHi: true, Hi: v, HiIncl: incl}
+}
+
+// Between returns the closed/open range [lo, hi] per the inclusivity flags.
+func Between(lo, hi types.Datum, loIncl, hiIncl bool) Interval {
+	iv := Interval{HasLo: true, HasHi: true, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl}
+	iv.normalize()
+	return iv
+}
+
+func (iv *Interval) normalize() {
+	if iv.HasLo && iv.HasHi {
+		c := iv.Lo.Compare(iv.Hi)
+		if c > 0 || (c == 0 && (!iv.LoIncl || !iv.HiIncl)) {
+			iv.ExactEmpty = true
+			return
+		}
+		if c == 0 {
+			v := iv.Lo
+			iv.EqualityConstant = &v
+		}
+	}
+}
+
+// IsUnbounded reports whether the interval has no bounds at all.
+func (iv Interval) IsUnbounded() bool { return !iv.HasLo && !iv.HasHi && !iv.ExactEmpty }
+
+// Empty reports whether the interval provably contains no value.
+func (iv Interval) Empty() bool { return iv.ExactEmpty }
+
+// Contains reports whether v lies inside the interval. NULL is outside all
+// intervals.
+func (iv Interval) Contains(v types.Datum) bool {
+	if iv.ExactEmpty || v.IsNull() {
+		return false
+	}
+	if iv.HasLo {
+		c := v.Compare(iv.Lo)
+		if c < 0 || (c == 0 && !iv.LoIncl) {
+			return false
+		}
+	}
+	if iv.HasHi {
+		c := v.Compare(iv.Hi)
+		if c > 0 || (c == 0 && !iv.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	if iv.ExactEmpty || other.ExactEmpty {
+		return Interval{ExactEmpty: true}
+	}
+	out := Interval{}
+	switch {
+	case !iv.HasLo:
+		out.HasLo, out.Lo, out.LoIncl = other.HasLo, other.Lo, other.LoIncl
+	case !other.HasLo:
+		out.HasLo, out.Lo, out.LoIncl = iv.HasLo, iv.Lo, iv.LoIncl
+	default:
+		out.HasLo = true
+		c := iv.Lo.Compare(other.Lo)
+		switch {
+		case c > 0:
+			out.Lo, out.LoIncl = iv.Lo, iv.LoIncl
+		case c < 0:
+			out.Lo, out.LoIncl = other.Lo, other.LoIncl
+		default:
+			out.Lo, out.LoIncl = iv.Lo, iv.LoIncl && other.LoIncl
+		}
+	}
+	switch {
+	case !iv.HasHi:
+		out.HasHi, out.Hi, out.HiIncl = other.HasHi, other.Hi, other.HiIncl
+	case !other.HasHi:
+		out.HasHi, out.Hi, out.HiIncl = iv.HasHi, iv.Hi, iv.HiIncl
+	default:
+		out.HasHi = true
+		c := iv.Hi.Compare(other.Hi)
+		switch {
+		case c < 0:
+			out.Hi, out.HiIncl = iv.Hi, iv.HiIncl
+		case c > 0:
+			out.Hi, out.HiIncl = other.Hi, other.HiIncl
+		default:
+			out.Hi, out.HiIncl = iv.Hi, iv.HiIncl && other.HiIncl
+		}
+	}
+	out.normalize()
+	return out
+}
+
+// Disjoint reports whether two intervals provably share no value.
+func (iv Interval) Disjoint(other Interval) bool {
+	return iv.Intersect(other).Empty()
+}
+
+// CoveredBy reports whether every value in iv lies inside outer.
+func (iv Interval) CoveredBy(outer Interval) bool {
+	if iv.ExactEmpty {
+		return true
+	}
+	if outer.ExactEmpty {
+		return false
+	}
+	if outer.HasLo {
+		if !iv.HasLo {
+			return false
+		}
+		c := iv.Lo.Compare(outer.Lo)
+		if c < 0 || (c == 0 && iv.LoIncl && !outer.LoIncl) {
+			return false
+		}
+	}
+	if outer.HasHi {
+		if !iv.HasHi {
+			return false
+		}
+		c := iv.Hi.Compare(outer.Hi)
+		if c > 0 || (c == 0 && iv.HiIncl && !outer.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subtract removes other from iv when the result is still a single
+// interval: other must cover one end of iv (or all of it, or none). The
+// second return is false when the subtraction would split iv in two.
+func (iv Interval) Subtract(other Interval) (Interval, bool) {
+	x := iv.Intersect(other)
+	if x.Empty() {
+		return iv, true // disjoint: nothing removed
+	}
+	if iv.CoveredBy(other) {
+		return Interval{ExactEmpty: true}, true
+	}
+	coversLow := true
+	if other.HasLo {
+		if !iv.HasLo {
+			coversLow = false
+		} else {
+			c := other.Lo.Compare(iv.Lo)
+			coversLow = c < 0 || (c == 0 && (other.LoIncl || !iv.LoIncl))
+		}
+	}
+	coversHigh := true
+	if other.HasHi {
+		if !iv.HasHi {
+			coversHigh = false
+		} else {
+			c := other.Hi.Compare(iv.Hi)
+			coversHigh = c > 0 || (c == 0 && (other.HiIncl || !iv.HiIncl))
+		}
+	}
+	switch {
+	case coversLow && other.HasHi:
+		// Trim the low end: new lower bound is other's upper bound,
+		// exclusive where other includes it.
+		out := iv
+		out.HasLo, out.Lo, out.LoIncl = true, other.Hi, !other.HiIncl
+		out.EqualityConstant = nil
+		out.normalize()
+		return out, true
+	case coversHigh && other.HasLo:
+		out := iv
+		out.HasHi, out.Hi, out.HiIncl = true, other.Lo, !other.LoIncl
+		out.EqualityConstant = nil
+		out.normalize()
+		return out, true
+	default:
+		return iv, false // would split
+	}
+}
+
+// String renders the interval in math notation.
+func (iv Interval) String() string {
+	if iv.ExactEmpty {
+		return "∅"
+	}
+	var b strings.Builder
+	if iv.HasLo {
+		if iv.LoIncl {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte('(')
+		}
+		b.WriteString(iv.Lo.String())
+	} else {
+		b.WriteString("(-inf")
+	}
+	b.WriteString(", ")
+	if iv.HasHi {
+		b.WriteString(iv.Hi.String())
+		if iv.HiIncl {
+			b.WriteByte(']')
+		} else {
+			b.WriteByte(')')
+		}
+	} else {
+		b.WriteString("+inf)")
+	}
+	return b.String()
+}
+
+// comparisonOnColumn decomposes e as `col <op> const` (possibly written as
+// `const <op> col`), returning the column, the normalized operator with the
+// column on the left, and the constant value.
+func comparisonOnColumn(e Expr) (col *Column, op Op, val types.Datum, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || !b.Op.IsComparison() {
+		return nil, 0, types.Null, false
+	}
+	lcol, lIsCol := b.L.(*Column)
+	rcol, rIsCol := b.R.(*Column)
+	lval, lErr := constValue(b.L)
+	rval, rErr := constValue(b.R)
+	switch {
+	case lIsCol && rErr == nil:
+		return lcol, b.Op, rval, true
+	case rIsCol && lErr == nil:
+		return rcol, b.Op.Swap(), lval, true
+	default:
+		return nil, 0, types.Null, false
+	}
+}
+
+// constValue evaluates e if it contains no column references.
+func constValue(e Expr) (types.Datum, error) {
+	if c, ok := e.(*Const); ok {
+		return c.Value, nil
+	}
+	if !isConstTree(e) {
+		return types.Null, errNotConst
+	}
+	return e.Eval(nil)
+}
+
+var errNotConst = &notConstError{}
+
+type notConstError struct{}
+
+func (*notConstError) Error() string { return "expr: not a constant" }
+
+// DecomposeComparison splits a comparison into its non-constant side
+// (normalized to the left), the operator, and the constant value. It
+// returns ok=false when e is not a comparison or both sides contain
+// columns.
+func DecomposeComparison(e Expr) (lhs Expr, op Op, val types.Datum, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || !b.Op.IsComparison() {
+		return nil, 0, types.Null, false
+	}
+	lval, lErr := constValue(b.L)
+	rval, rErr := constValue(b.R)
+	switch {
+	case lErr != nil && rErr == nil:
+		return b.L, b.Op, rval, true
+	case rErr != nil && lErr == nil:
+		return b.R, b.Op.Swap(), lval, true
+	default:
+		return nil, 0, types.Null, false
+	}
+}
+
+// IntervalForOp converts one normalized comparison into an interval.
+func IntervalForOp(op Op, val types.Datum) (Interval, bool) {
+	if val.IsNull() {
+		return Interval{ExactEmpty: true}, true
+	}
+	switch op {
+	case OpEq:
+		return Point(val), true
+	case OpLt:
+		return AtMost(val, false), true
+	case OpLe:
+		return AtMost(val, true), true
+	case OpGt:
+		return AtLeast(val, false), true
+	case OpGe:
+		return AtLeast(val, true), true
+	default:
+		return Interval{}, false
+	}
+}
+
+// Canonical renders e with column references replaced by their ordinals
+// ($i), giving an alias-insensitive equivalence key for expression
+// matching (virtual columns, predicate dedup across bindings).
+func Canonical(e Expr) string {
+	return Transform(e, func(n Expr) Expr {
+		if c, ok := n.(*Column); ok {
+			return &Column{Name: "$" + strconv.Itoa(c.Index), Index: c.Index, Kind: c.Kind}
+		}
+		return n
+	}).String()
+}
+
+// ExtractInterval folds every conjunct of the form `col <op> const` over
+// the column with the given ordinal into a single interval, and returns the
+// remaining conjuncts it could not absorb. Comparisons against NULL
+// constants produce the empty interval (they can never be TRUE).
+func ExtractInterval(conjuncts []Expr, colIndex int) (Interval, []Expr) {
+	iv := Unbounded()
+	var rest []Expr
+	for _, c := range conjuncts {
+		col, op, val, ok := comparisonOnColumn(c)
+		if !ok || col.Index != colIndex || op == OpNe {
+			rest = append(rest, c)
+			continue
+		}
+		if val.IsNull() {
+			return Interval{ExactEmpty: true}, rest
+		}
+		switch op {
+		case OpEq:
+			iv = iv.Intersect(Point(val))
+		case OpLt:
+			iv = iv.Intersect(AtMost(val, false))
+		case OpLe:
+			iv = iv.Intersect(AtMost(val, true))
+		case OpGt:
+			iv = iv.Intersect(AtLeast(val, false))
+		case OpGe:
+			iv = iv.Intersect(AtLeast(val, true))
+		}
+	}
+	return iv, rest
+}
+
+// IntervalToPredicate renders an interval back into a conjunction of
+// comparisons over the given column expression. An unbounded interval
+// yields nil; an empty interval yields constant FALSE.
+func IntervalToPredicate(col *Column, iv Interval) Expr {
+	if iv.ExactEmpty {
+		return NewConst(types.NewBool(false))
+	}
+	if iv.EqualityConstant != nil {
+		return NewBinary(OpEq, col, NewConst(*iv.EqualityConstant))
+	}
+	var parts []Expr
+	if iv.HasLo {
+		op := OpGt
+		if iv.LoIncl {
+			op = OpGe
+		}
+		parts = append(parts, NewBinary(op, col, NewConst(iv.Lo)))
+	}
+	if iv.HasHi {
+		op := OpLt
+		if iv.HiIncl {
+			op = OpLe
+		}
+		parts = append(parts, NewBinary(op, col, NewConst(iv.Hi)))
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return And(parts...)
+}

@@ -1,0 +1,83 @@
+package expr
+
+import (
+	"fmt"
+
+	"softdb/internal/types"
+)
+
+// Like is SQL `X [NOT] LIKE pattern` with `%` (any run) and `_` (any single
+// character) wildcards. NULL operands yield NULL.
+type Like struct {
+	X       Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// NewLike returns a LIKE node.
+func NewLike(x, pattern Expr, negate bool) *Like {
+	return &Like{X: x, Pattern: pattern, Negate: negate}
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(row types.Row) (types.Datum, error) {
+	x, err := l.X.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	p, err := l.Pattern.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if x.IsNull() || p.IsNull() {
+		return types.Null, nil
+	}
+	if x.Kind() != types.KindString || p.Kind() != types.KindString {
+		return types.Null, fmt.Errorf("expr: LIKE requires string operands, got %s and %s", x.Kind(), p.Kind())
+	}
+	m := likeMatch(x.Str(), p.Str())
+	if l.Negate {
+		m = !m
+	}
+	return types.NewBool(m), nil
+}
+
+// likeMatch implements SQL LIKE semantics over bytes with linear-time
+// greedy backtracking on '%' (the classic two-pointer wildcard match).
+func likeMatch(s, pattern string) bool {
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Type implements Expr.
+func (l *Like) Type() types.Kind { return types.KindBool }
+
+// String implements Expr.
+func (l *Like) String() string {
+	op := " LIKE "
+	if l.Negate {
+		op = " NOT LIKE "
+	}
+	return "(" + l.X.String() + op + l.Pattern.String() + ")"
+}

@@ -1,0 +1,185 @@
+package expr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"softdb/internal/types"
+)
+
+// quickInterval generates a random (possibly inverted → empty) interval.
+type quickInterval struct {
+	Lo, Hi         int8
+	LoIncl, HiIncl bool
+	NoLo, NoHi     bool
+}
+
+// Generate implements quick.Generator.
+func (quickInterval) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickInterval{
+		Lo:     int8(r.Intn(16)),
+		Hi:     int8(r.Intn(16)),
+		LoIncl: r.Intn(2) == 0,
+		HiIncl: r.Intn(2) == 0,
+		NoLo:   r.Intn(4) == 0,
+		NoHi:   r.Intn(4) == 0,
+	})
+}
+
+func (q quickInterval) iv() Interval {
+	out := Unbounded()
+	if !q.NoLo {
+		out = out.Intersect(AtLeast(types.NewInt(int64(q.Lo)), q.LoIncl))
+	}
+	if !q.NoHi {
+		out = out.Intersect(AtMost(types.NewInt(int64(q.Hi)), q.HiIncl))
+	}
+	return out
+}
+
+// Property: Intersect is commutative (same membership for all points).
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b quickInterval, p int8) bool {
+		x := a.iv().Intersect(b.iv())
+		y := b.iv().Intersect(a.iv())
+		v := types.NewInt(int64(p % 16))
+		return x.Contains(v) == y.Contains(v) && x.Empty() == y.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: membership of an intersection equals conjunction of
+// memberships.
+func TestQuickIntersectMembership(t *testing.T) {
+	f := func(a, b quickInterval, p int8) bool {
+		v := types.NewInt(int64(p % 16))
+		x := a.iv().Intersect(b.iv())
+		return x.Contains(v) == (a.iv().Contains(v) && b.iv().Contains(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after Subtract succeeds, no point of `other` remains and points
+// of iv outside `other` are preserved.
+func TestQuickSubtractSound(t *testing.T) {
+	f := func(a, b quickInterval, p int8) bool {
+		iv, other := a.iv(), b.iv()
+		out, ok := iv.Subtract(other)
+		if !ok {
+			return true // split case: no claim
+		}
+		v := types.NewInt(int64(p % 16))
+		if other.Contains(v) && out.Contains(v) {
+			return false // removed region must be gone
+		}
+		if iv.Contains(v) && !other.Contains(v) && !out.Contains(v) {
+			return false // kept region must remain
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// likeRef is a naive exponential reference implementation of SQL LIKE.
+func likeRef(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRef(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRef(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRef(s[1:], p[1:])
+	}
+}
+
+// Property: the linear matcher agrees with the naive reference.
+func TestQuickLikeAgainstReference(t *testing.T) {
+	alphabet := []byte("ab%_")
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20000; trial++ {
+		s := make([]byte, r.Intn(8))
+		for i := range s {
+			s[i] = "ab"[r.Intn(2)]
+		}
+		p := make([]byte, r.Intn(8))
+		for i := range p {
+			p[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		if likeMatch(string(s), string(p)) != likeRef(string(s), string(p)) {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference disagrees",
+				s, p, likeMatch(string(s), string(p)))
+		}
+	}
+}
+
+// Property: FoldConstants never changes evaluation results on
+// column-free trees built from random arithmetic.
+func TestQuickFoldPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	var gen func(depth int) Expr
+	gen = func(depth int) Expr {
+		if depth <= 0 || r.Intn(3) == 0 {
+			return NewConst(types.NewInt(int64(r.Intn(20) - 10)))
+		}
+		ops := []Op{OpAdd, OpSub, OpMul}
+		return NewBinary(ops[r.Intn(len(ops))], gen(depth-1), gen(depth-1))
+	}
+	for trial := 0; trial < 5000; trial++ {
+		e := gen(4)
+		want, err1 := e.Eval(nil)
+		folded := FoldConstants(e)
+		got, err2 := folded.Eval(nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("fold changed error behavior: %s", e)
+		}
+		if err1 == nil && want.Compare(got) != 0 {
+			t.Fatalf("fold changed value: %s: %s vs %s", e, want, got)
+		}
+	}
+}
+
+// Property: Canonical is stable under alias renaming for arbitrary trees.
+func TestQuickCanonicalStability(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	var gen func(depth int, qual string) Expr
+	gen = func(depth int, qual string) Expr {
+		if depth <= 0 || r.Intn(3) == 0 {
+			if r.Intn(2) == 0 {
+				return NewColumn(qual, "c", r.Intn(4), types.KindInt)
+			}
+			return NewConst(types.NewInt(int64(r.Intn(10))))
+		}
+		ops := []Op{OpAdd, OpSub, OpMul, OpLt, OpAnd}
+		return NewBinary(ops[r.Intn(len(ops))], gen(depth-1, qual), gen(depth-1, qual))
+	}
+	for trial := 0; trial < 3000; trial++ {
+		seed := r.Int63()
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		save := r
+		r = r1
+		a := gen(3, "alias_one")
+		r = r2
+		b := gen(3, "alias_two")
+		r = save
+		if Canonical(a) != Canonical(b) {
+			t.Fatalf("canonical differs across aliases: %q vs %q", Canonical(a), Canonical(b))
+		}
+	}
+}

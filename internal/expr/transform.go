@@ -1,0 +1,246 @@
+package expr
+
+import (
+	"sort"
+
+	"softdb/internal/types"
+)
+
+// Walk visits e and every descendant in preorder. fn returning false prunes
+// the subtree.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *Binary:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Unary:
+		Walk(n.X, fn)
+	case *InList:
+		Walk(n.X, fn)
+		for _, c := range n.List {
+			Walk(c, fn)
+		}
+	case *Like:
+		Walk(n.X, fn)
+		Walk(n.Pattern, fn)
+	}
+}
+
+// Transform rebuilds the tree bottom-up, replacing each node with fn(node).
+// fn receives nodes whose children have already been transformed.
+func Transform(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Binary:
+		l, r := Transform(n.L, fn), Transform(n.R, fn)
+		if l != n.L || r != n.R {
+			return fn(&Binary{Op: n.Op, L: l, R: r})
+		}
+	case *Unary:
+		x := Transform(n.X, fn)
+		if x != n.X {
+			return fn(&Unary{Op: n.Op, X: x})
+		}
+	case *InList:
+		x := Transform(n.X, fn)
+		list := n.List
+		changed := x != n.X
+		for i, c := range n.List {
+			nc := Transform(c, fn)
+			if nc != c {
+				if !changed || &list[0] == &n.List[0] {
+					list = append([]Expr(nil), n.List...)
+				}
+				list[i] = nc
+				changed = true
+			}
+		}
+		if changed {
+			return fn(&InList{X: x, List: list})
+		}
+	case *Like:
+		x, p := Transform(n.X, fn), Transform(n.Pattern, fn)
+		if x != n.X || p != n.Pattern {
+			return fn(&Like{X: x, Pattern: p, Negate: n.Negate})
+		}
+	}
+	return fn(e)
+}
+
+// RemapColumns returns a copy of e with every column index i replaced by
+// mapping[i]. A missing key leaves the index unchanged.
+func RemapColumns(e Expr, mapping map[int]int) Expr {
+	return Transform(e, func(n Expr) Expr {
+		if c, ok := n.(*Column); ok {
+			if ni, ok := mapping[c.Index]; ok && ni != c.Index {
+				cc := *c
+				cc.Index = ni
+				return &cc
+			}
+		}
+		return n
+	})
+}
+
+// ShiftColumns adds delta to every column index, used when an expression
+// moves across a join that offsets one side's columns.
+func ShiftColumns(e Expr, delta int) Expr {
+	if delta == 0 {
+		return e
+	}
+	return Transform(e, func(n Expr) Expr {
+		if c, ok := n.(*Column); ok {
+			cc := *c
+			cc.Index += delta
+			return &cc
+		}
+		return n
+	})
+}
+
+// ColumnIndexes returns the sorted set of column ordinals referenced by e.
+func ColumnIndexes(e Expr) []int {
+	set := map[int]bool{}
+	Walk(e, func(n Expr) bool {
+		if c, ok := n.(*Column); ok {
+			set[c.Index] = true
+		}
+		return true
+	})
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReferencesOnly reports whether every column referenced by e is in the
+// allowed set.
+func ReferencesOnly(e Expr, allowed map[int]bool) bool {
+	ok := true
+	Walk(e, func(n Expr) bool {
+		if c, isCol := n.(*Column); isCol && !allowed[c.Index] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// SplitConjuncts flattens a tree of ANDs into its conjunct list.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	// Drop constant TRUE.
+	if c, ok := e.(*Const); ok && c.Value.Kind() == types.KindBool && c.Value.Bool() {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// IsConstTrue reports whether e is the literal TRUE (or nil).
+func IsConstTrue(e Expr) bool {
+	if e == nil {
+		return true
+	}
+	c, ok := e.(*Const)
+	return ok && c.Value.Kind() == types.KindBool && c.Value.Bool()
+}
+
+// IsConstFalse reports whether e is the literal FALSE.
+func IsConstFalse(e Expr) bool {
+	c, ok := e.(*Const)
+	return ok && c.Value.Kind() == types.KindBool && !c.Value.Bool()
+}
+
+// FoldConstants evaluates constant subtrees. Errors during folding leave the
+// subtree untouched (they will surface at execution if the subtree is ever
+// reached).
+func FoldConstants(e Expr) Expr {
+	return Transform(e, func(n Expr) Expr {
+		switch n.(type) {
+		case *Const, *Column:
+			return n
+		}
+		if !isConstTree(n) {
+			// Simplify AND/OR with constant sides.
+			if b, ok := n.(*Binary); ok {
+				switch b.Op {
+				case OpAnd:
+					if IsConstTrue(b.L) {
+						return b.R
+					}
+					if IsConstTrue(b.R) {
+						return b.L
+					}
+					if IsConstFalse(b.L) || IsConstFalse(b.R) {
+						return NewConst(types.NewBool(false))
+					}
+				case OpOr:
+					if IsConstFalse(b.L) {
+						return b.R
+					}
+					if IsConstFalse(b.R) {
+						return b.L
+					}
+					if c, ok := b.L.(*Const); ok && c.Value.Kind() == types.KindBool && c.Value.Bool() {
+						return NewConst(types.NewBool(true))
+					}
+					if c, ok := b.R.(*Const); ok && c.Value.Kind() == types.KindBool && c.Value.Bool() {
+						return NewConst(types.NewBool(true))
+					}
+				}
+			}
+			return n
+		}
+		v, err := n.Eval(nil)
+		if err != nil {
+			return n
+		}
+		return NewConst(v)
+	})
+}
+
+func isConstTree(e Expr) bool {
+	ok := true
+	Walk(e, func(n Expr) bool {
+		if _, isCol := n.(*Column); isCol {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Equivalent reports whether two expressions have identical canonical
+// renderings. It is a conservative syntactic check used to deduplicate
+// introduced predicates.
+func Equivalent(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// ContainsConjunct reports whether the conjunct list already contains a
+// predicate equivalent to p.
+func ContainsConjunct(conjuncts []Expr, p Expr) bool {
+	for _, c := range conjuncts {
+		if Equivalent(c, p) {
+			return true
+		}
+	}
+	return false
+}

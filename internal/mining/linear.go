@@ -1,0 +1,201 @@
+// Package mining implements the discovery algorithms the paper's soft
+// constraints come from: linear correlations between numeric attribute
+// pairs ([10]), join holes — maximal empty rectangles over a join's
+// attribute plane ([8]), functional dependencies via partition refinement
+// ([29] and the FD-mining literature), and simple min/max value ranges
+// (Sybase-style soft range constraints).
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"softdb/internal/catalog"
+	"softdb/internal/schema"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// LinearFit is a least-squares fit A ≈ K*B + B0 with its residual
+// distribution, from which ε envelopes at any confidence are read off.
+type LinearFit struct {
+	K, B0 float64
+	// AbsResiduals are |A - (K*B + B0)| sorted ascending.
+	AbsResiduals []float64
+	N            int
+	// RangeA is the spread of A values, for judging ε's selectivity.
+	RangeA float64
+}
+
+// FitLinear computes the least-squares line over the non-null numeric
+// pairs of columns aOrd and bOrd. It returns an error with fewer than two
+// points or a degenerate B column.
+func FitLinear(heap *storage.Heap, aOrd, bOrd int) (*LinearFit, error) {
+	var xs, ys []float64
+	heap.Scan(nil, func(_ storage.RowID, row types.Row) bool {
+		a, b := row[aOrd], row[bOrd]
+		if a.IsNull() || b.IsNull() || !a.IsNumeric() || !b.IsNumeric() {
+			return true
+		}
+		ys = append(ys, a.Float())
+		xs = append(xs, b.Float())
+		return true
+	})
+	return fitLinearPoints(xs, ys)
+}
+
+func fitLinearPoints(xs, ys []float64) (*LinearFit, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("mining: need at least 2 points, have %d", n)
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXX += xs[i] * xs[i]
+		sumXY += xs[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den == 0 {
+		return nil, fmt.Errorf("mining: B column is constant; no linear fit")
+	}
+	k := (fn*sumXY - sumX*sumY) / den
+	b0 := (sumY - k*sumX) / fn
+	fit := &LinearFit{K: k, B0: b0, N: n}
+	minA, maxA := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		r := math.Abs(ys[i] - (k*xs[i] + b0))
+		fit.AbsResiduals = append(fit.AbsResiduals, r)
+		minA = math.Min(minA, ys[i])
+		maxA = math.Max(maxA, ys[i])
+	}
+	sort.Float64s(fit.AbsResiduals)
+	fit.RangeA = maxA - minA
+	return fit, nil
+}
+
+// EpsForConfidence returns the smallest ε such that at least the given
+// fraction of rows satisfy |A - (K*B+B0)| <= ε. Confidence 1 returns the
+// maximum residual (an absolute envelope).
+func (f *LinearFit) EpsForConfidence(confidence float64) float64 {
+	if len(f.AbsResiduals) == 0 {
+		return 0
+	}
+	if confidence >= 1 {
+		return f.AbsResiduals[len(f.AbsResiduals)-1]
+	}
+	idx := int(math.Ceil(confidence*float64(len(f.AbsResiduals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return f.AbsResiduals[idx]
+}
+
+// ConfidenceForEps returns the fraction of rows within ε of the line.
+func (f *LinearFit) ConfidenceForEps(eps float64) float64 {
+	if len(f.AbsResiduals) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(f.AbsResiduals, math.Nextafter(eps, math.Inf(1)))
+	return float64(i) / float64(len(f.AbsResiduals))
+}
+
+// Selectivity reports ε's width relative to A's range: small values mean a
+// derived predicate on A selects a narrow band, which is what makes the
+// correlation useful ([10]'s selectivity requirement).
+func (f *LinearFit) Selectivity(eps float64) float64 {
+	if f.RangeA <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*eps/f.RangeA)
+}
+
+// LinearMinerConfig controls the table-wide correlation search.
+type LinearMinerConfig struct {
+	// MaxEpsFraction bounds ε relative to A's value range; pairs whose
+	// absolute envelope is wider are rejected as unselective ([10]'s
+	// threshold). Default 0.1.
+	MaxEpsFraction float64
+	// MinConfidence is the weakest SSC worth reporting when the absolute
+	// envelope fails the ε test. Default 0.9.
+	MinConfidence float64
+	// MinRows skips tables with too little data. Default 32.
+	MinRows int
+}
+
+func (c *LinearMinerConfig) defaults() {
+	if c.MaxEpsFraction <= 0 {
+		c.MaxEpsFraction = 0.1
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.9
+	}
+	if c.MinRows <= 0 {
+		c.MinRows = 32
+	}
+}
+
+// MineCorrelations searches every ordered pair of numeric columns of the
+// table for useful linear correlations, the [10] discovery pass. For each
+// pair it prefers an absolute (100%) envelope when selective enough, else
+// a statistical envelope at MinConfidence.
+func MineCorrelations(def *schema.Table, heap *storage.Heap, cfg LinearMinerConfig) []*catalog.LinearCorrelation {
+	cfg.defaults()
+	if int(heap.RowCount()) < cfg.MinRows {
+		return nil
+	}
+	var out []*catalog.LinearCorrelation
+	numeric := numericOrdinals(def)
+	for _, aOrd := range numeric {
+		for _, bOrd := range numeric {
+			if aOrd == bOrd {
+				continue
+			}
+			fit, err := FitLinear(heap, aOrd, bOrd)
+			if err != nil || fit.N < cfg.MinRows {
+				continue
+			}
+			lc := &catalog.LinearCorrelation{
+				Name: fmt.Sprintf("corr_%s_%s_%s",
+					strings.ToLower(def.Name), strings.ToLower(def.Columns[aOrd].Name), strings.ToLower(def.Columns[bOrd].Name)),
+				Table:  def.Name,
+				ColA:   def.Columns[aOrd].Name,
+				ColB:   def.Columns[bOrd].Name,
+				K:      fit.K,
+				B0:     fit.B0,
+				Active: true,
+			}
+			absEps := fit.EpsForConfidence(1)
+			switch {
+			case fit.Selectivity(absEps) <= cfg.MaxEpsFraction:
+				lc.Eps = absEps
+				lc.Confidence = 1
+			default:
+				eps := fit.EpsForConfidence(cfg.MinConfidence)
+				if fit.Selectivity(eps) > cfg.MaxEpsFraction {
+					continue // not selective even statistically
+				}
+				lc.Eps = eps
+				lc.Confidence = fit.ConfidenceForEps(eps)
+			}
+			lc.VerifiedVersion = heap.Version()
+			out = append(out, lc)
+		}
+	}
+	return out
+}
+
+func numericOrdinals(def *schema.Table) []int {
+	var out []int
+	for i, c := range def.Columns {
+		switch c.Type {
+		case types.KindInt, types.KindFloat, types.KindDate:
+			out = append(out, i)
+		}
+	}
+	return out
+}

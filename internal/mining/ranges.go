@@ -1,0 +1,65 @@
+package mining
+
+import (
+	"fmt"
+
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/schema"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// MineRanges produces Sybase-style min/max soft constraints: for every
+// orderable column with at least minRows non-null values, a check
+// constraint `col BETWEEN min AND max` as an absolute soft constraint.
+// These back range abbreviation in queries and single-column branch
+// pruning.
+func MineRanges(def *schema.Table, heap *storage.Heap, minRows int) []*catalog.Constraint {
+	if minRows <= 0 {
+		minRows = 16
+	}
+	arity := def.Arity()
+	mins := make([]types.Datum, arity)
+	maxs := make([]types.Datum, arity)
+	counts := make([]int, arity)
+	for i := range mins {
+		mins[i], maxs[i] = types.Null, types.Null
+	}
+	heap.Scan(nil, func(_ storage.RowID, row types.Row) bool {
+		for i, d := range row {
+			if d.IsNull() {
+				continue
+			}
+			counts[i]++
+			if mins[i].IsNull() || d.Compare(mins[i]) < 0 {
+				mins[i] = d
+			}
+			if maxs[i].IsNull() || d.Compare(maxs[i]) > 0 {
+				maxs[i] = d
+			}
+		}
+		return true
+	})
+	var out []*catalog.Constraint
+	for i, col := range def.Columns {
+		if counts[i] < minRows || mins[i].IsNull() {
+			continue
+		}
+		c := expr.NewColumn(def.Name, col.Name, i, col.Type)
+		check := expr.And(
+			expr.NewBinary(expr.OpGe, c, expr.NewConst(mins[i])),
+			expr.NewBinary(expr.OpLe, c, expr.NewConst(maxs[i])),
+		)
+		out = append(out, &catalog.Constraint{
+			Name:       fmt.Sprintf("range_%s_%s", def.Name, col.Name),
+			Kind:       catalog.Check,
+			Mode:       catalog.ModeSoftAbsolute,
+			Table:      def.Name,
+			CheckExpr:  check,
+			Confidence: 1,
+			Active:     true,
+		})
+	}
+	return out
+}

@@ -1,0 +1,583 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"softdb/internal/btree"
+	"softdb/internal/catalog"
+	"softdb/internal/exec"
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+	"softdb/internal/sql"
+	"softdb/internal/stats"
+	"softdb/internal/types"
+)
+
+// dpTableLimit is the largest join-group size planned with exhaustive
+// dynamic programming; larger groups fall back to greedy ordering.
+const dpTableLimit = 7
+
+// Optimizer lowers logical plans to physical operator trees.
+type Optimizer struct {
+	Cat *catalog.Catalog
+	// NoIndexes disables index access paths (ablation/baseline).
+	NoIndexes bool
+	// NoSSCEstimation disables §5.1 twinned-predicate cardinality
+	// adjustment (ablation/baseline).
+	NoSSCEstimation bool
+	// NoASTEstimation disables §4.4 AST-based filter-factor estimation
+	// (ablation/baseline).
+	NoASTEstimation bool
+	// ForceGreedyJoins bypasses DP join ordering (ablation).
+	ForceGreedyJoins bool
+}
+
+// Result is a lowered, costed physical plan.
+type Result struct {
+	Root    exec.Operator
+	EstRows float64
+	EstCost float64
+}
+
+// Optimize lowers the logical plan.
+func (o *Optimizer) Optimize(n plan.Node) (*Result, error) {
+	op, pr, err := o.lower(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Root: op, EstRows: pr.rows, EstCost: pr.cost}, nil
+}
+
+func (o *Optimizer) lower(n plan.Node) (exec.Operator, prop, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		op, pr := o.lowerScan(t)
+		return op, pr, nil
+	case *plan.Empty:
+		return &exec.Values{Desc: "Empty (" + t.Reason + ")"}, prop{}, nil
+	case *plan.Derived:
+		return o.lower(t.Input)
+	case *plan.JoinGroup:
+		return o.lowerJoinGroup(t)
+	case *plan.Project:
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		pr.cost += pr.rows * costEmit * float64(len(t.Exprs))
+		return &exec.Project{Input: in, Exprs: t.Exprs}, pr, nil
+	case *plan.Aggregate:
+		if shortcut := o.tryIndexMinMax(t); shortcut != nil {
+			return shortcut, prop{rows: 1, cost: costPage * 4}, nil
+		}
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		groups := o.estimateGroups(t, pr.rows)
+		out := prop{rows: groups, cost: pr.cost + pr.rows*costHashProbe + groups*costEmit}
+		return &exec.HashAggregate{Input: in, GroupBy: t.GroupBy, Aggs: t.Aggs, Redundant: t.Redundant}, out, nil
+	case *plan.Sort:
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		if t.Eliminated || len(t.Keys) == 0 {
+			return in, pr, nil
+		}
+		n := math.Max(pr.rows, 2)
+		pr.cost += n * math.Log2(n) * costCompare
+		return &exec.Sort{Input: in, Keys: t.Keys}, pr, nil
+	case *plan.Filter:
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		pr.cost += pr.rows * costRow
+		pr.rows = math.Max(0, pr.rows*genericSelectivity(t.Conds))
+		return &exec.Filter{Input: in, Conds: t.Conds}, pr, nil
+	case *plan.Distinct:
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		pr.cost += pr.rows * costHashProbe
+		pr.rows = math.Max(1, pr.rows*0.5)
+		return &exec.Distinct{Input: in}, pr, nil
+	case *plan.Limit:
+		in, pr, err := o.lower(t.Input)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		if float64(t.N) < pr.rows {
+			pr.rows = float64(t.N)
+		}
+		return &exec.Limit{Input: in, N: t.N}, pr, nil
+	case *plan.UnionAll:
+		var arms []exec.Operator
+		total := prop{}
+		for _, a := range t.Arms {
+			op, pr, err := o.lower(a)
+			if err != nil {
+				return nil, prop{}, err
+			}
+			arms = append(arms, op)
+			total.rows += pr.rows
+			total.cost += pr.cost
+		}
+		return &exec.UnionAll{Arms: arms, Pruned: t.Pruned}, total, nil
+	default:
+		return nil, prop{}, fmt.Errorf("opt: cannot lower %T", n)
+	}
+}
+
+// tryIndexMinMax answers a scalar aggregation consisting solely of MIN/MAX
+// over indexed, NOT NULL columns of an unfiltered scan from the index ends
+// (§4.2's runtime shortcut, kept exact by using the index rather than a
+// stored min/max). Nullable columns are excluded because index order puts
+// NULL first, which MIN must ignore.
+func (o *Optimizer) tryIndexMinMax(a *plan.Aggregate) exec.Operator {
+	if o.NoIndexes || len(a.GroupBy) > 0 || len(a.Aggs) == 0 {
+		return nil
+	}
+	scan, ok := a.Input.(*plan.Scan)
+	if !ok || scan.Entry == nil || len(scan.Filter) > 0 {
+		return nil
+	}
+	specs := make([]exec.MinMaxSpec, 0, len(a.Aggs))
+	for _, spec := range a.Aggs {
+		var max bool
+		switch spec.Kind {
+		case sql.AggMin:
+			max = false
+		case sql.AggMax:
+			max = true
+		default:
+			return nil
+		}
+		col, isCol := spec.Arg.(*expr.Column)
+		if !isCol {
+			return nil
+		}
+		ix := scan.Entry.IndexOn(col.Index)
+		if ix == nil || len(ix.Ordinal) != 1 {
+			return nil
+		}
+		if scan.Def.Columns[col.Index].Nullable {
+			return nil
+		}
+		specs = append(specs, exec.MinMaxSpec{Index: ix, Max: max})
+	}
+	return &exec.IndexMinMax{Table: scan.Table, Specs: specs}
+}
+
+// estimateGroups guesses the number of groups from group-column NDVs where
+// provenance allows, capped by the input cardinality.
+func (o *Optimizer) estimateGroups(a *plan.Aggregate, inputRows float64) float64 {
+	if len(a.GroupBy) == 0 {
+		return 1
+	}
+	inCols := a.Input.Cols()
+	ndvProduct := 1.0
+	known := false
+	for gi, g := range a.GroupBy {
+		if gi < len(a.Redundant) && a.Redundant[gi] {
+			continue
+		}
+		c, ok := g.(*expr.Column)
+		if !ok || c.Index >= len(inCols) {
+			continue
+		}
+		ci := inCols[c.Index]
+		if ci.SourceTable == "" {
+			continue
+		}
+		te, err := o.Cat.Table(ci.SourceTable)
+		if err != nil || te.Stats == nil {
+			continue
+		}
+		if cs := te.Stats.Column(ci.SourceColumn); cs != nil && cs.NDV > 0 {
+			ndvProduct *= float64(cs.NDV)
+			known = true
+		}
+	}
+	if known {
+		return math.Max(1, math.Min(inputRows, ndvProduct))
+	}
+	return math.Max(1, inputRows/10)
+}
+
+// lowerScan performs cost-based access-path selection.
+func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
+	heap := s.EntryHeap()
+	if heap == nil {
+		return &exec.Values{Desc: "Empty (no storage for " + s.Table + ")"}, prop{}
+	}
+	total, selected := o.scanEstimate(s)
+	pages := float64(heap.PageCount())
+	best := exec.Operator(&exec.SeqScan{Table: s.Table, Heap: heap, Filter: s.Filter})
+	bestCost := seqScanCost(pages, total)
+
+	if s.Entry != nil && !o.NoIndexes {
+		candidates := s.Entry.Indexes
+		if s.PinnedIndex != nil {
+			candidates = []*catalog.Index{s.PinnedIndex}
+		}
+		for _, ix := range candidates {
+			if len(ix.Ordinal) != 1 {
+				continue // composite range bounds are not planned yet
+			}
+			iv, bounded := o.leadingInterval(s, ix)
+			if !bounded || iv.Empty() {
+				continue
+			}
+			frac := 1.0
+			cluster := 0.0
+			if s.Entry.Stats != nil {
+				cs := s.Entry.Stats.Column(ix.Columns[0])
+				frac = cs.SelectivityInterval(iv)
+				if cs != nil {
+					// Map [0.5, 1] cluster ratio onto [0, 1] clustering
+					// benefit (0.5 is what random order yields).
+					cluster = math.Max(0, (cs.ClusterRatio-0.5)*2)
+				}
+			} else if iv.EqualityConstant != nil {
+				frac = 0.05
+			} else {
+				frac = 1.0 / 3
+			}
+			matchRows := total * frac
+			cost := indexScanCost(float64(ix.Tree.Height()), matchRows, pages, cluster, float64(heap.RowsPerPage()))
+			if cost < bestCost || s.PinnedIndex == ix {
+				lo, hi := boundsFor(iv)
+				best = &exec.IndexScan{Table: s.Table, Heap: heap, Index: ix, Lo: lo, Hi: hi, Filter: s.Filter}
+				bestCost = cost
+			}
+		}
+	}
+	return best, prop{rows: math.Max(selected, 0), cost: bestCost}
+}
+
+// boundsFor converts an interval to B+tree scan bounds over a
+// single-column key.
+func boundsFor(iv expr.Interval) (lo, hi btree.Bound) {
+	if iv.HasLo {
+		lo = btree.Bound{Key: types.Row{iv.Lo}, Inclusive: iv.LoIncl}
+	}
+	if iv.HasHi {
+		hi = btree.Bound{Key: types.Row{iv.Hi}, Inclusive: iv.HiIncl}
+	}
+	return lo, hi
+}
+
+// --- join ordering ---
+
+// joinState is a DP entry: a lowered subtree covering a subset of the
+// group's tables.
+type joinState struct {
+	op     exec.Operator
+	rows   float64
+	cost   float64
+	layout []int // table indices in output order
+}
+
+func (o *Optimizer) lowerJoinGroup(jg *plan.JoinGroup) (exec.Operator, prop, error) {
+	n := len(jg.Tables)
+	if n == 0 {
+		return &exec.Values{Desc: "Empty join group"}, prop{}, nil
+	}
+	// Leaf states; single-input conjuncts become leaf filters.
+	leaves := make([]*joinState, n)
+	conjTables := make([][]int, len(jg.Conjuncts))
+	applied := make([]bool, len(jg.Conjuncts))
+	for ci, c := range jg.Conjuncts {
+		set := map[int]bool{}
+		for _, ord := range expr.ColumnIndexes(c) {
+			set[tableOfGroup(jg, ord)] = true
+		}
+		for ti := range set {
+			conjTables[ci] = append(conjTables[ci], ti)
+		}
+	}
+	for i, t := range jg.Tables {
+		op, pr, err := o.lower(t)
+		if err != nil {
+			return nil, prop{}, err
+		}
+		off := jg.Offset(i)
+		var filters []expr.Expr
+		for ci, c := range jg.Conjuncts {
+			if len(conjTables[ci]) == 1 && conjTables[ci][0] == i {
+				filters = append(filters, expr.ShiftColumns(c, -off))
+				applied[ci] = true
+			}
+		}
+		if len(filters) > 0 {
+			op = &exec.Filter{Input: op, Conds: filters}
+			sel := genericSelectivity(filters)
+			pr.rows *= sel
+			pr.cost += pr.rows * costRow
+		}
+		leaves[i] = &joinState{op: op, rows: pr.rows, cost: pr.cost, layout: []int{i}}
+	}
+	if n == 1 {
+		st := leaves[0]
+		return st.op, prop{rows: st.rows, cost: st.cost}, nil
+	}
+
+	var final *joinState
+	if n <= dpTableLimit && !o.ForceGreedyJoins {
+		final = o.dpJoin(jg, leaves, conjTables, applied)
+	} else {
+		final = o.greedyJoin(jg, leaves, conjTables, applied)
+	}
+	// Restore the group's original column order if the chosen join order
+	// permuted it.
+	op := final.op
+	if !identityLayout(final.layout) {
+		remap := layoutMapping(jg, final.layout)
+		cols := jg.Cols()
+		exprs := make([]expr.Expr, len(cols))
+		for orig := range cols {
+			exprs[orig] = expr.NewColumn(cols[orig].Qualifier, cols[orig].Name, remap[orig], cols[orig].Kind)
+		}
+		op = &exec.Project{Input: op, Exprs: exprs}
+	}
+	return op, prop{rows: final.rows, cost: final.cost}, nil
+}
+
+func identityLayout(layout []int) bool {
+	for i, t := range layout {
+		if i != t {
+			return false
+		}
+	}
+	return true
+}
+
+// layoutMapping maps original global ordinals to positions in the actual
+// layout.
+func layoutMapping(jg *plan.JoinGroup, layout []int) map[int]int {
+	mapping := map[int]int{}
+	pos := 0
+	for _, ti := range layout {
+		off := jg.Offset(ti)
+		for k := 0; k < len(jg.Tables[ti].Cols()); k++ {
+			mapping[off+k] = pos
+			pos++
+		}
+	}
+	return mapping
+}
+
+// dpJoin finds the cheapest join order by dynamic programming over table
+// subsets.
+func (o *Optimizer) dpJoin(jg *plan.JoinGroup, leaves []*joinState, conjTables [][]int, applied []bool) *joinState {
+	n := len(leaves)
+	dp := make([]*joinState, 1<<n)
+	for i, st := range leaves {
+		dp[1<<i] = st
+	}
+	full := (1 << n) - 1
+	for mask := 1; mask <= full; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			if sub > other {
+				continue // each unordered split once; joinPair tries both builds
+			}
+			l, r := dp[sub], dp[other]
+			if l == nil || r == nil {
+				continue
+			}
+			cand := o.joinPairBest(jg, l, r, mask, conjTables, applied)
+			if cand != nil && (dp[mask] == nil || cand.cost < dp[mask].cost) {
+				dp[mask] = cand
+			}
+		}
+	}
+	return dp[full]
+}
+
+// greedyJoin repeatedly merges the pair with the cheapest join.
+func (o *Optimizer) greedyJoin(jg *plan.JoinGroup, leaves []*joinState, conjTables [][]int, applied []bool) *joinState {
+	states := append([]*joinState(nil), leaves...)
+	for len(states) > 1 {
+		bestI, bestJ := -1, -1
+		var best *joinState
+		for i := 0; i < len(states); i++ {
+			for j := i + 1; j < len(states); j++ {
+				mask := maskOf(states[i].layout) | maskOf(states[j].layout)
+				cand := o.joinPairBest(jg, states[i], states[j], mask, conjTables, applied)
+				if cand != nil && (best == nil || cand.cost < best.cost) {
+					best, bestI, bestJ = cand, i, j
+				}
+			}
+		}
+		merged := best
+		states[bestI] = merged
+		states = append(states[:bestJ], states[bestJ+1:]...)
+	}
+	return states[0]
+}
+
+func maskOf(layout []int) int {
+	m := 0
+	for _, t := range layout {
+		m |= 1 << t
+	}
+	return m
+}
+
+// joinPairBest builds the cheapest join of two states, trying hash (both
+// build sides) and nested loops.
+func (o *Optimizer) joinPairBest(jg *plan.JoinGroup, l, r *joinState, mask int, conjTables [][]int, applied []bool) *joinState {
+	lMask, rMask := maskOf(l.layout), maskOf(r.layout)
+	// Conjuncts newly applicable at this join.
+	var equi []equiPair
+	var residual []expr.Expr
+	sel := 1.0
+	for ci, c := range jg.Conjuncts {
+		if applied[ci] {
+			continue
+		}
+		cm := 0
+		for _, ti := range conjTables[ci] {
+			cm |= 1 << ti
+		}
+		if cm&^mask != 0 || cm&lMask == 0 || cm&rMask == 0 {
+			continue // not applicable here (or internal, handled earlier)
+		}
+		if ep, ok := o.extractEqui(jg, c, lMask); ok {
+			equi = append(equi, ep)
+			sel *= o.equiSelForPair(jg, ep, l.rows, r.rows)
+		} else {
+			residual = append(residual, c)
+			sel *= genericSelectivity([]expr.Expr{c})
+		}
+	}
+	outRows := math.Max(l.rows*r.rows*sel, 0)
+	combined := append(append([]int(nil), l.layout...), r.layout...)
+	lMap := layoutMapping(jg, l.layout)
+	rMap := layoutMapping(jg, r.layout)
+	cMap := layoutMapping(jg, combined)
+
+	var best *joinState
+	if len(equi) > 0 {
+		// Hash join, build on left state.
+		mk := func(build, probe *joinState, buildMap, probeMap map[int]int, layout []int, layoutMap map[int]int, swapped bool) *joinState {
+			var lk, rk []expr.Expr
+			for _, ep := range equi {
+				bcol, pcol := ep.left, ep.right
+				if swapped {
+					bcol, pcol = ep.right, ep.left
+				}
+				lk = append(lk, expr.NewColumn("", "k", buildMap[bcol], types.KindNull))
+				rk = append(rk, expr.NewColumn("", "k", probeMap[pcol], types.KindNull))
+			}
+			var res []expr.Expr
+			for _, c := range residual {
+				res = append(res, expr.RemapColumns(c, layoutMap))
+			}
+			cost := build.cost + probe.cost + build.rows*costHashBuild + probe.rows*costHashProbe + outRows*costEmit
+			return &joinState{
+				op:     &exec.HashJoin{Left: build.op, Right: probe.op, LeftKeys: lk, RightKey: rk, Residual: res},
+				rows:   outRows,
+				cost:   cost,
+				layout: layout,
+			}
+		}
+		cand := mk(l, r, lMap, rMap, combined, cMap, false)
+		best = cand
+		// Build on the right instead: output layout r++l.
+		combinedRL := append(append([]int(nil), r.layout...), l.layout...)
+		cRL := layoutMapping(jg, combinedRL)
+		cand2 := mk(r, l, rMap, lMap, combinedRL, cRL, true)
+		if cand2.cost < best.cost {
+			best = cand2
+		}
+	}
+	// Nested loops (both orientations).
+	for _, ori := range [2][2]*joinState{{l, r}, {r, l}} {
+		outer, inner := ori[0], ori[1]
+		layout := append(append([]int(nil), outer.layout...), inner.layout...)
+		lm := layoutMapping(jg, layout)
+		var conds []expr.Expr
+		for _, ep := range equi {
+			conds = append(conds, expr.NewBinary(expr.OpEq,
+				expr.NewColumn("", "l", lm[ep.left], types.KindNull),
+				expr.NewColumn("", "r", lm[ep.right], types.KindNull)))
+		}
+		for _, c := range residual {
+			conds = append(conds, expr.RemapColumns(c, lm))
+		}
+		cost := outer.cost + math.Max(outer.rows, 1)*inner.cost + outer.rows*inner.rows*costCompare + outRows*costEmit
+		cand := &joinState{
+			op:     &exec.NestedLoopJoin{Outer: outer.op, Inner: inner.op, Cond: conds},
+			rows:   outRows,
+			cost:   cost,
+			layout: layout,
+		}
+		if best == nil || cand.cost < best.cost {
+			best = cand
+		}
+	}
+	return best
+}
+
+// equiPair is an equality conjunct split across the two join sides, in
+// original global ordinals.
+type equiPair struct {
+	left, right int // left is on the l-state side
+}
+
+func (o *Optimizer) extractEqui(jg *plan.JoinGroup, c expr.Expr, lMask int) (equiPair, bool) {
+	b, ok := c.(*expr.Binary)
+	if !ok || b.Op != expr.OpEq {
+		return equiPair{}, false
+	}
+	lc, lok := b.L.(*expr.Column)
+	rc, rok := b.R.(*expr.Column)
+	if !lok || !rok {
+		return equiPair{}, false
+	}
+	lt := tableOfGroup(jg, lc.Index)
+	if lMask&(1<<lt) != 0 {
+		return equiPair{left: lc.Index, right: rc.Index}, true
+	}
+	return equiPair{left: rc.Index, right: lc.Index}, true
+}
+
+func (o *Optimizer) equiSelForPair(jg *plan.JoinGroup, ep equiPair, lRows, rRows float64) float64 {
+	mkScanCol := func(ord int) scanCol {
+		ti := tableOfGroup(jg, ord)
+		if s, ok := jg.Tables[ti].(*plan.Scan); ok {
+			return scanCol{scan: s, name: s.Def.Columns[ord-jg.Offset(ti)].Name}
+		}
+		return scanCol{}
+	}
+	return o.equiJoinSelectivity(mkScanCol(ep.left), mkScanCol(ep.right), lRows, rRows)
+}
+
+// tableOfGroup returns which group input owns the global ordinal.
+func tableOfGroup(jg *plan.JoinGroup, ord int) int {
+	off := 0
+	for i, t := range jg.Tables {
+		n := len(t.Cols())
+		if ord >= off && ord < off+n {
+			return i
+		}
+		off += n
+	}
+	return -1
+}
+
+// genericSelectivity estimates conjunct selectivity without statistics.
+func genericSelectivity(conds []expr.Expr) float64 {
+	est := &stats.Estimator{}
+	return est.Selectivity(conds)
+}

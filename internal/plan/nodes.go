@@ -1,0 +1,437 @@
+// Package plan defines softdb's logical query plans and the binder that
+// builds them from parsed SQL. A select block becomes a JoinGroup of table
+// scans with bound predicate conjuncts; aggregation, projection, ordering
+// and union-all stack above it. The rewrite package transforms these trees
+// (semantic query optimization) and the opt package lowers them to physical
+// operators.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/schema"
+	"softdb/internal/sql"
+	"softdb/internal/stats"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// ColumnInfo describes one output column of a plan node, with provenance
+// back to a base table where the column is a direct reference (provenance
+// drives constraint and statistics lookups).
+type ColumnInfo struct {
+	Qualifier string // binding alias in the query
+	Name      string
+	Kind      types.Kind
+	// Source* identify the base-table column this output is a direct copy
+	// of; SourceTable is empty for computed columns.
+	SourceTable   string
+	SourceColumn  string
+	SourceOrdinal int
+	Hidden        bool // appended only for sorting; stripped before output
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Cols returns the node's output schema.
+	Cols() []ColumnInfo
+	// Inputs returns child nodes.
+	Inputs() []Node
+	// Describe renders a one-line summary (no children).
+	Describe() string
+}
+
+// Scan reads one base table or summary table. Filter conjuncts are bound to
+// the table's own column ordinals. EstimationOnly predicates are §5.1
+// "special predicates": used for cardinality estimation, never applied.
+type Scan struct {
+	Table   string // catalog table name
+	Alias   string
+	Entry   *catalog.TableEntry   // set for base tables
+	Summary *catalog.SummaryTable // set instead when scanning an AST
+	Def     *schema.Table
+	Filter  []expr.Expr
+	EstOnly []stats.EstimationPredicate
+
+	// PinnedIndex, when non-nil, forces this scan to use the given index
+	// (used by tests and ablations); normally access-path selection is
+	// cost-based.
+	PinnedIndex *catalog.Index
+}
+
+// EntryHeap returns the heap backing this scan: the base table's heap, or
+// a materialized summary table's. It is nil for informational summaries.
+func (s *Scan) EntryHeap() *storage.Heap {
+	if s.Summary != nil {
+		return s.Summary.Heap
+	}
+	if s.Entry != nil {
+		return s.Entry.Heap
+	}
+	return nil
+}
+
+// Cols implements Node.
+func (s *Scan) Cols() []ColumnInfo {
+	out := make([]ColumnInfo, len(s.Def.Columns))
+	for i, c := range s.Def.Columns {
+		out[i] = ColumnInfo{
+			Qualifier:     s.Alias,
+			Name:          c.Name,
+			Kind:          c.Type,
+			SourceTable:   s.Table,
+			SourceColumn:  c.Name,
+			SourceOrdinal: i,
+		}
+	}
+	return out
+}
+
+// Inputs implements Node.
+func (s *Scan) Inputs() []Node { return nil }
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	var b strings.Builder
+	if s.Summary != nil {
+		fmt.Fprintf(&b, "ScanSummary %s", s.Summary.Name)
+	} else {
+		fmt.Fprintf(&b, "Scan %s", s.Table)
+	}
+	if s.Alias != "" && !strings.EqualFold(s.Alias, s.Table) {
+		fmt.Fprintf(&b, " AS %s", s.Alias)
+	}
+	if len(s.Filter) > 0 {
+		fmt.Fprintf(&b, " filter=%s", expr.And(s.Filter...))
+	}
+	for _, ep := range s.EstOnly {
+		fmt.Fprintf(&b, " est-only=%s@%.3f", ep.Pred, ep.Confidence)
+	}
+	return b.String()
+}
+
+// JoinGroup is an unordered inner join of its inputs. Conjuncts are bound
+// to the concatenation of the inputs' schemas in order. The optimizer picks
+// the join order and methods.
+type JoinGroup struct {
+	Tables    []Node // scans (or nested plans) in binding order
+	Conjuncts []expr.Expr
+}
+
+// Cols implements Node.
+func (j *JoinGroup) Cols() []ColumnInfo {
+	var out []ColumnInfo
+	for _, t := range j.Tables {
+		out = append(out, t.Cols()...)
+	}
+	return out
+}
+
+// Inputs implements Node.
+func (j *JoinGroup) Inputs() []Node { return j.Tables }
+
+// Describe implements Node.
+func (j *JoinGroup) Describe() string {
+	if len(j.Conjuncts) == 0 {
+		return fmt.Sprintf("JoinGroup [%d tables]", len(j.Tables))
+	}
+	return fmt.Sprintf("JoinGroup [%d tables] on %s", len(j.Tables), expr.And(j.Conjuncts...))
+}
+
+// Offset returns the global ordinal of the first column of input i.
+func (j *JoinGroup) Offset(i int) int {
+	off := 0
+	for k := 0; k < i; k++ {
+		off += len(j.Tables[k].Cols())
+	}
+	return off
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Kind sql.AggKind
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string    // output column name
+}
+
+// Describe renders the aggregate.
+func (a AggSpec) Describe() string {
+	switch a.Kind {
+	case sql.AggCountStar:
+		return "COUNT(*)"
+	case sql.AggCountDistinct:
+		return fmt.Sprintf("COUNT(DISTINCT %s)", a.Arg)
+	default:
+		return fmt.Sprintf("%s(%s)", a.Kind, a.Arg)
+	}
+}
+
+// Aggregate groups its input by the GroupBy expressions and computes Aggs.
+// Output schema is group columns followed by aggregate columns.
+type Aggregate struct {
+	Input   Node
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	// GroupNames labels the group columns in the output.
+	GroupNames []ColumnInfo
+	// Redundant marks group columns that are functionally determined by the
+	// remaining group columns (§2 [29]): the executor excludes them from
+	// the grouping key (they are constant within each group) but still
+	// emits them, so the output schema is unchanged.
+	Redundant []bool
+}
+
+// Cols implements Node.
+func (a *Aggregate) Cols() []ColumnInfo {
+	out := append([]ColumnInfo(nil), a.GroupNames...)
+	for _, g := range a.Aggs {
+		kind := types.KindInt
+		switch g.Kind {
+		case sql.AggSum, sql.AggMin, sql.AggMax:
+			if g.Arg != nil {
+				kind = g.Arg.Type()
+			}
+		case sql.AggAvg:
+			kind = types.KindFloat
+		}
+		out = append(out, ColumnInfo{Name: g.Name, Kind: kind})
+	}
+	return out
+}
+
+// Inputs implements Node.
+func (a *Aggregate) Inputs() []Node { return []Node{a.Input} }
+
+// Describe implements Node.
+func (a *Aggregate) Describe() string {
+	var parts []string
+	for i, g := range a.GroupBy {
+		s := g.String()
+		if i < len(a.Redundant) && a.Redundant[i] {
+			s += " [redundant]"
+		}
+		parts = append(parts, s)
+	}
+	var aggs []string
+	for _, g := range a.Aggs {
+		aggs = append(aggs, g.Describe())
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("Aggregate scalar [%s]", strings.Join(aggs, ", "))
+	}
+	return fmt.Sprintf("Aggregate by (%s) [%s]", strings.Join(parts, ", "), strings.Join(aggs, ", "))
+}
+
+// Project computes the output expressions over its input.
+type Project struct {
+	Input Node
+	Exprs []expr.Expr
+	Names []ColumnInfo
+}
+
+// Cols implements Node.
+func (p *Project) Cols() []ColumnInfo { return p.Names }
+
+// Inputs implements Node.
+func (p *Project) Inputs() []Node { return []Node{p.Input} }
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	var parts []string
+	for i, e := range p.Exprs {
+		s := e.String()
+		if p.Names[i].Name != "" && p.Names[i].Name != s {
+			s += " AS " + p.Names[i].Name
+		}
+		parts = append(parts, s)
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// SortKey is one ordering key bound to the input schema.
+type SortKey struct {
+	Ordinal int
+	Desc    bool
+}
+
+// Sort orders its input.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+	// Eliminated records that rewrite proved the sort redundant (FD-based
+	// order optimization); the physical planner drops it but EXPLAIN still
+	// reports the decision.
+	Eliminated bool
+	Reason     string
+}
+
+// Cols implements Node.
+func (s *Sort) Cols() []ColumnInfo { return s.Input.Cols() }
+
+// Inputs implements Node.
+func (s *Sort) Inputs() []Node { return []Node{s.Input} }
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	var parts []string
+	cols := s.Input.Cols()
+	for _, k := range s.Keys {
+		dir := ""
+		if k.Desc {
+			dir = " DESC"
+		}
+		parts = append(parts, cols[k.Ordinal].Name+dir)
+	}
+	d := "Sort by " + strings.Join(parts, ", ")
+	if s.Eliminated {
+		d += " [ELIMINATED: " + s.Reason + "]"
+	}
+	return d
+}
+
+// Filter drops input rows failing its conjuncts (bound to the input's
+// schema). Scans carry their own filters; this node exists for predicates
+// that must run above other operators, e.g. HAVING above an Aggregate.
+type Filter struct {
+	Input Node
+	Conds []expr.Expr
+}
+
+// Cols implements Node.
+func (f *Filter) Cols() []ColumnInfo { return f.Input.Cols() }
+
+// Inputs implements Node.
+func (f *Filter) Inputs() []Node { return []Node{f.Input} }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "Filter " + expr.And(f.Conds...).String() }
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Node }
+
+// Cols implements Node.
+func (d *Distinct) Cols() []ColumnInfo { return d.Input.Cols() }
+
+// Inputs implements Node.
+func (d *Distinct) Inputs() []Node { return []Node{d.Input} }
+
+// Describe implements Node.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Limit passes through the first N rows.
+type Limit struct {
+	Input Node
+	N     int64
+}
+
+// Cols implements Node.
+func (l *Limit) Cols() []ColumnInfo { return l.Input.Cols() }
+
+// Inputs implements Node.
+func (l *Limit) Inputs() []Node { return []Node{l.Input} }
+
+// Describe implements Node.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// UnionAll concatenates its arms. Pruned records arms removed by
+// constraint-based branch elimination (§5) for EXPLAIN.
+type UnionAll struct {
+	Arms   []Node
+	Pruned []string
+}
+
+// Cols implements Node.
+func (u *UnionAll) Cols() []ColumnInfo { return u.Arms[0].Cols() }
+
+// Inputs implements Node.
+func (u *UnionAll) Inputs() []Node { return u.Arms }
+
+// Describe implements Node.
+func (u *UnionAll) Describe() string {
+	d := fmt.Sprintf("UnionAll [%d arms]", len(u.Arms))
+	if len(u.Pruned) > 0 {
+		d += fmt.Sprintf(" pruned=%d (%s)", len(u.Pruned), strings.Join(u.Pruned, ", "))
+	}
+	return d
+}
+
+// Empty produces no rows with the given schema; the result of pruning every
+// arm, or a provably-false predicate.
+type Empty struct {
+	Schema []ColumnInfo
+	Reason string
+}
+
+// Cols implements Node.
+func (e *Empty) Cols() []ColumnInfo { return e.Schema }
+
+// Inputs implements Node.
+func (e *Empty) Inputs() []Node { return nil }
+
+// Describe implements Node.
+func (e *Empty) Describe() string { return "Empty (" + e.Reason + ")" }
+
+// Format renders the plan tree, one node per line, children indented.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Describe())
+		b.WriteByte('\n')
+		for _, c := range n.Inputs() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Transform rebuilds the tree bottom-up, replacing each node with fn(node)
+// after its inputs have been transformed. fn must preserve output schema
+// compatibility.
+func Transform(n Node, fn func(Node) Node) Node {
+	switch t := n.(type) {
+	case *JoinGroup:
+		tables := make([]Node, len(t.Tables))
+		for i, in := range t.Tables {
+			tables[i] = Transform(in, fn)
+		}
+		return fn(&JoinGroup{Tables: tables, Conjuncts: t.Conjuncts})
+	case *Aggregate:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *Project:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *Sort:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *Filter:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *Distinct:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *Limit:
+		c := *t
+		c.Input = Transform(t.Input, fn)
+		return fn(&c)
+	case *UnionAll:
+		arms := make([]Node, len(t.Arms))
+		for i, a := range t.Arms {
+			arms[i] = Transform(a, fn)
+		}
+		return fn(&UnionAll{Arms: arms, Pruned: t.Pruned})
+	default:
+		return fn(n)
+	}
+}

@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"softdb/internal/catalog"
+	"softdb/internal/schema"
+	"softdb/internal/sql"
+	"softdb/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	emp := schema.MustTable("emp",
+		schema.Column{Name: "id", Type: types.KindInt},
+		schema.Column{Name: "dept_id", Type: types.KindInt},
+		schema.Column{Name: "salary", Type: types.KindFloat, Nullable: true},
+	)
+	dept := schema.MustTable("dept",
+		schema.Column{Name: "id", Type: types.KindInt},
+		schema.Column{Name: "name", Type: types.KindString, Nullable: true},
+	)
+	if _, err := cat.CreateTable(emp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateTable(dept); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func buildPlan(t *testing.T, cat *catalog.Catalog, q string) Node {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Builder{Catalog: cat}
+	n, err := b.BuildSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func buildErr(t *testing.T, cat *catalog.Catalog, q string) error {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Builder{Catalog: cat}
+	_, err = b.BuildSelect(stmt.(*sql.Select))
+	return err
+}
+
+func TestBuildSimpleScan(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT * FROM emp")
+	scan, ok := n.(*Scan)
+	if !ok {
+		t.Fatalf("plan: %s", Format(n))
+	}
+	cols := scan.Cols()
+	if len(cols) != 3 || cols[0].Name != "id" || cols[0].SourceTable != "emp" {
+		t.Errorf("cols: %+v", cols)
+	}
+}
+
+func TestFilterPushedToScan(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT id FROM emp WHERE salary > 100 AND id < 5")
+	p, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("plan: %s", Format(n))
+	}
+	scan := p.Input.(*Scan)
+	if len(scan.Filter) != 2 {
+		t.Errorf("filters: %v", scan.Filter)
+	}
+}
+
+func TestJoinConjunctPlacement(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, `SELECT e.id, d.name FROM emp e, dept d
+		WHERE e.dept_id = d.id AND e.salary > 50 AND d.name = 'x'`)
+	p := n.(*Project)
+	jg := p.Input.(*JoinGroup)
+	if len(jg.Conjuncts) != 1 {
+		t.Errorf("join conjuncts: %v", jg.Conjuncts)
+	}
+	empScan := jg.Tables[0].(*Scan)
+	deptScan := jg.Tables[1].(*Scan)
+	if len(empScan.Filter) != 1 || len(deptScan.Filter) != 1 {
+		t.Errorf("pushed filters: emp=%v dept=%v", empScan.Filter, deptScan.Filter)
+	}
+	// The join conjunct binds to global ordinals: dept.id is ordinal 3.
+	if jg.Conjuncts[0].String() != "(e.dept_id = d.id)" {
+		t.Errorf("conjunct: %s", jg.Conjuncts[0])
+	}
+}
+
+func TestAmbiguousAndUnknownColumns(t *testing.T) {
+	cat := testCatalog(t)
+	if err := buildErr(t, cat, "SELECT id FROM emp e, dept d"); err == nil {
+		t.Error("ambiguous id should fail")
+	}
+	if err := buildErr(t, cat, "SELECT bogus FROM emp"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if err := buildErr(t, cat, "SELECT * FROM emp e, emp e"); err == nil {
+		t.Error("duplicate binding should fail")
+	}
+	if err := buildErr(t, cat, "SELECT * FROM nope"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestAggregatePlanShape(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT dept_id, COUNT(*) AS n, AVG(salary) FROM emp GROUP BY dept_id")
+	// The projection over the aggregate is the identity here, so the
+	// builder omits it; accept either shape.
+	var agg *Aggregate
+	switch top := n.(type) {
+	case *Project:
+		agg = top.Input.(*Aggregate)
+	case *Aggregate:
+		agg = top
+	default:
+		t.Fatalf("plan: %s", Format(n))
+	}
+	if len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Errorf("agg: %s", agg.Describe())
+	}
+	cols := n.Cols()
+	if cols[1].Name != "n" {
+		t.Errorf("alias: %+v", cols)
+	}
+	if cols[2].Kind != types.KindFloat {
+		t.Errorf("avg kind: %v", cols[2].Kind)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cat := testCatalog(t)
+	if err := buildErr(t, cat, "SELECT salary, COUNT(*) FROM emp GROUP BY dept_id"); err == nil {
+		t.Error("non-grouped column should fail")
+	}
+	if err := buildErr(t, cat, "SELECT * FROM emp GROUP BY dept_id"); err == nil {
+		t.Error("star with group by should fail")
+	}
+	if err := buildErr(t, cat, "SELECT COUNT(*), id FROM emp"); err == nil {
+		t.Error("aggregate mixed with bare column should fail")
+	}
+}
+
+func TestOrderByBindsAliasExpressionAndHidden(t *testing.T) {
+	cat := testCatalog(t)
+	// Alias match.
+	n := buildPlan(t, cat, "SELECT salary AS s FROM emp ORDER BY s")
+	found := false
+	walk(n, func(node Node) {
+		if srt, ok := node.(*Sort); ok {
+			found = true
+			if len(srt.Keys) != 1 || srt.Keys[0].Ordinal != 0 {
+				t.Errorf("alias key: %+v", srt.Keys)
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("no sort: %s", Format(n))
+	}
+	// Hidden column: ORDER BY a column not in the output.
+	n = buildPlan(t, cat, "SELECT id FROM emp ORDER BY salary")
+	top, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("expected strip projection: %s", Format(n))
+	}
+	if len(top.Cols()) != 1 || top.Cols()[0].Name != "id" {
+		t.Errorf("output cols: %+v", top.Cols())
+	}
+	hiddenSortSeen := false
+	walk(n, func(node Node) {
+		if srt, ok := node.(*Sort); ok {
+			hiddenSortSeen = true
+			inCols := srt.Input.Cols()
+			if !inCols[srt.Keys[0].Ordinal].Hidden {
+				t.Errorf("sort key should be hidden column: %+v", inCols)
+			}
+		}
+	})
+	if !hiddenSortSeen {
+		t.Fatalf("no sort below strip: %s", Format(n))
+	}
+	// ORDER BY output of grouped query must reference the select list.
+	if err := buildErr(t, cat, "SELECT dept_id FROM emp GROUP BY dept_id ORDER BY salary"); err == nil {
+		t.Error("grouped order-by on non-output should fail")
+	}
+}
+
+func TestUnionArityCheck(t *testing.T) {
+	cat := testCatalog(t)
+	if err := buildErr(t, cat, "SELECT id FROM emp UNION ALL SELECT id, dept_id FROM emp e2"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	n := buildPlan(t, cat, "SELECT id FROM emp UNION ALL SELECT id FROM dept")
+	if _, ok := n.(*UnionAll); !ok {
+		t.Fatalf("plan: %s", Format(n))
+	}
+}
+
+func TestViewExpansionDerived(t *testing.T) {
+	cat := testCatalog(t)
+	viewQ, err := sql.Parse("SELECT id, name FROM dept WHERE id > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Builder{Catalog: cat, Views: map[string]*sql.Select{"v": viewQ.(*sql.Select)}}
+	stmt, _ := sql.Parse("SELECT name FROM v WHERE id = 3")
+	n, err := b.BuildSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Format(n)
+	if !strings.Contains(s, "Derived AS v") {
+		t.Errorf("plan:\n%s", s)
+	}
+}
+
+func TestDistinctLimitShape(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT DISTINCT dept_id FROM emp ORDER BY dept_id LIMIT 3")
+	if _, ok := n.(*Limit); !ok {
+		t.Fatalf("top should be limit: %s", Format(n))
+	}
+	s := Format(n)
+	for _, want := range []string{"Limit 3", "Sort", "Distinct", "Project", "Scan emp"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %s in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTransformClones(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT id FROM emp WHERE salary > 1 ORDER BY id LIMIT 2")
+	count := 0
+	n2 := Transform(n, func(node Node) Node {
+		count++
+		return node
+	})
+	if count < 4 {
+		t.Errorf("transform visited %d nodes", count)
+	}
+	if Format(n2) != Format(n) {
+		t.Error("identity transform should preserve shape")
+	}
+}
+
+func TestExpressionProjection(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT salary * 2 AS dbl FROM emp")
+	p := n.(*Project)
+	if p.Cols()[0].Name != "dbl" || p.Cols()[0].SourceTable != "" {
+		t.Errorf("computed column: %+v", p.Cols()[0])
+	}
+}
+
+func TestQualifiedStarExpansion(t *testing.T) {
+	cat := testCatalog(t)
+	n := buildPlan(t, cat, "SELECT d.*, e.id FROM emp e, dept d WHERE e.dept_id = d.id")
+	p := n.(*Project)
+	cols := p.Cols()
+	if len(cols) != 3 || cols[0].Qualifier != "d" || cols[2].Qualifier != "e" {
+		t.Errorf("cols: %+v", cols)
+	}
+}
+
+func walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Inputs() {
+		walk(c, fn)
+	}
+}

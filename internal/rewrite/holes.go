@@ -1,0 +1,99 @@
+package rewrite
+
+import (
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+)
+
+// trimJoinHoles applies §2 [8]'s optimization: for an equi-join with a
+// registered hole set over profiled attributes (A on the left table, B on
+// the right), the query's range condition on A can be tightened by every
+// hole whose B-extent covers the query's whole B range (values of A inside
+// such a hole can produce no join results), and symmetrically for B. The
+// trim happens on the scan filters, cutting pages before the join runs.
+func (r *Rewriter) trimJoinHoles(jg *plan.JoinGroup) {
+	for _, c := range jg.Conjuncts {
+		b, ok := c.(*expr.Binary)
+		if !ok || b.Op != expr.OpEq {
+			continue
+		}
+		lc, lok := b.L.(*expr.Column)
+		rc, rok := b.R.(*expr.Column)
+		if !lok || !rok {
+			continue
+		}
+		li, ri := tableOf(jg, lc.Index), tableOf(jg, rc.Index)
+		if li < 0 || ri < 0 || li == ri {
+			continue
+		}
+		ls, lIsScan := jg.Tables[li].(*plan.Scan)
+		rs, rIsScan := jg.Tables[ri].(*plan.Scan)
+		if !lIsScan || !rIsScan || ls.Entry == nil || rs.Entry == nil {
+			continue
+		}
+		lCol := ls.Def.Columns[lc.Index-jg.Offset(li)].Name
+		rCol := rs.Def.Columns[rc.Index-jg.Offset(ri)].Name
+		holes, swapped := r.Cat.JoinHolesFor(ls.Table, lCol, rs.Table, rCol)
+		if holes == nil || len(holes.Holes) == 0 {
+			continue
+		}
+		// Orient: "left" in the hole record vs. in this query.
+		leftScan, rightScan := ls, rs
+		if swapped {
+			leftScan, rightScan = rs, ls
+		}
+		aOrd := leftScan.Def.ColumnIndex(holes.AttrLeft)
+		bOrd := rightScan.Def.ColumnIndex(holes.AttrRight)
+		if aOrd < 0 || bOrd < 0 {
+			continue
+		}
+		r.trimScanPair(leftScan, aOrd, rightScan, bOrd, holes.Name, holes.Holes)
+	}
+}
+
+// trimScanPair iterates hole-based tightening to a fixpoint.
+func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int, source string, rects []catalog.Rect) {
+	// Normalize filters into flat conjunct lists first.
+	ls.Filter = expr.SplitConjuncts(expr.And(ls.Filter...))
+	rs.Filter = expr.SplitConjuncts(expr.And(rs.Filter...))
+	for pass := 0; pass < 4; pass++ {
+		ia, _ := expr.ExtractInterval(ls.Filter, aOrd)
+		ib, _ := expr.ExtractInterval(rs.Filter, bOrd)
+		changed := false
+		for _, h := range rects {
+			// A-side trim: the hole's B extent must cover the whole B range
+			// the query admits.
+			if !ib.IsUnbounded() && ib.CoveredBy(h.B) {
+				if trimmed, ok := ia.Subtract(h.A); ok && trimmed.String() != ia.String() {
+					ia = trimmed
+					changed = true
+				}
+			}
+			if !ia.IsUnbounded() && ia.CoveredBy(h.A) {
+				if trimmed, ok := ib.Subtract(h.B); ok && trimmed.String() != ib.String() {
+					ib = trimmed
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+		r.replaceInterval(ls, aOrd, ia)
+		r.replaceInterval(rs, bOrd, ib)
+		r.tracef("hole-trim: %s: %s.%s to %s, %s.%s to %s",
+			source, ls.Alias, ls.Def.Columns[aOrd].Name, ia, rs.Alias, rs.Def.Columns[bOrd].Name, ib)
+	}
+}
+
+// replaceInterval rewrites the scan's filter so its interval on the column
+// becomes iv (other conjuncts are preserved).
+func (r *Rewriter) replaceInterval(s *plan.Scan, ord int, iv expr.Interval) {
+	_, rest := expr.ExtractInterval(s.Filter, ord)
+	col := expr.NewColumn(s.Alias, s.Def.Columns[ord].Name, ord, s.Def.Columns[ord].Type)
+	if p := expr.IntervalToPredicate(col, iv); p != nil {
+		rest = append(rest, expr.SplitConjuncts(p)...)
+	}
+	s.Filter = rest
+}

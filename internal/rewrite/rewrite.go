@@ -1,0 +1,520 @@
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+	"softdb/internal/stats"
+	"softdb/internal/types"
+)
+
+// Options toggles individual rules, for ablation benchmarks and tests.
+type Options struct {
+	NoJoinElim     bool // disable join elimination over RI ([6])
+	NoPredIntro    bool // disable predicate introduction (checks + correlations)
+	NoBranchPrune  bool // disable union-all branch elimination (§5)
+	NoHoleTrim     bool // disable join-hole range trimming ([8])
+	NoSortOpt      bool // disable FD-based sort/group simplification ([29])
+	NoExceptionAST bool // disable the §4.4 exception-union rewrite
+	NoSSCTwins     bool // disable §5.1 estimation-only twinned predicates
+	NoASTRouting   bool // disable routing scans through matching ASTs (§4.4)
+}
+
+// Rewriter applies semantic query optimization to logical plans. It may
+// mutate the plan in place; callers build a fresh plan per query.
+type Rewriter struct {
+	Cat   *catalog.Catalog
+	Opt   Options
+	Trace []string
+}
+
+// New returns a rewriter over the given catalog with all rules enabled.
+func New(cat *catalog.Catalog) *Rewriter { return &Rewriter{Cat: cat} }
+
+func (r *Rewriter) tracef(format string, args ...any) {
+	r.Trace = append(r.Trace, fmt.Sprintf(format, args...))
+}
+
+// Rewrite applies all enabled rules and returns the (possibly replaced)
+// plan root.
+func (r *Rewriter) Rewrite(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.Project:
+		t.Input = r.Rewrite(t.Input)
+		if jg, ok := t.Input.(*plan.JoinGroup); ok && !r.Opt.NoJoinElim {
+			slots := make([]*expr.Expr, len(t.Exprs))
+			for i := range t.Exprs {
+				slots[i] = &t.Exprs[i]
+			}
+			r.eliminateJoins(jg, slots)
+			t.Input = r.simplifyGroup(jg)
+		}
+		if isEmpty(t.Input) {
+			return &plan.Empty{Schema: t.Cols(), Reason: reasonOf(t.Input)}
+		}
+		return t
+	case *plan.Aggregate:
+		t.Input = r.Rewrite(t.Input)
+		if jg, ok := t.Input.(*plan.JoinGroup); ok && !r.Opt.NoJoinElim {
+			var slots []*expr.Expr
+			for i := range t.GroupBy {
+				slots = append(slots, &t.GroupBy[i])
+			}
+			for i := range t.Aggs {
+				if t.Aggs[i].Arg != nil {
+					slots = append(slots, &t.Aggs[i].Arg)
+				}
+			}
+			r.eliminateJoins(jg, slots)
+			t.Input = r.simplifyGroup(jg)
+		}
+		if !r.Opt.NoSortOpt {
+			r.reduceGroupBy(t)
+		}
+		return t
+	case *plan.Sort:
+		t.Input = r.Rewrite(t.Input)
+		if !r.Opt.NoSortOpt {
+			r.simplifySort(t)
+		}
+		return t
+	case *plan.Filter:
+		t.Input = r.Rewrite(t.Input)
+		if isEmpty(t.Input) {
+			return t.Input
+		}
+		return t
+	case *plan.Distinct:
+		t.Input = r.Rewrite(t.Input)
+		return t
+	case *plan.Limit:
+		t.Input = r.Rewrite(t.Input)
+		if isEmpty(t.Input) {
+			return t.Input
+		}
+		return t
+	case *plan.Derived:
+		t.Input = r.Rewrite(t.Input)
+		if isEmpty(t.Input) {
+			return &plan.Empty{Schema: t.Cols(), Reason: reasonOf(t.Input)}
+		}
+		return t
+	case *plan.UnionAll:
+		var kept []plan.Node
+		for _, arm := range t.Arms {
+			na := r.Rewrite(arm)
+			if isEmpty(na) {
+				if !r.Opt.NoBranchPrune {
+					t.Pruned = append(t.Pruned, reasonOf(na))
+					r.tracef("branch-elimination: pruned union arm (%s)", reasonOf(na))
+					continue
+				}
+			}
+			kept = append(kept, na)
+		}
+		switch len(kept) {
+		case 0:
+			return &plan.Empty{Schema: t.Cols(), Reason: "all union arms pruned"}
+		case 1:
+			if len(t.Pruned) > 0 {
+				r.tracef("branch-elimination: union collapsed to a single arm")
+			}
+			return kept[0]
+		default:
+			t.Arms = kept
+			return t
+		}
+	case *plan.JoinGroup:
+		return r.rewriteJoinGroup(t)
+	case *plan.Scan:
+		return r.rewriteScan(t)
+	default:
+		return n
+	}
+}
+
+func isEmpty(n plan.Node) bool {
+	_, ok := n.(*plan.Empty)
+	return ok
+}
+
+func reasonOf(n plan.Node) string {
+	if e, ok := n.(*plan.Empty); ok {
+		return e.Reason
+	}
+	return ""
+}
+
+// rewriteJoinGroup pushes conjuncts into union-backed sources, trims ranges
+// by join holes, recurses into the inputs, and propagates emptiness.
+func (r *Rewriter) rewriteJoinGroup(jg *plan.JoinGroup) plan.Node {
+	// Single union-backed source: distribute conjuncts into the arms so
+	// branch elimination can see them (§5).
+	if len(jg.Tables) == 1 && len(jg.Conjuncts) > 0 {
+		if pushed, ok := attachConjuncts(jg.Tables[0], jg.Conjuncts); ok {
+			return r.Rewrite(pushed)
+		}
+	}
+	if !r.Opt.NoHoleTrim {
+		r.trimJoinHoles(jg)
+	}
+	for i, in := range jg.Tables {
+		jg.Tables[i] = r.Rewrite(in)
+	}
+	for _, in := range jg.Tables {
+		if isEmpty(in) {
+			return &plan.Empty{Schema: jg.Cols(), Reason: reasonOf(in)}
+		}
+	}
+	if len(jg.Tables) == 1 && len(jg.Conjuncts) == 0 {
+		return jg.Tables[0]
+	}
+	return jg
+}
+
+// attachConjuncts pushes conjuncts (bound to n's output ordinals) inside n
+// where that distributes over unions or lands on a scan filter. The second
+// return is false when no structural push was possible.
+func attachConjuncts(n plan.Node, conj []expr.Expr) (plan.Node, bool) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		t.Filter = append(t.Filter, conj...)
+		return t, true
+	case *plan.Derived:
+		in, ok := attachConjuncts(t.Input, conj)
+		if !ok {
+			return n, false
+		}
+		t.Input = in
+		return t, true
+	case *plan.UnionAll:
+		for i, arm := range t.Arms {
+			// Each arm gets its own copy of the conjunct trees so later
+			// per-arm rewrites do not alias.
+			cloned := make([]expr.Expr, len(conj))
+			for j, c := range conj {
+				cloned[j] = expr.RemapColumns(c, map[int]int{}) // structural copy on write
+			}
+			na, ok := attachConjuncts(arm, cloned)
+			if !ok {
+				na = &plan.JoinGroup{Tables: []plan.Node{arm}, Conjuncts: cloned}
+			}
+			t.Arms[i] = na
+		}
+		return t, true
+	case *plan.Project:
+		// Push through a projection of plain columns.
+		mapping := map[int]int{}
+		for outIdx, e := range t.Exprs {
+			c, ok := e.(*expr.Column)
+			if !ok {
+				return n, false
+			}
+			mapping[outIdx] = c.Index
+		}
+		remapped := make([]expr.Expr, len(conj))
+		for i, c := range conj {
+			remapped[i] = expr.RemapColumns(c, mapping)
+		}
+		in, ok := attachConjuncts(t.Input, remapped)
+		if !ok {
+			in = &plan.JoinGroup{Tables: []plan.Node{t.Input}, Conjuncts: remapped}
+		}
+		t.Input = in
+		return t, true
+	case *plan.JoinGroup:
+		t.Conjuncts = append(t.Conjuncts, conj...)
+		return t, true
+	default:
+		return n, false
+	}
+}
+
+// --- scan-level rules ---
+
+// bound couples a LinearBound with its originating catalog object.
+type bound struct {
+	LinearBound
+	check *catalog.Constraint
+	corr  *catalog.LinearCorrelation
+}
+
+// boundsFor lowers every applicable constraint and correlation on the
+// scan's base table into linear bounds over the scan's local ordinals.
+func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
+	if s.Entry == nil {
+		return nil
+	}
+	var out []bound
+	for _, con := range s.Entry.Constraints {
+		if con.Kind != catalog.Check || !con.Active {
+			continue
+		}
+		for _, lb := range boundsFromCheck(con) {
+			out = append(out, bound{LinearBound: lb, check: con})
+		}
+	}
+	for _, lc := range r.Cat.Correlations(s.Table) {
+		if !lc.Usable() {
+			continue // §3.2: probationary SCs are maintained, not employed
+		}
+		aOrd := s.Def.ColumnIndex(lc.ColA)
+		bOrd := s.Def.ColumnIndex(lc.ColB)
+		if aOrd < 0 || bOrd < 0 {
+			continue
+		}
+		lb := boundFromCorrelation(lc, aOrd, bOrd)
+		if !lc.IsAbsolute() {
+			lb.Mode = catalog.ModeSoftStatistical
+		}
+		out = append(out, bound{LinearBound: lb, corr: lc})
+	}
+	return out
+}
+
+// rewriteScan applies predicate folding, contradiction detection against
+// check constraints (branch pruning), predicate introduction from absolute
+// bounds, the exception-union rewrite, and SSC twin generation.
+func (r *Rewriter) rewriteScan(s *plan.Scan) plan.Node {
+	// Fold constants in filters.
+	for i, f := range s.Filter {
+		s.Filter[i] = expr.FoldConstants(f)
+	}
+	for _, f := range s.Filter {
+		if expr.IsConstFalse(f) {
+			return &plan.Empty{Schema: s.Cols(), Reason: "false predicate on " + s.Alias}
+		}
+	}
+	// Per-column filter intervals; contradiction check.
+	for ord := range s.Def.Columns {
+		iv, _ := expr.ExtractInterval(s.Filter, ord)
+		if iv.Empty() {
+			return &plan.Empty{Schema: s.Cols(), Reason: fmt.Sprintf("contradictory range on %s.%s", s.Alias, s.Def.Columns[ord].Name)}
+		}
+	}
+	if s.Entry == nil {
+		return s // summary scans: no constraints of their own
+	}
+	// AST routing (§4.4): when the query's own predicates contain an AST's
+	// defining predicate, every qualifying row lives in the AST, so the
+	// (smaller) AST can be scanned instead of the base table. DB2 presents
+	// the AST as a choice point for the cost-based optimizer; since the AST
+	// holds a subset of the base rows, routing is never worse here.
+	if !r.Opt.NoASTRouting {
+		if routed := r.routeThroughAST(s); routed != nil {
+			return routed
+		}
+	}
+	bounds := r.boundsFor(s)
+	// Branch pruning: a filter interval disjoint from a single-column
+	// absolute bound proves the scan empty (§5's knock-out test).
+	if !r.Opt.NoBranchPrune {
+		for _, b := range bounds {
+			if !b.singleColumn() || b.Confidence < 1 || !b.Mode.UsableInRewrite() {
+				continue
+			}
+			kind := s.Def.Columns[b.ColA].Type
+			biv, ok := b.singleColumnInterval(kind)
+			if !ok {
+				continue
+			}
+			fiv, _ := expr.ExtractInterval(s.Filter, b.ColA)
+			if fiv.IsUnbounded() {
+				continue
+			}
+			if fiv.Disjoint(biv) {
+				return &plan.Empty{
+					Schema: s.Cols(),
+					Reason: fmt.Sprintf("%s contradicts %s on %s", s.Alias, b.Source, s.Def.Columns[b.ColA].Name),
+				}
+			}
+		}
+	}
+	// Predicate introduction / exception rewrite / SSC twins over
+	// two-column bounds. Absolute bounds apply first (they add filters in
+	// place) so that a later exception-union rewrite copies them into its
+	// arms.
+	ordered := make([]bound, 0, len(bounds))
+	for _, b := range bounds {
+		if !b.singleColumn() && b.Confidence >= 1 && b.Mode.UsableInRewrite() {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, b := range bounds {
+		if !b.singleColumn() && !(b.Confidence >= 1 && b.Mode.UsableInRewrite()) {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, b := range ordered {
+		for _, dir := range [2][2]int{{b.ColB, b.ColA}, {b.ColA, b.ColB}} {
+			known, target := dir[0], dir[1]
+			if node, changed := r.applyBound(s, b, known, target); changed {
+				return node
+			}
+		}
+	}
+	return s
+}
+
+// applyBound tries to exploit one two-column bound in one direction. It
+// returns (replacement, true) when the scan was replaced wholesale (the
+// exception-union rewrite); in-place filter/twin additions return (s,
+// false) so remaining bounds still apply.
+func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.Node, bool) {
+	fiv, _ := expr.ExtractInterval(s.Filter, known)
+	if fiv.IsUnbounded() || fiv.Empty() {
+		return s, false
+	}
+	fl, ok := toFloatInterval(fiv)
+	if !ok {
+		return s, false
+	}
+	derived, ok := b.deriveOther(known, fl)
+	if !ok || (math.IsInf(derived.lo, -1) && math.IsInf(derived.hi, 1)) {
+		return s, false
+	}
+	kind := s.Def.Columns[target].Type
+	div, ok := floatToInterval(derived, kind, false)
+	if !ok || div.IsUnbounded() {
+		return s, false
+	}
+	// Only worthwhile when it tightens what the query already states.
+	existing, _ := expr.ExtractInterval(s.Filter, target)
+	if existing.CoveredBy(div) {
+		return s, false
+	}
+	col := expr.NewColumn(s.Alias, s.Def.Columns[target].Name, target, kind)
+	pred := expr.IntervalToPredicate(col, div)
+	if pred == nil {
+		return s, false
+	}
+	absolute := b.Confidence >= 1 && b.Mode.UsableInRewrite()
+	indexHelps := s.Entry.IndexOn(target) != nil && s.Entry.IndexOn(known) == nil
+
+	if absolute {
+		if r.Opt.NoPredIntro || !indexHelps {
+			return s, false
+		}
+		for _, c := range expr.SplitConjuncts(pred) {
+			if !expr.ContainsConjunct(s.Filter, c) {
+				s.Filter = append(s.Filter, c)
+			}
+		}
+		r.tracef("predicate-introduction: %s: added %s from %s", s.Alias, pred, b.Source)
+		return s, false
+	}
+
+	// Statistical bound. Prefer the exact §4.4 exception-union rewrite when
+	// an exception AST is linked; otherwise fall back to a §5.1 twin.
+	if !r.Opt.NoExceptionAST && b.check != nil && indexHelps {
+		if ast, ok := r.Cat.ExceptionFor(b.check.Name); ok && ast.Base != "" && strings.EqualFold(ast.Base, s.Table) {
+			if rewritten, ok := r.exceptionUnion(s, b, pred, ast); ok {
+				return rewritten, true
+			}
+		}
+	}
+	if !r.Opt.NoSSCTwins {
+		ep := stats.EstimationPredicate{Pred: pred, Confidence: b.Confidence, Source: b.Source}
+		for _, existing := range s.EstOnly {
+			if expr.Equivalent(existing.Pred, ep.Pred) {
+				return s, false
+			}
+		}
+		s.EstOnly = append(s.EstOnly, ep)
+		r.tracef("ssc-twin: %s: %s twinned with confidence %.3f from %s", s.Alias, pred, b.Confidence, b.Source)
+	}
+	return s, false
+}
+
+// routeThroughAST returns a summary-table scan replacing s when some
+// materialized AST's defining predicate is contained in s's filter
+// conjuncts (so the AST provably holds every qualifying row), or nil.
+func (r *Rewriter) routeThroughAST(s *plan.Scan) plan.Node {
+	filterConjuncts := s.Filter
+	var best *catalog.SummaryTable
+	bestSize := int64(-1)
+	for _, st := range r.Cat.SummariesOn(s.Table) {
+		if st.Informational || st.Heap == nil || st.Where == nil {
+			continue
+		}
+		contained := true
+		for _, c := range expr.SplitConjuncts(st.Where) {
+			if !expr.ContainsConjunct(filterConjuncts, c) {
+				contained = false
+				break
+			}
+		}
+		if !contained {
+			continue
+		}
+		if bestSize < 0 || st.Heap.RowCount() < bestSize {
+			best = st
+			bestSize = st.Heap.RowCount()
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	r.tracef("ast-routing: %s: routed through AST %s (%d of %d rows)",
+		s.Alias, best.Name, best.Heap.RowCount(), s.Entry.Heap.RowCount())
+	return &plan.Scan{
+		Table: best.Name, Alias: s.Alias, Summary: best, Def: best.Def,
+		Filter:  append([]expr.Expr(nil), s.Filter...),
+		EstOnly: s.EstOnly,
+	}
+}
+
+// exceptionUnion builds the §4.4 rewrite:
+//
+//	σ_F(T)  ≡  σ_{F ∧ C ∧ P}(T)  UNION ALL  σ_F(E)
+//
+// where C is the constraint statement, P the introduced predicate, and E
+// the exception AST holding exactly the rows violating C. The two arms are
+// disjoint because arm 1 keeps only C-satisfying rows and E holds only
+// C-violating rows.
+func (r *Rewriter) exceptionUnion(s *plan.Scan, b bound, pred expr.Expr, ast *catalog.SummaryTable) (plan.Node, bool) {
+	if b.check.CheckExpr == nil {
+		return nil, false
+	}
+	arm1 := &plan.Scan{
+		Table: s.Table, Alias: s.Alias, Entry: s.Entry, Def: s.Def,
+		Filter: append(append([]expr.Expr(nil), s.Filter...), b.check.CheckExpr),
+	}
+	for _, c := range expr.SplitConjuncts(pred) {
+		if !expr.ContainsConjunct(arm1.Filter, c) {
+			arm1.Filter = append(arm1.Filter, c)
+		}
+	}
+	arm2 := &plan.Scan{
+		Table: ast.Name, Alias: s.Alias, Summary: ast, Def: ast.Def,
+		Filter: append([]expr.Expr(nil), s.Filter...),
+	}
+	r.tracef("exception-union: %s: routed through AST %s with %s (constraint %s)",
+		s.Alias, ast.Name, pred, b.check.Name)
+	return &plan.UnionAll{Arms: []plan.Node{arm1, arm2}}, true
+}
+
+// constraintIntervalFor exposes the single-column absolute constraint
+// interval on a column, used by the optimizer for bound tightening and by
+// tests.
+func ConstraintInterval(cat *catalog.Catalog, te *catalog.TableEntry, ord int, kind types.Kind) expr.Interval {
+	iv := expr.Unbounded()
+	for _, con := range te.Constraints {
+		if con.Kind != catalog.Check || !con.Active || con.Confidence < 1 || !con.Mode.UsableInRewrite() {
+			continue
+		}
+		for _, lb := range boundsFromCheck(con) {
+			if !lb.singleColumn() || lb.ColA != ord {
+				continue
+			}
+			if biv, ok := lb.singleColumnInterval(kind); ok {
+				iv = iv.Intersect(biv)
+			}
+		}
+	}
+	return iv
+}

@@ -1,0 +1,136 @@
+// Package schema defines table and column metadata shared by the storage,
+// catalog, planning, and execution layers.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"softdb/internal/types"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name     string
+	Type     types.Kind
+	Nullable bool
+}
+
+// Table describes a base table: its name and ordered columns.
+type Table struct {
+	Name    string
+	Columns []Column
+}
+
+// NewTable builds a table definition, validating that column names are
+// unique (case-insensitively).
+func NewTable(name string, cols ...Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema: table %s has no columns", name)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if lc == "" {
+			return nil, fmt.Errorf("schema: table %s has an unnamed column", name)
+		}
+		if seen[lc] {
+			return nil, fmt.Errorf("schema: table %s: duplicate column %s", name, c.Name)
+		}
+		seen[lc] = true
+	}
+	return &Table{Name: name, Columns: cols}, nil
+}
+
+// MustTable is NewTable that panics on error, for tests and generators.
+func MustTable(name string, cols ...Column) *Table {
+	t, err := NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1. Matching is
+// case-insensitive, following SQL identifier rules.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the definition of the named column.
+func (t *Table) Column(name string) (Column, bool) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return len(t.Columns) }
+
+// ValidateRow checks arity, kinds (with numeric coercion), and nullability,
+// returning a possibly-coerced copy of the row ready for storage.
+func (t *Table) ValidateRow(row types.Row) (types.Row, error) {
+	if len(row) != len(t.Columns) {
+		return nil, fmt.Errorf("schema: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	out := make(types.Row, len(row))
+	for i, d := range row {
+		col := t.Columns[i]
+		if d.IsNull() {
+			if !col.Nullable {
+				return nil, fmt.Errorf("schema: column %s.%s is NOT NULL", t.Name, col.Name)
+			}
+			out[i] = d
+			continue
+		}
+		if d.Kind() == col.Type {
+			out[i] = d
+			continue
+		}
+		c, err := types.Coerce(d, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("schema: column %s.%s: %w", t.Name, col.Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// String renders the table as a CREATE TABLE-like signature.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteByte('(')
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+		if !c.Nullable {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package softc
+
+import (
+	"strings"
+	"testing"
+
+	"softdb/internal/catalog"
+	"softdb/internal/types"
+)
+
+func TestProbationLifecycle(t *testing.T) {
+	cat, te := setupPurchase(t, 200, 0)
+	m := NewManager(cat)
+	lc := &catalog.LinearCorrelation{
+		Table: "purchase", ColA: "ship_date", ColB: "order_date",
+		K: 1, B0: 9.5, Eps: 10, Confidence: 1,
+	}
+	if err := m.InstallOnProbation([]ScoredCorrelation{{Corr: lc, Score: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.Probation || !lc.Active {
+		t.Fatalf("probation state: %+v", lc)
+	}
+	if lc.Usable() {
+		t.Error("probationary correlations are not usable by the optimizer")
+	}
+	// Probation survived: promote.
+	if err := m.Promote(lc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Probation || !lc.Usable() {
+		t.Errorf("after promotion: %+v", lc)
+	}
+	_ = te
+}
+
+func TestPromoteRefusesViolated(t *testing.T) {
+	cat, te := setupPurchase(t, 200, 0)
+	m := NewManager(cat)
+	lc := &catalog.LinearCorrelation{
+		Table: "purchase", ColA: "ship_date", ColB: "order_date",
+		K: 1, B0: 9.5, Eps: 10, Confidence: 1,
+	}
+	if err := m.InstallOnProbation([]ScoredCorrelation{{Corr: lc, Score: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// A write violates the envelope during probation (the engine would
+	// deactivate; simulate that).
+	te.Heap.Insert(types.Row{types.NewInt(9999), types.NewDate(0), types.NewDate(500)})
+	if err := cat.DeactivateCorrelation(lc.Name); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Promote(lc.Name); err == nil {
+		t.Error("violated probationary correlation must not promote")
+	}
+}
+
+func TestPromoteRefusesDrifted(t *testing.T) {
+	cat, te := setupPurchase(t, 200, 0)
+	m := NewManager(cat)
+	lc := &catalog.LinearCorrelation{
+		Table: "purchase", ColA: "ship_date", ColB: "order_date",
+		K: 1, B0: 9.5, Eps: 10, Confidence: 1,
+	}
+	if err := m.InstallOnProbation([]ScoredCorrelation{{Corr: lc, Score: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Data drifted without the engine noticing (e.g. probation checks were
+	// sampled): Promote re-verifies and refuses.
+	te.Heap.Insert(types.Row{types.NewInt(9999), types.NewDate(0), types.NewDate(500)})
+	if err := m.Promote(lc.Name); err == nil {
+		t.Error("drifted correlation must not promote")
+	}
+}
+
+func TestWorkloadDirectedSelection(t *testing.T) {
+	cat, _ := setupPurchase(t, 400, 0)
+	m := NewManager(cat)
+	c, err := m.DiscoverTable("purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without workload input the ranking is index/selectivity-driven; with
+	// a workload that filters heavily on ship_date, correlations driven by
+	// ship_date (ColB) rise.
+	wl := WorkloadCounts{"purchase": {"ship_date": 500}}
+	scored := m.SelectCorrelationsForWorkload(c.Correlations, 0, wl)
+	if len(scored) == 0 {
+		t.Fatal("nothing scored")
+	}
+	if !strings.EqualFold(scored[0].Corr.ColB, "ship_date") {
+		t.Errorf("workload should promote ship_date-driven correlations: %s", scored[0].Corr.Describe())
+	}
+	if !strings.Contains(scored[0].Why, "workload") {
+		t.Errorf("why: %s", scored[0].Why)
+	}
+	// Empty workload degrades to the plain ranking.
+	plain := m.SelectCorrelations(c.Correlations, 0)
+	unweighted := m.SelectCorrelationsForWorkload(c.Correlations, 0, WorkloadCounts{})
+	if len(plain) != len(unweighted) {
+		t.Error("empty workload must not change the candidate set")
+	}
+}

@@ -1,0 +1,218 @@
+package sql
+
+import (
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       types.Kind
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// ConstraintDef is a table-level constraint in CREATE TABLE or ALTER TABLE
+// ... ADD. The enforcement mode syntax follows the paper: ENFORCED
+// (default), INFORMATIONAL (§1, DB2's NOT ENFORCED), SOFT (an ASC), and
+// SOFT STATISTICAL [CONFIDENCE f] (an SSC).
+type ConstraintDef struct {
+	Name       string
+	Kind       catalog.Kind
+	Mode       catalog.Mode
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+	Check      expr.Expr // unbound; columns carry names only
+	Confidence float64   // for SOFT STATISTICAL
+}
+
+// CreateTable is CREATE TABLE.
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	Constraints []ConstraintDef
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is CREATE [UNIQUE] INDEX.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// CreateSummary is CREATE [INFORMATIONAL] SUMMARY TABLE name AS (SELECT *
+// FROM base [WHERE ...]), the paper's §4.4 AST declaration.
+type CreateSummary struct {
+	Name          string
+	Informational bool
+	Base          string
+	Where         expr.Expr // unbound, may be nil
+}
+
+func (*CreateSummary) stmt() {}
+
+// CreateView is CREATE VIEW name AS <select>; the select may be a UNION ALL
+// chain (the §5 partitioned-view example).
+type CreateView struct {
+	Name  string
+	Query *Select
+}
+
+func (*CreateView) stmt() {}
+
+// AlterTableAdd is ALTER TABLE name ADD <constraint def>.
+type AlterTableAdd struct {
+	Table      string
+	Constraint ConstraintDef
+}
+
+func (*AlterTableAdd) stmt() {}
+
+// DropTable is DROP TABLE.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// Insert is INSERT INTO ... VALUES.
+type Insert struct {
+	Table   string
+	Columns []string // empty means positional
+	Rows    [][]expr.Expr
+}
+
+func (*Insert) stmt() {}
+
+// SetClause is one assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  expr.Expr
+}
+
+// Update is UPDATE ... SET ... [WHERE].
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where expr.Expr
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM ... [WHERE].
+type Delete struct {
+	Table string
+	Where expr.Expr
+}
+
+func (*Delete) stmt() {}
+
+// AggKind classifies aggregate functions in a select list.
+type AggKind uint8
+
+const (
+	// AggNone marks a plain scalar item.
+	AggNone AggKind = iota
+	// AggCountStar is COUNT(*).
+	AggCountStar
+	// AggCount is COUNT(expr), counting non-null values.
+	AggCount
+	// AggSum is SUM(expr).
+	AggSum
+	// AggMin is MIN(expr).
+	AggMin
+	// AggMax is MAX(expr).
+	AggMax
+	// AggAvg is AVG(expr).
+	AggAvg
+	// AggCountDistinct is COUNT(DISTINCT expr).
+	AggCountDistinct
+)
+
+// String implements fmt.Stringer.
+func (a AggKind) String() string {
+	switch a {
+	case AggCountStar, AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one projection in a select list.
+type SelectItem struct {
+	Star          bool   // bare *
+	StarQualifier string // t.* (empty for bare *)
+	Agg           AggKind
+	Expr          expr.Expr // aggregate argument or scalar expression
+	Alias         string
+}
+
+// TableRef is one base table or view reference in FROM.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Name returns the effective binding name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Select is a SELECT statement. Explicit INNER JOIN ... ON syntax is folded
+// by the parser into the From list with the ON conditions conjoined into
+// Where. UnionAll chains additional arms.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	// Having filters grouped results. It may reference select-list aliases
+	// and grouping columns (aggregates are referenced through their
+	// aliases, e.g. `COUNT(*) AS n ... HAVING n > 5`).
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	UnionAll *Select
+}
+
+func (*Select) stmt() {}
+
+// Explain wraps a statement for EXPLAIN.
+type Explain struct{ Stmt Statement }
+
+func (*Explain) stmt() {}
+
+// Analyze is ANALYZE [TABLE] name: collect statistics (DB2 runstats).
+type Analyze struct{ Table string }
+
+func (*Analyze) stmt() {}

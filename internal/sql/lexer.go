@@ -1,0 +1,149 @@
+// Package sql implements softdb's SQL front end: a hand-written lexer and
+// recursive-descent parser covering the dialect the paper's examples use —
+// DDL with constraint enforcement modes, summary tables, views, DML, and
+// SELECT with joins, grouping, ordering, and UNION ALL.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF marks end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or unreserved keyword.
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (quotes stripped,
+	// doubled quotes unescaped).
+	TokString
+	// TokOp is an operator or punctuation mark.
+	TokOp
+)
+
+// Token is one lexeme with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// IsKeyword reports whether the token is the given keyword,
+// case-insensitively.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// Upper returns the token text upper-cased, the form keyword dispatch uses.
+func (t Token) Upper() string { return strings.ToUpper(t.Text) }
+
+// Lex tokenizes the input. It returns an error for unterminated strings or
+// unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < n {
+				ch := input[i]
+				if ch >= '0' && ch <= '9' {
+					i++
+					continue
+				}
+				if ch == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && i+1 < n && (isDigit(input[i+1]) || ((input[i+1] == '+' || input[i+1] == '-') && i+2 < n && isDigit(input[i+2]))) {
+					i += 2
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+					break
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			var op string
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				op = two
+				i += 2
+			default:
+				switch c {
+				case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';':
+					op = string(c)
+					i++
+				default:
+					return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				}
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isIdentPart(r rune) bool { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

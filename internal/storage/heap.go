@@ -1,0 +1,223 @@
+// Package storage implements softdb's in-memory heap tables with a
+// simulated page model. Rows are stored in fixed-size (4 KiB) pages; scans
+// and fetches account page and row touches so that the optimizer's cost
+// model and the benchmark harness can report I/O the way the paper reasons
+// about it (pages scanned), without a disk.
+package storage
+
+import (
+	"fmt"
+
+	"softdb/internal/schema"
+	"softdb/internal/types"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// pageOverhead models the per-page header.
+const pageOverhead = 64
+
+// RowID identifies a row as (page number, slot within page).
+type RowID struct {
+	Page int32
+	Slot int32
+}
+
+// String renders the row ID as page:slot.
+func (r RowID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Counters accumulates simulated I/O work. The executor passes one Counters
+// through a query; storage bumps it on every page and row touch.
+type Counters struct {
+	PagesRead int64 // heap or index pages fetched
+	RowsRead  int64 // rows materialized from pages
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.PagesRead += other.PagesRead
+	c.RowsRead += other.RowsRead
+}
+
+type slot struct {
+	row  types.Row
+	dead bool
+}
+
+type page struct {
+	slots []slot
+	bytes int // estimated payload bytes
+	live  int
+}
+
+// Heap is an append-oriented row store with slotted pages. It is not safe
+// for concurrent mutation; the engine serializes writers.
+type Heap struct {
+	def     *schema.Table
+	pages   []*page
+	rowSize int // estimated bytes per row, from the schema
+	live    int64
+	version int64 // bumped on every mutation; used by plan/stat invalidation
+}
+
+// NewHeap creates an empty heap for the given table definition.
+func NewHeap(def *schema.Table) *Heap {
+	return &Heap{def: def, rowSize: estimateRowSize(def)}
+}
+
+func estimateRowSize(def *schema.Table) int {
+	size := 8 // row header
+	for _, c := range def.Columns {
+		switch c.Type {
+		case types.KindInt, types.KindFloat, types.KindDate:
+			size += 8
+		case types.KindBool:
+			size += 1
+		case types.KindString:
+			size += 24 // typical short varchar estimate
+		default:
+			size += 8
+		}
+	}
+	return size
+}
+
+// Def returns the table definition this heap stores rows for.
+func (h *Heap) Def() *schema.Table { return h.def }
+
+// RowCount returns the number of live rows.
+func (h *Heap) RowCount() int64 { return h.live }
+
+// PageCount returns the number of allocated pages.
+func (h *Heap) PageCount() int64 { return int64(len(h.pages)) }
+
+// Version returns a counter that increases on every mutation.
+func (h *Heap) Version() int64 { return h.version }
+
+// RowsPerPage reports how many rows of this table fit a page.
+func (h *Heap) RowsPerPage() int {
+	n := (PageSize - pageOverhead) / h.rowSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Insert appends a row (already schema-validated by the caller) and returns
+// its RowID.
+func (h *Heap) Insert(row types.Row) RowID {
+	h.version++
+	h.live++
+	capacity := h.RowsPerPage()
+	var p *page
+	if n := len(h.pages); n > 0 && len(h.pages[n-1].slots) < capacity {
+		p = h.pages[n-1]
+	} else {
+		p = &page{}
+		h.pages = append(h.pages, p)
+	}
+	p.slots = append(p.slots, slot{row: row})
+	p.bytes += h.rowSize
+	p.live++
+	return RowID{Page: int32(len(h.pages) - 1), Slot: int32(len(p.slots) - 1)}
+}
+
+// Fetch returns the row at id, counting one page read and one row read.
+// The second return is false if the row was deleted or the ID is invalid.
+func (h *Heap) Fetch(id RowID, c *Counters) (types.Row, bool) {
+	if c != nil {
+		c.PagesRead++
+	}
+	if int(id.Page) >= len(h.pages) {
+		return nil, false
+	}
+	p := h.pages[id.Page]
+	if int(id.Slot) >= len(p.slots) {
+		return nil, false
+	}
+	s := p.slots[id.Slot]
+	if s.dead {
+		return nil, false
+	}
+	if c != nil {
+		c.RowsRead++
+	}
+	return s.row, true
+}
+
+// Get returns the row at id without touching counters (catalog/maintenance
+// use). The second return is false for dead or invalid IDs.
+func (h *Heap) Get(id RowID) (types.Row, bool) { return h.Fetch(id, nil) }
+
+// Delete marks the row at id dead. It reports whether a live row was
+// removed.
+func (h *Heap) Delete(id RowID) bool {
+	if int(id.Page) >= len(h.pages) {
+		return false
+	}
+	p := h.pages[id.Page]
+	if int(id.Slot) >= len(p.slots) || p.slots[id.Slot].dead {
+		return false
+	}
+	p.slots[id.Slot].dead = true
+	p.live--
+	h.live--
+	h.version++
+	return true
+}
+
+// Update replaces the row at id in place. It reports whether a live row was
+// updated.
+func (h *Heap) Update(id RowID, row types.Row) bool {
+	if int(id.Page) >= len(h.pages) {
+		return false
+	}
+	p := h.pages[id.Page]
+	if int(id.Slot) >= len(p.slots) || p.slots[id.Slot].dead {
+		return false
+	}
+	p.slots[id.Slot].row = row
+	h.version++
+	return true
+}
+
+// Scan iterates all live rows in storage order, counting one page read per
+// page touched and one row read per live row. Iteration stops early when fn
+// returns false.
+func (h *Heap) Scan(c *Counters, fn func(id RowID, row types.Row) bool) {
+	for pi, p := range h.pages {
+		if c != nil {
+			c.PagesRead++
+		}
+		for si := range p.slots {
+			s := &p.slots[si]
+			if s.dead {
+				continue
+			}
+			if c != nil {
+				c.RowsRead++
+			}
+			if !fn(RowID{Page: int32(pi), Slot: int32(si)}, s.row) {
+				return
+			}
+		}
+	}
+}
+
+// ScanAll collects every live row; convenience for miners and tests.
+func (h *Heap) ScanAll() []types.Row {
+	out := make([]types.Row, 0, h.live)
+	h.Scan(nil, func(_ RowID, row types.Row) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// Truncate removes all rows and pages.
+func (h *Heap) Truncate() {
+	h.pages = nil
+	h.live = 0
+	h.version++
+}

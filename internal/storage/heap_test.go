@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"softdb/internal/schema"
+	"softdb/internal/types"
+)
+
+func testDef() *schema.Table {
+	return schema.MustTable("t",
+		schema.Column{Name: "a", Type: types.KindInt},
+		schema.Column{Name: "b", Type: types.KindString, Nullable: true},
+	)
+}
+
+func TestInsertFetch(t *testing.T) {
+	h := NewHeap(testDef())
+	id := h.Insert(types.Row{types.NewInt(1), types.NewString("x")})
+	var c Counters
+	row, ok := h.Fetch(id, &c)
+	if !ok || row[0].Int() != 1 {
+		t.Fatalf("fetch: %v %v", row, ok)
+	}
+	if c.PagesRead != 1 || c.RowsRead != 1 {
+		t.Errorf("counters: %+v", c)
+	}
+	if h.RowCount() != 1 {
+		t.Error("RowCount")
+	}
+}
+
+func TestFetchInvalid(t *testing.T) {
+	h := NewHeap(testDef())
+	if _, ok := h.Fetch(RowID{Page: 5, Slot: 0}, nil); ok {
+		t.Error("fetch past end should fail")
+	}
+	id := h.Insert(types.Row{types.NewInt(1), types.Null})
+	if _, ok := h.Fetch(RowID{Page: id.Page, Slot: 99}, nil); ok {
+		t.Error("fetch bad slot should fail")
+	}
+}
+
+func TestDeleteHidesRow(t *testing.T) {
+	h := NewHeap(testDef())
+	id := h.Insert(types.Row{types.NewInt(1), types.Null})
+	if !h.Delete(id) {
+		t.Fatal("delete live row")
+	}
+	if h.Delete(id) {
+		t.Error("double delete should report false")
+	}
+	if _, ok := h.Fetch(id, nil); ok {
+		t.Error("deleted row should not fetch")
+	}
+	if h.RowCount() != 0 {
+		t.Error("RowCount after delete")
+	}
+	count := 0
+	h.Scan(nil, func(RowID, types.Row) bool { count++; return true })
+	if count != 0 {
+		t.Error("scan should skip deleted rows")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := NewHeap(testDef())
+	id := h.Insert(types.Row{types.NewInt(1), types.Null})
+	if !h.Update(id, types.Row{types.NewInt(2), types.Null}) {
+		t.Fatal("update")
+	}
+	row, _ := h.Fetch(id, nil)
+	if row[0].Int() != 2 {
+		t.Error("update did not stick")
+	}
+	if h.Update(RowID{Page: 9, Slot: 9}, nil) {
+		t.Error("update of invalid id should fail")
+	}
+}
+
+func TestPagePacking(t *testing.T) {
+	h := NewHeap(testDef())
+	perPage := h.RowsPerPage()
+	if perPage < 10 {
+		t.Fatalf("expected many small rows per page, got %d", perPage)
+	}
+	for i := 0; i < perPage+1; i++ {
+		h.Insert(types.Row{types.NewInt(int64(i)), types.Null})
+	}
+	if h.PageCount() != 2 {
+		t.Errorf("rows should spill to a second page: %d pages", h.PageCount())
+	}
+	var c Counters
+	h.Scan(&c, func(RowID, types.Row) bool { return true })
+	if c.PagesRead != 2 {
+		t.Errorf("full scan should read 2 pages, read %d", c.PagesRead)
+	}
+	if c.RowsRead != int64(perPage+1) {
+		t.Errorf("full scan rows: %d", c.RowsRead)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := NewHeap(testDef())
+	for i := 0; i < 10; i++ {
+		h.Insert(types.Row{types.NewInt(int64(i)), types.Null})
+	}
+	seen := 0
+	h.Scan(nil, func(_ RowID, _ types.Row) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Errorf("early stop: saw %d", seen)
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	h := NewHeap(testDef())
+	v0 := h.Version()
+	id := h.Insert(types.Row{types.NewInt(1), types.Null})
+	if h.Version() == v0 {
+		t.Error("insert should bump version")
+	}
+	v1 := h.Version()
+	h.Update(id, types.Row{types.NewInt(2), types.Null})
+	if h.Version() == v1 {
+		t.Error("update should bump version")
+	}
+	v2 := h.Version()
+	h.Delete(id)
+	if h.Version() == v2 {
+		t.Error("delete should bump version")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	h := NewHeap(testDef())
+	for i := 0; i < 100; i++ {
+		h.Insert(types.Row{types.NewInt(int64(i)), types.Null})
+	}
+	h.Truncate()
+	if h.RowCount() != 0 || h.PageCount() != 0 {
+		t.Error("truncate should empty the heap")
+	}
+}
+
+// Property: after a random sequence of inserts and deletes, ScanAll returns
+// exactly the live set.
+func TestRandomizedLiveSet(t *testing.T) {
+	h := NewHeap(testDef())
+	r := rand.New(rand.NewSource(11))
+	live := map[RowID]int64{}
+	var ids []RowID
+	for i := 0; i < 5000; i++ {
+		if r.Intn(3) > 0 || len(ids) == 0 {
+			v := int64(i)
+			id := h.Insert(types.Row{types.NewInt(v), types.Null})
+			live[id] = v
+			ids = append(ids, id)
+		} else {
+			id := ids[r.Intn(len(ids))]
+			if _, ok := live[id]; ok {
+				h.Delete(id)
+				delete(live, id)
+			}
+		}
+	}
+	if h.RowCount() != int64(len(live)) {
+		t.Fatalf("RowCount = %d, want %d", h.RowCount(), len(live))
+	}
+	seen := map[RowID]int64{}
+	h.Scan(nil, func(id RowID, row types.Row) bool {
+		seen[id] = row[0].Int()
+		return true
+	})
+	if len(seen) != len(live) {
+		t.Fatalf("scan saw %d rows, want %d", len(seen), len(live))
+	}
+	for id, v := range live {
+		if seen[id] != v {
+			t.Fatalf("row %v: got %d want %d", id, seen[id], v)
+		}
+	}
+}

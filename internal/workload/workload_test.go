@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"softdb/internal/engine"
+)
+
+func TestLoadPurchaseShape(t *testing.T) {
+	db := engine.Open()
+	if err := LoadPurchase(db, PurchaseConfig{N: 2000, LateFrac: 0.05, Seed: 1, ShipWindowMode: "ssc", IndexOrderDate: true}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT COUNT(*) FROM purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 2000 {
+		t.Errorf("rows: %v", rows[0])
+	}
+	// The late fraction is approximately respected.
+	late, _ := db.Query("SELECT COUNT(*) FROM purchase WHERE ship_date > order_date + 21")
+	frac := float64(late[0][0].Int()) / 2000
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("late fraction: %.3f", frac)
+	}
+	// Determinism: same seed, same data.
+	db2 := engine.Open()
+	if err := LoadPurchase(db2, PurchaseConfig{N: 2000, LateFrac: 0.05, Seed: 1, ShipWindowMode: "ssc", IndexOrderDate: true}); err != nil {
+		t.Fatal(err)
+	}
+	late2, _ := db2.Query("SELECT COUNT(*) FROM purchase WHERE ship_date > order_date + 21")
+	if late[0][0].Int() != late2[0][0].Int() {
+		t.Error("generator must be deterministic")
+	}
+	// Clustering: order_date should be near-sorted in storage order.
+	te, _ := db.Catalog().Table("purchase")
+	if cr := te.Stats.Column("order_date").ClusterRatio; cr < 0.65 {
+		t.Errorf("order_date cluster ratio: %g", cr)
+	}
+}
+
+func TestLoadProjectShape(t *testing.T) {
+	db := engine.Open()
+	if err := LoadProject(db, ProjectConfig{N: 1000, LongFrac: 0.1, Seed: 2, Confidence: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	long, _ := db.Query("SELECT COUNT(*) FROM project WHERE end_date > start_date + 30")
+	frac := float64(long[0][0].Int()) / 1000
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("long fraction: %.3f", frac)
+	}
+	if db.Catalog().ConstraintByName("duration") == nil {
+		t.Error("duration SSC should be declared")
+	}
+	n, err := ActualActiveOn(db, 250)
+	if err != nil || n <= 0 {
+		t.Errorf("active count: %d %v", n, err)
+	}
+}
+
+func TestLoadStarRI(t *testing.T) {
+	db := engine.Open()
+	if err := LoadStar(db, StarConfig{DimRows: 50, FactRows: 500, Seed: 3, FKMode: "enforced"}); err != nil {
+		t.Fatal(err)
+	}
+	// Enforced FK: inserting an orphan fails.
+	if _, err := db.Exec("INSERT INTO fact VALUES (99999, 7777, 1, 1.0)"); err == nil {
+		t.Error("orphan insert should fail under enforced RI")
+	}
+	db2 := engine.Open()
+	if err := LoadStar(db2, StarConfig{DimRows: 50, FactRows: 500, Seed: 3, FKMode: "informational"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("INSERT INTO fact VALUES (99999, 7777, 1, 1.0)"); err != nil {
+		t.Error("informational RI is never checked")
+	}
+}
+
+func TestLoadPartitionedSales(t *testing.T) {
+	db := engine.Open()
+	if err := LoadPartitionedSales(db, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT COUNT(*) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 1200 {
+		t.Errorf("view rows: %v", rows[0])
+	}
+	// Partition checks are enforced: wrong month is rejected.
+	if _, err := db.Exec("INSERT INTO sales_03 VALUES (4, 1, 1.0)"); err == nil {
+		t.Error("partition check should reject wrong month")
+	}
+}
+
+func TestLoadOrdersLineitemBand(t *testing.T) {
+	db := engine.Open()
+	if err := LoadOrdersLineitem(db, HolesConfig{Orders: 400, LinesPer: 2, Seed: 5, BandLo: 100, BandHi: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// No lineitems exist for orders in the band.
+	rows, err := db.Query(`SELECT COUNT(*) FROM orders o, lineitem l
+		WHERE o.okey = l.okey AND o.odate >= DATE '1999-01-01' + 100 AND o.odate < DATE '1999-01-01' + 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 0 {
+		t.Errorf("band should be empty: %v", rows[0])
+	}
+	total, _ := db.Query("SELECT COUNT(*) FROM lineitem")
+	if total[0][0].Int() != int64((400-100)*2) {
+		t.Errorf("lineitem rows: %v", total[0])
+	}
+}
+
+func TestLoadDenormalizedFDs(t *testing.T) {
+	db := engine.Open()
+	if err := LoadDenormalized(db, 500, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	// cust_id functionally determines cust_name by construction: one name
+	// per customer id.
+	rows, err := db.Query("SELECT DISTINCT cust_id, cust_name FROM orders_wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Errorf("distinct (cust_id, cust_name) pairs: %d", len(rows))
+	}
+}
