@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scbench [-only E1,E5] [-list]
+//	scbench [-only E1,E5] [-list] [-parallel N]
 package main
 
 import (
@@ -20,7 +20,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", bench.ParallelDegree, "worker count for the parallel configurations (P1)")
 	flag.Parse()
+	bench.ParallelDegree = *parallel
 
 	experiments := bench.All()
 	if *list {

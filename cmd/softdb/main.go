@@ -9,11 +9,14 @@
 //	\discover T  run the miners over table T and report candidates
 //	\q           quit
 //
-// An optional file argument is executed as a script before the prompt.
+// The -parallel N flag enables intra-query parallelism with up to N
+// workers. An optional file argument is executed as a script before the
+// prompt.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -24,9 +27,13 @@ import (
 )
 
 func main() {
+	parallel := flag.Int("parallel", 1, "maximum intra-query degree of parallelism (1 = serial)")
+	flag.Parse()
+
 	db := engine.Open()
-	if len(os.Args) > 1 {
-		script, err := os.ReadFile(os.Args[1])
+	db.Parallel = *parallel
+	if args := flag.Args(); len(args) > 0 {
+		script, err := os.ReadFile(args[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -35,7 +42,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded %s\n", os.Args[1])
+		fmt.Printf("loaded %s\n", args[0])
 	}
 	repl(db)
 }

@@ -111,6 +111,7 @@ func All() []Experiment {
 		{"E11", "ASC violation handling and plan-cache invalidation", func() (*Report, error) { return E11Violation(20000, 3) }},
 		{"E12", "AST routing and AST-based estimation", func() (*Report, error) { return E12ASTs(20000) }},
 		{"E13", "virtual-column statistics for expression predicates", func() (*Report, error) { return E13VirtualColumns(20000) }},
+		{"P1", "intra-query parallelism: serial vs parallel", func() (*Report, error) { return P1Parallel(200000) }},
 	}
 }
 

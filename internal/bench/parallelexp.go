@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"softdb/internal/engine"
+	"softdb/internal/workload"
+)
+
+// ParallelDegree is the worker count P1's parallel configurations use; the
+// scbench -parallel flag overrides it.
+var ParallelDegree = 8
+
+// P1Parallel measures intra-query parallelism on the star-schema workload:
+// the same scan, aggregation, and join queries run serial (Parallel=1) and
+// parallel (Parallel=ParallelDegree), checking that the simulated page
+// counts and result cardinalities are identical — the parallel operators
+// partition work, they do not change what is read — and reporting the
+// wall-clock speedup, which tracks GOMAXPROCS on multicore hosts.
+func P1Parallel(factRows int) (*Report, error) {
+	rep := &Report{
+		ID:     "P1",
+		Title:  "intra-query parallelism: serial vs parallel",
+		Claim:  "partitioned scans/joins/aggregation keep page and row accounting identical to serial plans while dividing wall-clock work across workers",
+		Header: []string{"query", "mode", "ms", "pages", "out rows", "speedup"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadStar(db, workload.StarConfig{DimRows: 1000, FactRows: factRows, Seed: 7}); err != nil {
+		return nil, err
+	}
+	queries := []struct{ name, q string }{
+		{"filter-scan", "SELECT id, qty FROM fact WHERE qty > 25 AND price < 500.0"},
+		{"group-agg", "SELECT dim_id, COUNT(*) AS n, SUM(qty) AS total FROM fact GROUP BY dim_id"},
+		{"hash-join", "SELECT COUNT(*) AS n FROM fact, dim WHERE fact.dim_id = dim.id AND dim.category = 3"},
+	}
+	for _, qc := range queries {
+		serialMs, serialPages, serialRows, err := timeQuery(db, qc.q, 1)
+		if err != nil {
+			return nil, err
+		}
+		parMs, parPages, parRows, err := timeQuery(db, qc.q, ParallelDegree)
+		if err != nil {
+			return nil, err
+		}
+		if parPages != serialPages || parRows != serialRows {
+			return nil, fmt.Errorf("P1 %s: parallel run diverged: pages %d vs %d, rows %d vs %d",
+				qc.name, parPages, serialPages, parRows, serialRows)
+		}
+		rep.AddRow(qc.name, "serial", fmt.Sprintf("%.1f", serialMs), serialPages, serialRows, "1.00")
+		rep.AddRow(qc.name, fmt.Sprintf("parallel=%d", ParallelDegree), fmt.Sprintf("%.1f", parMs), parPages, parRows,
+			fmt.Sprintf("%.2f", serialMs/parMs))
+	}
+	rep.Notef("fact rows: %d; GOMAXPROCS: %d (speedup is bounded by available cores)", factRows, runtime.GOMAXPROCS(0))
+	return rep, nil
+}
+
+// timeQuery runs q at the given degree of parallelism and returns the
+// median wall-clock milliseconds over several repetitions plus the page
+// and output-row counts of the last run.
+func timeQuery(db *engine.Database, q string, parallel int) (ms float64, pages int64, rows int, err error) {
+	const reps = 5
+	db.Parallel = parallel
+	times := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, rerr := db.Exec(q)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+		pages, rows = res.Ctx.IO.PagesRead, len(res.Rows)
+	}
+	sort.Float64s(times)
+	return times[reps/2], pages, rows, nil
+}

@@ -191,9 +191,7 @@ type Bound struct {
 func (t *Tree) descendToLeaf(key types.Row, c *storage.Counters) *node {
 	n := t.root
 	for {
-		if c != nil {
-			c.PagesRead++
-		}
+		c.AddPages(1)
 		if n.leaf() {
 			return n
 		}
@@ -233,9 +231,7 @@ func (t *Tree) AscendRange(lo, hi Bound, c *storage.Counters, fn func(key types.
 				}
 			}
 			for _, rid := range e.rids {
-				if c != nil {
-					c.RowsRead++
-				}
+				c.AddRows(1)
 				if !fn(e.key, rid) {
 					return
 				}
@@ -243,8 +239,8 @@ func (t *Tree) AscendRange(lo, hi Bound, c *storage.Counters, fn func(key types.
 		}
 		n = n.next
 		start = 0
-		if n != nil && c != nil {
-			c.PagesRead++
+		if n != nil {
+			c.AddPages(1)
 		}
 	}
 }

@@ -242,6 +242,8 @@ func (db *Database) createSummary(cs *sql.CreateSummary) (*Result, error) {
 // LinkException exposes §4.4 exception-AST linking to callers (there is no
 // SQL syntax for it; DB2 would track the relationship internally).
 func (db *Database) LinkException(constraintName, summaryName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.cat.LinkException(constraintName, summaryName)
 }
 

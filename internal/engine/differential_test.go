@@ -319,6 +319,95 @@ func TestDifferentialJoins(t *testing.T) {
 	}
 }
 
+// TestDifferentialParallel runs generated filter, aggregate, and join
+// queries at Parallel=1 and Parallel=8 and requires identical sorted rows
+// and identical page/row accounting: partitioned operators divide the
+// work, they must not change what is read or produced. ParallelMinRows is
+// forced to 1 so the 400-row table actually gets parallel plans.
+func TestDifferentialParallel(t *testing.T) {
+	db, _ := diffDB(t, 111, 400)
+	db.ParallelMinRows = 1
+	db.MustExec("CREATE TABLE u (k INT NOT NULL, w INT)")
+	ue, _ := db.Catalog().Table("u")
+	r := rand.New(rand.NewSource(112))
+	for i := 0; i < 150; i++ {
+		if err := db.InsertRow(ue, types.Row{
+			types.NewInt(int64(r.Intn(50))), types.NewInt(int64(r.Intn(20)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.MustExec("ANALYZE u")
+
+	runBoth := func(trial int, sel *sql.Select, desc string) {
+		t.Helper()
+		db.Parallel = 1
+		serial, err := db.ExecStmt(sel, "")
+		if err != nil {
+			t.Fatalf("trial %d serial: %s: %v", trial, desc, err)
+		}
+		db.Parallel = 8
+		par, err := db.ExecStmt(sel, "")
+		if err != nil {
+			t.Fatalf("trial %d parallel: %s: %v", trial, desc, err)
+		}
+		db.Parallel = 1
+		sRows, pRows := sortedKeys(serial.Rows), sortedKeys(par.Rows)
+		if len(sRows) != len(pRows) {
+			t.Fatalf("trial %d: %s: serial %d rows, parallel %d\nserial plan:\n%s\nparallel plan:\n%s",
+				trial, desc, len(sRows), len(pRows), serial.Plan, par.Plan)
+		}
+		for i := range sRows {
+			if sRows[i] != pRows[i] {
+				t.Fatalf("trial %d: %s: row %d differs: %s vs %s\nparallel plan:\n%s",
+					trial, desc, i, sRows[i], pRows[i], par.Plan)
+			}
+		}
+		if serial.Ctx.IO != par.Ctx.IO {
+			t.Fatalf("trial %d: %s: counters diverged: serial %+v, parallel %+v\nparallel plan:\n%s",
+				trial, desc, serial.Ctx.IO, par.Ctx.IO, par.Plan)
+		}
+	}
+
+	for trial := 0; trial < 120; trial++ {
+		switch trial % 3 {
+		case 0: // filter scan
+			pred := randPred(r, 3)
+			sel := &sql.Select{
+				Items: []sql.SelectItem{{Star: true}},
+				From:  []sql.TableRef{{Table: "t"}},
+				Where: pred,
+				Limit: -1,
+			}
+			runBoth(trial, sel, fmt.Sprintf("filter %s", pred))
+		case 1: // group aggregate
+			pred := randPred(r, 2)
+			groupCol := diffCols[r.Intn(3)].name
+			aggCol := diffCols[r.Intn(len(diffCols))].name
+			q := fmt.Sprintf(
+				"SELECT %s, COUNT(*) AS n, SUM(%s) AS s, MIN(%s) AS lo, MAX(%s) AS hi FROM t GROUP BY %s",
+				groupCol, aggCol, aggCol, aggCol, groupCol)
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := stmt.(*sql.Select)
+			sel.Where = pred
+			runBoth(trial, sel, q)
+		default: // equi-join
+			lo := r.Intn(40)
+			hi := lo + r.Intn(15)
+			q := fmt.Sprintf(
+				"SELECT t.a, t.c, u.w FROM t, u WHERE t.a = u.k AND t.a >= %d AND t.a <= %d",
+				lo, hi)
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runBoth(trial, stmt.(*sql.Select), q)
+		}
+	}
+}
+
 // TestDifferentialDML interleaves random inserts/updates/deletes with
 // queries and checks the visible state matches a shadow copy.
 func TestDifferentialDML(t *testing.T) {

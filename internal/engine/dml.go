@@ -63,7 +63,7 @@ func (db *Database) insert(ins *sql.Insert) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := db.InsertRow(te, validated); err != nil {
+		if err := db.insertRowLocked(te, validated); err != nil {
 			return nil, err
 		}
 		n++
@@ -75,6 +75,12 @@ func (db *Database) insert(ins *sql.Insert) (*Result, error) {
 // index insertion, summary-table maintenance, and soft-constraint currency
 // bookkeeping. Exposed for generators and benchmarks that bypass SQL.
 func (db *Database) InsertRow(te *catalog.TableEntry, row types.Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertRowLocked(te, row)
+}
+
+func (db *Database) insertRowLocked(te *catalog.TableEntry, row types.Row) error {
 	if err := db.checkConstraints(te, row, storage.RowID{Page: -1}); err != nil {
 		return err
 	}

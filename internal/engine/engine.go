@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"softdb/internal/catalog"
 	"softdb/internal/exec"
@@ -66,8 +67,25 @@ type cachedPlan struct {
 	backup *cachedPlan
 }
 
-// Database is a softdb instance.
+// Database is a softdb instance. It is safe for concurrent use: Exec,
+// Query, ExecStmt and the exported inspection methods may be called from
+// many goroutines. Statements that mutate state (DDL, DML, ANALYZE) take
+// an exclusive lock; SELECT and EXPLAIN run under a shared lock, so
+// readers proceed concurrently. Configuration fields (RewriteOpts,
+// Parallel, the No* toggles) are read without synchronization — set them
+// before sharing the database across goroutines. Mutating the catalog
+// directly through Catalog() (miners, the soft-constraint manager) is not
+// covered by these locks; quiesce queries first.
 type Database struct {
+	// mu guards catalog, storage, views and notices: writers exclusive,
+	// queries shared.
+	mu sync.RWMutex
+	// cacheMu guards planCache and cacheStat. It nests inside mu (taken
+	// while mu is held, never the other way around).
+	cacheMu sync.Mutex
+	// wlMu guards workload.
+	wlMu sync.Mutex
+
 	cat   *catalog.Catalog
 	views map[string]*sql.Select
 
@@ -85,6 +103,12 @@ type Database struct {
 	// soft rules are never cached (used only for the current, "dynamic"
 	// execution), so no precompiled plan can ever depend on an ASC.
 	ASCDynamicOnly bool
+	// Parallel is the maximum intra-query degree of parallelism; <= 1
+	// (the default) plans serial operators only.
+	Parallel int
+	// ParallelMinRows overrides the optimizer's estimated-cardinality
+	// threshold for going parallel; 0 means the default.
+	ParallelMinRows float64
 
 	planCache map[string]*cachedPlan
 	cacheStat CacheStats
@@ -108,14 +132,31 @@ func Open() *Database {
 	}
 }
 
-// WorkloadColumnCounts returns the predicate-reference counts observed so
-// far: table → column → count. The map is shared with the recorder; treat
-// it as read-only.
-func (db *Database) WorkloadColumnCounts() map[string]map[string]int64 { return db.workload }
+// WorkloadColumnCounts returns a snapshot of the predicate-reference
+// counts observed so far: table → column → count.
+func (db *Database) WorkloadColumnCounts() map[string]map[string]int64 {
+	db.wlMu.Lock()
+	defer db.wlMu.Unlock()
+	out := make(map[string]map[string]int64, len(db.workload))
+	for t, cols := range db.workload {
+		cp := make(map[string]int64, len(cols))
+		for c, n := range cols {
+			cp[c] = n
+		}
+		out[t] = cp
+	}
+	return out
+}
 
 // recordWorkload walks a freshly built logical plan and counts which base
 // columns the query's scan predicates touch.
 func (db *Database) recordWorkload(n plan.Node) {
+	db.wlMu.Lock()
+	defer db.wlMu.Unlock()
+	db.recordWorkloadLocked(n)
+}
+
+func (db *Database) recordWorkloadLocked(n plan.Node) {
 	if s, ok := n.(*plan.Scan); ok && s.Entry != nil {
 		for _, f := range s.Filter {
 			for _, ord := range exprColumnOrdinals(f) {
@@ -134,7 +175,7 @@ func (db *Database) recordWorkload(n plan.Node) {
 		}
 	}
 	for _, c := range n.Inputs() {
-		db.recordWorkload(c)
+		db.recordWorkloadLocked(c)
 	}
 }
 
@@ -143,10 +184,18 @@ func (db *Database) recordWorkload(n plan.Node) {
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
 // CacheStats returns plan-cache counters.
-func (db *Database) CacheStats() CacheStats { return db.cacheStat }
+func (db *Database) CacheStats() CacheStats {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	return db.cacheStat
+}
 
 // ResetCacheStats zeroes the counters.
-func (db *Database) ResetCacheStats() { db.cacheStat = CacheStats{} }
+func (db *Database) ResetCacheStats() {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	db.cacheStat = CacheStats{}
+}
 
 // Exec parses and executes one statement.
 func (db *Database) Exec(query string) (*Result, error) {
@@ -184,8 +233,29 @@ func (db *Database) MustExec(query string) *Result {
 }
 
 // ExecStmt executes a parsed statement. cacheKey, when non-empty, enables
-// plan caching for selects.
+// plan caching for selects. SELECT and EXPLAIN take the shared lock so
+// concurrent readers proceed in parallel; every other statement mutates
+// engine state and takes the exclusive lock.
 func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.Select:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.query(s, cacheKey, false)
+	case *sql.Explain:
+		inner, ok := s.Stmt.(*sql.Select)
+		if !ok {
+			return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.query(inner, "", true)
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Notices are only produced on the write path (checkSoftOnWrite), which
+	// holds the exclusive lock, so the shared query path never touches them.
 	db.notices = nil
 	var res *Result
 	var err error
@@ -208,14 +278,6 @@ func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, erro
 		res, err = db.update(s)
 	case *sql.Delete:
 		res, err = db.delete(s)
-	case *sql.Select:
-		res, err = db.query(s, cacheKey, false)
-	case *sql.Explain:
-		inner, ok := s.Stmt.(*sql.Select)
-		if !ok {
-			return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
-		}
-		res, err = db.query(inner, "", true)
 	case *sql.Analyze:
 		res, err = db.analyze(s)
 	default:
@@ -247,46 +309,75 @@ func (db *Database) builder() *plan.Builder {
 	return &plan.Builder{Catalog: db.cat, Views: db.views}
 }
 
+// optimizer builds the per-query optimizer from the database toggles.
+func (db *Database) optimizer() *opt.Optimizer {
+	return &opt.Optimizer{
+		Cat:             db.cat,
+		NoIndexes:       db.NoIndexes,
+		NoSSCEstimation: db.NoSSCEstimation,
+		NoASTEstimation: db.NoASTEstimation,
+		Parallel:        db.Parallel,
+		ParallelMinRows: db.ParallelMinRows,
+	}
+}
+
 // Plan builds, rewrites and optimizes a select without running it.
 func (db *Database) Plan(sel *sql.Select) (*opt.Result, *rewrite.Rewriter, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	logical, err := db.builder().BuildSelect(sel)
 	if err != nil {
 		return nil, nil, err
 	}
 	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
 	logical = rw.Rewrite(logical)
-	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: db.NoSSCEstimation, NoASTEstimation: db.NoASTEstimation}
-	result, err := o.Optimize(logical)
+	result, err := db.optimizer().Optimize(logical)
 	if err != nil {
 		return nil, nil, err
 	}
 	return result, rw, nil
 }
 
+// cacheLookup resolves cacheKey to a runnable entry under cacheMu,
+// applying the §4.1 lifecycle: hit on a current entry, failover to the
+// backup plan when only soft characterizations changed, otherwise lazy
+// invalidation plus a miss.
+func (db *Database) cacheLookup(cacheKey string) (*cachedPlan, bool) {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	if entry, ok := db.planCache[cacheKey]; ok {
+		if entry.catVersion == db.cat.Version() {
+			db.cacheStat.Hits++
+			return entry, true
+		}
+		// §4.1: if only soft characterizations changed (the hard version
+		// is intact) and a backup plan was compiled, revert to it instead
+		// of recompiling.
+		if entry.hardVersion == db.cat.HardVersion() && entry.backup != nil {
+			bk := entry.backup
+			bk.catVersion = db.cat.Version()
+			bk.hardVersion = db.cat.HardVersion()
+			bk.trace = append([]string{"backup-plan: reverted after soft-constraint change (§4.1)"}, bk.trace...)
+			db.planCache[cacheKey] = bk
+			db.cacheStat.Failovers++
+			return bk, true
+		}
+		delete(db.planCache, cacheKey)
+		db.cacheStat.Invalidations++
+	}
+	db.cacheStat.Misses++
+	return nil, false
+}
+
 func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*Result, error) {
 	useCache := cacheKey != "" && !db.DisablePlanCache && !explainOnly
 	if useCache {
-		if entry, ok := db.planCache[cacheKey]; ok {
-			if entry.catVersion == db.cat.Version() {
-				db.cacheStat.Hits++
-				return db.runCached(entry)
-			}
-			// §4.1: if only soft characterizations changed (the hard
-			// version is intact) and a backup plan was compiled, revert
-			// to it instead of recompiling.
-			if entry.hardVersion == db.cat.HardVersion() && entry.backup != nil {
-				bk := entry.backup
-				bk.catVersion = db.cat.Version()
-				bk.hardVersion = db.cat.HardVersion()
-				bk.trace = append([]string{"backup-plan: reverted after soft-constraint change (§4.1)"}, bk.trace...)
-				db.planCache[cacheKey] = bk
-				db.cacheStat.Failovers++
-				return db.runCached(bk)
-			}
-			delete(db.planCache, cacheKey)
-			db.cacheStat.Invalidations++
+		// The degree of parallelism shapes the physical plan, so it is part
+		// of the cache identity.
+		cacheKey = fmt.Sprintf("%s\x00parallel=%d", cacheKey, db.Parallel)
+		if entry, ok := db.cacheLookup(cacheKey); ok {
+			return db.runCached(entry)
 		}
-		db.cacheStat.Misses++
 	}
 
 	logical, err := db.builder().BuildSelect(sel)
@@ -301,8 +392,7 @@ func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*
 	}
 	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
 	logical = rw.Rewrite(logical)
-	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: db.NoSSCEstimation, NoASTEstimation: db.NoASTEstimation}
-	result, err := o.Optimize(logical)
+	result, err := db.optimizer().Optimize(logical)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +440,9 @@ func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*
 				entry.backup = backup
 			}
 		}
+		db.cacheMu.Lock()
 		db.planCache[cacheKey] = entry
+		db.cacheMu.Unlock()
 	}
 	return db.runCached(entry)
 }
@@ -384,7 +476,9 @@ func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan,
 		NoSSCTwins: true, NoASTRouting: true,
 	}}
 	logical = rw.Rewrite(logical)
-	o := &opt.Optimizer{Cat: db.cat, NoIndexes: db.NoIndexes, NoSSCEstimation: true, NoASTEstimation: true}
+	o := db.optimizer()
+	o.NoSSCEstimation = true
+	o.NoASTEstimation = true
 	result, err := o.Optimize(logical)
 	if err != nil {
 		return nil, err
@@ -401,12 +495,20 @@ func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan,
 }
 
 // CachedPlanCount reports live plan-cache entries.
-func (db *Database) CachedPlanCount() int { return len(db.planCache) }
+func (db *Database) CachedPlanCount() int {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	return len(db.planCache)
+}
 
 // InvalidateStaleCache drops cache entries whose catalog version is stale,
 // returning how many were dropped. The engine also invalidates lazily on
 // lookup; this models the §4.1 eager "drop every dependent package" sweep.
 func (db *Database) InvalidateStaleCache() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
 	n := 0
 	for k, e := range db.planCache {
 		if e.catVersion != db.cat.Version() {
@@ -467,6 +569,8 @@ func (db *Database) analyze(a *sql.Analyze) (*Result, error) {
 // (§5.1's second mechanism). exprSQL is an expression over the table's
 // columns, e.g. "end_date - start_date".
 func (db *Database) AddVirtualColumn(table, name, exprSQL string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	te, err := db.cat.Table(table)
 	if err != nil {
 		return err

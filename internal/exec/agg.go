@@ -60,6 +60,26 @@ func (a *accumulator) add(v types.Datum) {
 	}
 }
 
+// merge folds another accumulator of the same kind into a. Parallel
+// aggregation computes per-partition partials and merges them; merging is
+// exact for every aggregate kind (COUNT/SUM add, MIN/MAX compare, DISTINCT
+// union) and charges no counters, so partial+merge matches a serial run.
+func (a *accumulator) merge(o *accumulator) {
+	a.count += o.count
+	a.sum += o.sum
+	a.isInt = a.isInt && o.isInt
+	a.seen = a.seen || o.seen
+	if a.min.IsNull() || (!o.min.IsNull() && o.min.Compare(a.min) < 0) {
+		a.min = o.min
+	}
+	if a.max.IsNull() || (!o.max.IsNull() && o.max.Compare(a.max) > 0) {
+		a.max = o.max
+	}
+	for k := range o.distinct {
+		a.distinct[k] = true
+	}
+}
+
 func (a *accumulator) result() types.Datum {
 	switch a.kind {
 	case sql.AggCount, sql.AggCountStar:
@@ -112,61 +132,62 @@ type aggGroup struct {
 	accs []*accumulator
 }
 
-// Run implements Operator.
-func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
-	groups := map[string]*aggGroup{}
-	var order []string
-	var inner error
-	err := h.Input.Run(ctx, func(row types.Row) bool {
-		key := make(types.Row, len(h.GroupBy))
-		hashKey := make(types.Row, 0, len(h.GroupBy))
-		for i, g := range h.GroupBy {
-			v, err := g.Eval(row)
-			if err != nil {
-				inner = err
-				return false
-			}
-			key[i] = v
-			if !h.isRedundant(i) {
-				hashKey = append(hashKey, v)
-			}
+// aggTable accumulates groups for one HashAggregate run (or one parallel
+// partition of it).
+type aggTable struct {
+	groups map[string]*aggGroup
+	order  []string
+}
+
+func newAggTable() *aggTable { return &aggTable{groups: map[string]*aggGroup{}} }
+
+// foldRow charges key-hash work and folds one input row into the table.
+func (h *HashAggregate) foldRow(ctx *Ctx, row types.Row, t *aggTable) error {
+	key := make(types.Row, len(h.GroupBy))
+	hashKey := make(types.Row, 0, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		v, err := g.Eval(row)
+		if err != nil {
+			return err
 		}
-		// Key-column work is charged per hashed column so grouping-key
-		// reduction (redundant FD-determined columns) is visible.
-		ctx.Comparisons += int64(len(hashKey))
-		k := hashKey.Key()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &aggGroup{key: key}
-			for _, spec := range h.Aggs {
-				grp.accs = append(grp.accs, newAccumulator(spec.Kind))
-			}
-			groups[k] = grp
-			order = append(order, k)
+		key[i] = v
+		if !h.isRedundant(i) {
+			hashKey = append(hashKey, v)
 		}
-		ctx.HashProbes++
-		for i, spec := range h.Aggs {
-			if spec.Kind == sql.AggCountStar {
-				grp.accs[i].add(types.Null)
-				continue
-			}
-			v, err := spec.Arg.Eval(row)
-			if err != nil {
-				inner = err
-				return false
-			}
-			grp.accs[i].add(v)
-		}
-		return true
-	})
-	if err != nil {
-		return err
 	}
-	if inner != nil {
-		return inner
+	// Key-column work is charged per hashed column so grouping-key
+	// reduction (redundant FD-determined columns) is visible.
+	ctx.AddComparisons(int64(len(hashKey)))
+	k := hashKey.Key()
+	grp, ok := t.groups[k]
+	if !ok {
+		grp = &aggGroup{key: key}
+		for _, spec := range h.Aggs {
+			grp.accs = append(grp.accs, newAccumulator(spec.Kind))
+		}
+		t.groups[k] = grp
+		t.order = append(t.order, k)
 	}
-	if len(h.GroupBy) == 0 && len(groups) == 0 {
-		// Scalar aggregation over empty input: one row of identities.
+	ctx.AddProbes(1)
+	for i, spec := range h.Aggs {
+		if spec.Kind == sql.AggCountStar {
+			grp.accs[i].add(types.Null)
+			continue
+		}
+		v, err := spec.Arg.Eval(row)
+		if err != nil {
+			return err
+		}
+		grp.accs[i].add(v)
+	}
+	return nil
+}
+
+// emitGroups finalizes the table: scalar aggregation over empty input
+// yields one identity row; otherwise groups are emitted in ascending key
+// order (deterministic output).
+func (h *HashAggregate) emitGroups(t *aggTable, emit func(types.Row) bool) error {
+	if len(h.GroupBy) == 0 && len(t.groups) == 0 {
 		out := make(types.Row, len(h.Aggs))
 		for i, spec := range h.Aggs {
 			out[i] = newAccumulator(spec.Kind).result()
@@ -174,12 +195,11 @@ func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		emit(out)
 		return nil
 	}
-	// Deterministic output order: sort groups by key.
-	sort.Slice(order, func(i, j int) bool {
-		return groups[order[i]].key.Compare(groups[order[j]].key) < 0
+	sort.Slice(t.order, func(i, j int) bool {
+		return t.groups[t.order[i]].key.Compare(t.groups[t.order[j]].key) < 0
 	})
-	for _, k := range order {
-		grp := groups[k]
+	for _, k := range t.order {
+		grp := t.groups[k]
 		out := make(types.Row, 0, len(grp.key)+len(grp.accs))
 		out = append(out, grp.key...)
 		for _, acc := range grp.accs {
@@ -190,6 +210,26 @@ func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		}
 	}
 	return nil
+}
+
+// Run implements Operator.
+func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	t := newAggTable()
+	var inner error
+	err := h.Input.Run(ctx, func(row types.Row) bool {
+		if err := h.foldRow(ctx, row, t); err != nil {
+			inner = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if inner != nil {
+		return inner
+	}
+	return h.emitGroups(t, emit)
 }
 
 // Describe implements Operator.

@@ -4,12 +4,19 @@
 // nested-loop join relies on, and every data touch is charged to the
 // query's Ctx so benchmarks can report pages and rows exactly as the
 // paper's cost arguments do.
+//
+// Emit contract: Run always invokes emit from a single goroutine at a time,
+// even for the parallel operators in parallel.go, so downstream operators
+// need no synchronization of their own. Counter updates, in contrast, go
+// through the atomic Ctx/storage.Counters methods because parallel workers
+// charge a shared Ctx concurrently.
 package exec
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"softdb/internal/btree"
 	"softdb/internal/catalog"
@@ -19,17 +26,37 @@ import (
 	"softdb/internal/types"
 )
 
-// Ctx carries per-query runtime counters.
+// Ctx carries per-query runtime counters. The fields are plain int64 —
+// not atomic.Int64, so a quiesced Ctx stays freely copyable into results —
+// but all updates must go through the Add* methods, which use atomic adds.
 type Ctx struct {
 	IO          storage.Counters
 	Comparisons int64 // sort and join comparisons
 	HashProbes  int64
 }
 
+// AddComparisons atomically charges n comparisons.
+func (c *Ctx) AddComparisons(n int64) { atomic.AddInt64(&c.Comparisons, n) }
+
+// AddProbes atomically charges n hash probes.
+func (c *Ctx) AddProbes(n int64) { atomic.AddInt64(&c.HashProbes, n) }
+
+// Merge atomically accumulates a worker's private counters into c. Parallel
+// operators give each worker its own Ctx and merge on completion so the
+// parent totals are exact without per-touch contention on shared cache
+// lines.
+func (c *Ctx) Merge(w *Ctx) {
+	c.IO.Add(w.IO.Load())
+	c.AddComparisons(atomic.LoadInt64(&w.Comparisons))
+	c.AddProbes(atomic.LoadInt64(&w.HashProbes))
+}
+
 // String renders the counters.
 func (c *Ctx) String() string {
+	io := c.IO.Load()
 	return fmt.Sprintf("pages=%d rows=%d cmp=%d probes=%d",
-		c.IO.PagesRead, c.IO.RowsRead, c.Comparisons, c.HashProbes)
+		io.PagesRead, io.RowsRead,
+		atomic.LoadInt64(&c.Comparisons), atomic.LoadInt64(&c.HashProbes))
 }
 
 // Operator is a runnable physical plan node.
@@ -130,13 +157,13 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
 		if !seenPages[rid.Page] {
 			seenPages[rid.Page] = true
-			ctx.IO.PagesRead++
+			ctx.IO.AddPages(1)
 		}
 		row, ok := s.Heap.Get(rid)
 		if !ok {
 			return true // row deleted since index entry; skip
 		}
-		ctx.IO.RowsRead++
+		ctx.IO.AddRows(1)
 		pass, err := evalFilters(s.Filter, row)
 		if err != nil {
 			runErr = err
@@ -202,7 +229,7 @@ func (m *IndexMinMax) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	out := make(types.Row, len(m.Specs))
 	for i, sp := range m.Specs {
 		// One root-to-leaf descent per lookup.
-		ctx.IO.PagesRead += int64(sp.Index.Tree.Height())
+		ctx.IO.AddPages(int64(sp.Index.Tree.Height()))
 		var key types.Row
 		if sp.Max {
 			key = sp.Index.Tree.Max()
@@ -213,7 +240,7 @@ func (m *IndexMinMax) Run(ctx *Ctx, emit func(types.Row) bool) error {
 			out[i] = types.Null
 		} else {
 			out[i] = key[0]
-			ctx.IO.RowsRead++
+			ctx.IO.AddRows(1)
 		}
 	}
 	emit(out)
@@ -444,7 +471,7 @@ func (s *Sort) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	// FD-based sort simplification) show up directly.
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, k := range s.Keys {
-			ctx.Comparisons++
+			ctx.AddComparisons(1)
 			c := rows[i][k.Ordinal].Compare(rows[j][k.Ordinal])
 			if c == 0 {
 				continue

@@ -23,7 +23,7 @@ func (j *NestedLoopJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	err := j.Outer.Run(ctx, func(orow types.Row) bool {
 		o := orow.Clone()
 		err := j.Inner.Run(ctx, func(irow types.Row) bool {
-			ctx.Comparisons++
+			ctx.AddComparisons(1)
 			joined := o.Concat(irow)
 			ok, err := evalFilters(j.Cond, joined)
 			if err != nil {
@@ -96,7 +96,7 @@ func (j *HashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	}
 	stopped := false
 	err = j.Right.Run(ctx, func(row types.Row) bool {
-		ctx.HashProbes++
+		ctx.AddProbes(1)
 		key, null, err := hashKey(j.RightKey, row)
 		if err != nil {
 			inner = err
@@ -199,7 +199,7 @@ func (j *MergeJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	}
 	li, ri := 0, 0
 	for li < len(lrows) && ri < len(rrows) {
-		ctx.Comparisons++
+		ctx.AddComparisons(1)
 		lv, rv := lkeys[li], rkeys[ri]
 		if lv.IsNull() {
 			li++

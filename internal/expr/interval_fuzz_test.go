@@ -1,0 +1,119 @@
+package expr
+
+import (
+	"testing"
+
+	"softdb/internal/types"
+)
+
+// fuzzInterval decodes an interval from fuzz-supplied fields. kind selects
+// the constructor so every API entry point is exercised; bounds are small
+// ints so probe values collide with them often.
+func fuzzInterval(kind uint8, lo, hi int64, loIncl, hiIncl bool) Interval {
+	l, h := types.NewInt(lo), types.NewInt(hi)
+	switch kind % 5 {
+	case 0:
+		return Unbounded()
+	case 1:
+		return Point(l)
+	case 2:
+		return AtLeast(l, loIncl)
+	case 3:
+		return AtMost(h, hiIncl)
+	default:
+		return Between(l, h, loIncl, hiIncl)
+	}
+}
+
+// FuzzInterval checks the interval algebra's invariants on arbitrary
+// inputs. Every operation must be panic-free, and the set-algebra laws
+// must hold pointwise at the probe values (which hit bounds, neighbors of
+// bounds, and NULL):
+//
+//   - Empty() intervals contain nothing.
+//   - Intersect is pointwise AND, and commutes.
+//   - Disjoint is symmetric and means "no common probe".
+//   - CoveredBy is pointwise implication.
+//   - Subtract is pointwise set difference when it reports success.
+//   - normalize is idempotent: re-normalizing changes nothing.
+func FuzzInterval(f *testing.F) {
+	f.Add(uint8(4), int64(0), int64(10), true, true, uint8(2), int64(5), int64(15), false, true)
+	f.Add(uint8(1), int64(3), int64(3), true, true, uint8(1), int64(3), int64(3), true, true)
+	f.Add(uint8(0), int64(0), int64(0), false, false, uint8(4), int64(-2), int64(2), true, false)
+	f.Add(uint8(4), int64(7), int64(3), true, true, uint8(3), int64(0), int64(7), false, false) // inverted → empty
+	f.Fuzz(func(t *testing.T, ak uint8, alo, ahi int64, aloI, ahiI bool,
+		bk uint8, blo, bhi int64, bloI, bhiI bool) {
+		a := fuzzInterval(ak, alo, ahi, aloI, ahiI)
+		b := fuzzInterval(bk, blo, bhi, bloI, bhiI)
+
+		// Probe set: bounds, their neighbors, and NULL.
+		probes := []types.Datum{types.Null}
+		for _, v := range []int64{alo, ahi, blo, bhi} {
+			probes = append(probes, types.NewInt(v-1), types.NewInt(v), types.NewInt(v+1))
+		}
+
+		x := a.Intersect(b)
+		xr := b.Intersect(a)
+		sub, subOK := a.Subtract(b)
+		covered := a.CoveredBy(b)
+		if a.Disjoint(b) != b.Disjoint(a) {
+			t.Fatalf("Disjoint not symmetric: %s vs %s", a, b)
+		}
+		sawCommon := false
+		for _, v := range probes {
+			inA, inB := a.Contains(v), b.Contains(v)
+			if v.IsNull() && (inA || inB) {
+				t.Fatalf("NULL contained in %s / %s", a, b)
+			}
+			if inA && inB {
+				sawCommon = true
+			}
+			if x.Contains(v) != (inA && inB) {
+				t.Fatalf("Intersect(%s, %s)=%s wrong at %s", a, b, x, v)
+			}
+			if x.Contains(v) != xr.Contains(v) {
+				t.Fatalf("Intersect not commutative at %s: %s vs %s", v, x, xr)
+			}
+			if a.Empty() && inA {
+				t.Fatalf("empty interval %s contains %s", a, v)
+			}
+			if covered && inA && !inB {
+				t.Fatalf("CoveredBy(%s, %s) true but %s only in the inner", a, b, v)
+			}
+			if subOK && sub.Contains(v) != (inA && !inB) {
+				t.Fatalf("Subtract(%s, %s)=%s wrong at %s", a, b, sub, v)
+			}
+		}
+		if sawCommon && a.Disjoint(b) {
+			t.Fatalf("Disjoint(%s, %s) despite a common value", a, b)
+		}
+		// normalize idempotence: a second pass must not change anything.
+		for _, iv := range []Interval{a, b, x, sub} {
+			before := iv.String()
+			iv.normalize()
+			if iv.String() != before {
+				t.Fatalf("normalize not idempotent: %s -> %s", before, iv)
+			}
+		}
+		_ = x.String()
+
+		// Round-trip through the predicate form: the rebuilt predicate must
+		// hold exactly on the values the interval contains.
+		col := NewColumn("", "x", 0, types.KindInt)
+		pred := IntervalToPredicate(col, a)
+		if pred != nil {
+			for _, v := range probes {
+				if v.IsNull() {
+					continue
+				}
+				got, err := EvalBool(pred, types.Row{v})
+				if err != nil {
+					t.Fatalf("IntervalToPredicate(%s) eval: %v", a, err)
+				}
+				if got != a.Contains(v) {
+					t.Fatalf("IntervalToPredicate(%s)=%s disagrees at %s", a, pred, v)
+				}
+			}
+		}
+	})
+}

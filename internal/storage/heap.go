@@ -7,6 +7,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"softdb/internal/schema"
 	"softdb/internal/types"
@@ -28,16 +29,43 @@ type RowID struct {
 func (r RowID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 
 // Counters accumulates simulated I/O work. The executor passes one Counters
-// through a query; storage bumps it on every page and row touch.
+// through a query; storage bumps it on every page and row touch. All updates
+// go through the atomic Add* methods so parallel operators sharing a
+// Counters keep exact totals; the fields stay plain int64 (not
+// atomic.Int64) so Counters values remain freely copyable once a query has
+// quiesced.
 type Counters struct {
 	PagesRead int64 // heap or index pages fetched
 	RowsRead  int64 // rows materialized from pages
 }
 
-// Add accumulates other into c.
+// AddPages atomically charges n page reads. Nil receivers are ignored so
+// maintenance paths can pass nil.
+func (c *Counters) AddPages(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.PagesRead, n)
+	}
+}
+
+// AddRows atomically charges n row reads.
+func (c *Counters) AddRows(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.RowsRead, n)
+	}
+}
+
+// Add atomically accumulates other into c.
 func (c *Counters) Add(other Counters) {
-	c.PagesRead += other.PagesRead
-	c.RowsRead += other.RowsRead
+	c.AddPages(other.PagesRead)
+	c.AddRows(other.RowsRead)
+}
+
+// Load returns an atomic snapshot of the counters.
+func (c *Counters) Load() Counters {
+	return Counters{
+		PagesRead: atomic.LoadInt64(&c.PagesRead),
+		RowsRead:  atomic.LoadInt64(&c.RowsRead),
+	}
 }
 
 type slot struct {
@@ -126,9 +154,7 @@ func (h *Heap) Insert(row types.Row) RowID {
 // Fetch returns the row at id, counting one page read and one row read.
 // The second return is false if the row was deleted or the ID is invalid.
 func (h *Heap) Fetch(id RowID, c *Counters) (types.Row, bool) {
-	if c != nil {
-		c.PagesRead++
-	}
+	c.AddPages(1)
 	if int(id.Page) >= len(h.pages) {
 		return nil, false
 	}
@@ -140,9 +166,7 @@ func (h *Heap) Fetch(id RowID, c *Counters) (types.Row, bool) {
 	if s.dead {
 		return nil, false
 	}
-	if c != nil {
-		c.RowsRead++
-	}
+	c.AddRows(1)
 	return s.row, true
 }
 
@@ -186,18 +210,29 @@ func (h *Heap) Update(id RowID, row types.Row) bool {
 // page touched and one row read per live row. Iteration stops early when fn
 // returns false.
 func (h *Heap) Scan(c *Counters, fn func(id RowID, row types.Row) bool) {
-	for pi, p := range h.pages {
-		if c != nil {
-			c.PagesRead++
-		}
+	h.ScanRange(0, len(h.pages), c, fn)
+}
+
+// ScanRange iterates live rows of pages [pageLo, pageHi) in storage order,
+// with the same per-page and per-row accounting as Scan. Parallel scans
+// split the heap into disjoint contiguous page ranges so the sum of the
+// partitions' charges equals a full serial Scan exactly.
+func (h *Heap) ScanRange(pageLo, pageHi int, c *Counters, fn func(id RowID, row types.Row) bool) {
+	if pageLo < 0 {
+		pageLo = 0
+	}
+	if pageHi > len(h.pages) {
+		pageHi = len(h.pages)
+	}
+	for pi := pageLo; pi < pageHi; pi++ {
+		p := h.pages[pi]
+		c.AddPages(1)
 		for si := range p.slots {
 			s := &p.slots[si]
 			if s.dead {
 				continue
 			}
-			if c != nil {
-				c.RowsRead++
-			}
+			c.AddRows(1)
 			if !fn(RowID{Page: int32(pi), Slot: int32(si)}, s.row) {
 				return
 			}
