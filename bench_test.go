@@ -477,3 +477,33 @@ func BenchmarkP1Parallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObsOverhead measures what the observability layer costs the
+// query path (experiment O1). The off/ variants run with tracing disabled —
+// metrics counters and the query-log ring still update, which is the
+// always-on production configuration — and should stay within a few percent
+// of the pre-instrumentation engine. The on/ variants add the per-operator
+// span wrappers and bound the cost of \trace on / EXPLAIN ANALYZE.
+func BenchmarkObsOverhead(b *testing.B) {
+	db := engine.Open()
+	if err := workload.LoadStar(db, workload.StarConfig{DimRows: 1000, FactRows: 100000, Seed: 11}); err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ name, q string }{
+		{"filter-scan", "SELECT id, qty FROM fact WHERE qty > 25 AND price < 500.0"},
+		{"group-agg", "SELECT dim_id, COUNT(*) AS n, SUM(qty) AS total FROM fact GROUP BY dim_id"},
+	}
+	for _, qc := range queries {
+		for _, tracing := range []bool{false, true} {
+			label := "tracing-off"
+			if tracing {
+				label = "tracing-on"
+			}
+			b.Run(fmt.Sprintf("%s/%s", qc.name, label), func(b *testing.B) {
+				db.SetTracing(tracing)
+				runQueryBench(b, db, qc.q)
+			})
+		}
+	}
+	db.SetTracing(false)
+}

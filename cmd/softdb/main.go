@@ -3,44 +3,76 @@
 // CREATE [INFORMATIONAL] SUMMARY TABLE, CREATE VIEW, INSERT/UPDATE/DELETE,
 // SELECT, EXPLAIN, ANALYZE), the shell accepts backslash commands:
 //
-//	\d           list tables and views
-//	\d NAME      describe a table (columns, constraints, indexes, stats)
-//	\sc          list soft characterizations (correlations, holes)
-//	\discover T  run the miners over table T and report candidates
-//	\q           quit
+//	\d             list tables and views
+//	\d NAME        describe a table (columns, constraints, indexes, stats)
+//	\sc            list soft characterizations (correlations, holes)
+//	\discover T    run the miners over table T and report candidates
+//	\metrics       dump the metrics registry in Prometheus text format
+//	\trace on|off  toggle per-operator query tracing
+//	\trace         show the most recent query's trace
+//	\q             quit
 //
 // The -parallel N flag enables intra-query parallelism with up to N
-// workers. An optional file argument is executed as a script before the
-// prompt.
+// workers. -debug-addr HOST:PORT starts an HTTP listener serving /metrics
+// (Prometheus text format) and /debug/queries (recent query traces).
+// -slow-query D logs queries slower than duration D; -trace starts with
+// per-operator tracing on. An optional file argument is executed as a
+// script before the prompt.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"strings"
 
 	"softdb/internal/engine"
-	"softdb/internal/softc"
+	"softdb/internal/sql"
 	"softdb/internal/types"
 )
 
 func main() {
 	parallel := flag.Int("parallel", 1, "maximum intra-query degree of parallelism (1 = serial)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/queries on this address")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
+	trace := flag.Bool("trace", false, "start with per-operator query tracing on")
 	flag.Parse()
 
 	db := engine.Open()
 	db.Parallel = *parallel
+	db.SetTracing(*trace)
+	db.SetSlowQueryThreshold(*slowQuery)
+	db.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))
+	if *debugAddr != "" {
+		srv := &http.Server{Addr: *debugAddr, Handler: db.DebugHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "debug listener:", err)
+			}
+		}()
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", *debugAddr)
+	}
 	if args := flag.Args(); len(args) > 0 {
 		script, err := os.ReadFile(args[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if _, err := db.ExecScript(string(script)); err != nil {
+		// Statements run one by one with their printed text as the plan-cache
+		// key, so repeated script queries exercise the cache like REPL input.
+		stmts, err := sql.ParseAll(string(script))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		for _, s := range stmts {
+			if _, err := db.ExecStmt(s, sql.Print(s)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("loaded %s\n", args[0])
 	}
@@ -161,12 +193,36 @@ func command(db *engine.Database, cmd string) bool {
 		for _, jh := range cat.AllJoinHoles() {
 			fmt.Println(jh.Describe())
 		}
+	case "\\metrics":
+		if err := db.Metrics().WritePrometheus(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "\\trace":
+		if len(fields) == 1 {
+			recent := db.QueryLog().Recent(1)
+			if len(recent) == 0 {
+				fmt.Println("no queries recorded yet")
+				return true
+			}
+			fmt.Print(recent[0].Render())
+			return true
+		}
+		switch fields[1] {
+		case "on":
+			db.SetTracing(true)
+			fmt.Println("tracing on")
+		case "off":
+			db.SetTracing(false)
+			fmt.Println("tracing off")
+		default:
+			fmt.Println("usage: \\trace [on|off]")
+		}
 	case "\\discover":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\discover TABLE")
 			return true
 		}
-		mgr := softc.NewManager(db.Catalog())
+		mgr := db.SoftcManager()
 		c, err := mgr.DiscoverTable(fields[1])
 		if err != nil {
 			fmt.Println("error:", err)
@@ -182,7 +238,7 @@ func command(db *engine.Database, cmd string) bool {
 			fmt.Println("range:", rg.Describe())
 		}
 	default:
-		fmt.Println("unknown command; try \\d, \\sc, \\discover, \\q")
+		fmt.Println("unknown command; try \\d, \\sc, \\discover, \\metrics, \\trace, \\q")
 	}
 	return true
 }

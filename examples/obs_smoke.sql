@@ -1,0 +1,27 @@
+-- Observability smoke workload: exercises the query path (cache miss then
+-- hit), a soft-constraint rewrite (predicate introduction over the soft
+-- ship-window check), and EXPLAIN ANALYZE, so the /metrics endpoint has
+-- non-zero counters to serve. Used by the CI obs-smoke job.
+CREATE TABLE purchase (
+    id INT PRIMARY KEY,
+    order_date DATE NOT NULL,
+    ship_date DATE,
+    CONSTRAINT ship_window CHECK (ship_date >= order_date AND ship_date <= order_date + 21) SOFT
+);
+CREATE INDEX idx_order ON purchase (order_date);
+INSERT INTO purchase VALUES
+    (1, DATE '1999-01-01', DATE '1999-01-04'),
+    (2, DATE '1999-01-05', DATE '1999-01-09'),
+    (3, DATE '1999-01-09', DATE '1999-01-15'),
+    (4, DATE '1999-01-14', DATE '1999-01-20'),
+    (5, DATE '1999-01-20', DATE '1999-01-28'),
+    (6, DATE '1999-01-27', DATE '1999-02-05'),
+    (7, DATE '1999-02-03', DATE '1999-02-10'),
+    (8, DATE '1999-02-10', DATE '1999-02-18'),
+    (9, DATE '1999-02-17', DATE '1999-02-26'),
+    (10, DATE '1999-02-24', DATE '1999-03-05');
+ANALYZE purchase;
+SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18';
+SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18';
+SELECT COUNT(*) AS n FROM purchase WHERE order_date >= DATE '1999-01-15';
+EXPLAIN ANALYZE SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18'

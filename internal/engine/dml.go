@@ -211,6 +211,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		v, err := con.CheckExpr.Eval(row)
 		if err == nil && !v.IsNull() && !v.Bool() {
 			_ = db.cat.DeactivateConstraint(te.Def.Name, con.Name)
+			db.obs.metrics.Counter(mASCViolations).Inc()
 			db.notify("ASC %s on %s deactivated by violating write", con.Name, te.Def.Name)
 		}
 	}
@@ -230,6 +231,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		diff := a.Float() - lc.K*b.Float()
 		if diff < lc.B0-lc.Eps || diff > lc.B0+lc.Eps {
 			_ = db.cat.DeactivateCorrelation(lc.Name)
+			db.obs.metrics.Counter(mCorrDrops).Inc()
 			db.notify("linear correlation %s deactivated by violating write", lc.Name)
 		}
 	}
@@ -253,6 +255,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		}
 		if dropped > 0 {
 			db.cat.Touch()
+			db.obs.metrics.Counter(mHolesRetired).Add(int64(dropped))
 			db.notify("join holes %s: %d holes retired by write to %s", jh.Name, dropped, te.Def.Name)
 		}
 	}

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"softdb/internal/catalog"
 	"softdb/internal/exec"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/opt"
 	"softdb/internal/plan"
 	"softdb/internal/rewrite"
@@ -39,6 +41,12 @@ type Result struct {
 	Trace []string
 	// Notices carries soft-constraint events (e.g. "ASC xyz deactivated").
 	Notices []string
+	// Degree is the plan's chosen maximum degree of parallelism (queries).
+	Degree int
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool
+	// Events are the plan-time soft-constraint consultations.
+	Events []obs.Event
 }
 
 // CacheStats reports plan-cache behavior, the §4.1 cost surface.
@@ -61,6 +69,13 @@ type cachedPlan struct {
 	estCost     float64
 	planText    string
 	trace       []string
+	// nodeRows are the optimizer's per-operator cardinality estimates,
+	// consulted when the plan is instrumented for tracing/EXPLAIN ANALYZE.
+	nodeRows map[exec.Operator]float64
+	// events are the plan-time soft-constraint consultations.
+	events []obs.Event
+	// degree is the plan's maximum degree of parallelism.
+	degree int
 	// backup is the §4.1 alternative plan compiled with every soft rule
 	// disabled; it stays valid across soft-constraint churn (same hard
 	// version) and is reverted to instead of recompiling.
@@ -118,18 +133,24 @@ type Database struct {
 	// selection stage directs discovery with.
 	workload map[string]map[string]int64
 
+	// obs holds the metrics registry, recent-queries ring, structured
+	// logger and tracing toggles (see observe.go).
+	obs obsState
+
 	// notices accumulated during the current statement.
 	notices []string
 }
 
 // Open returns an empty database.
 func Open() *Database {
-	return &Database{
+	db := &Database{
 		cat:       catalog.New(),
 		views:     map[string]*sql.Select{},
 		planCache: map[string]*cachedPlan{},
 		workload:  map[string]map[string]int64{},
 	}
+	db.initObs()
+	return db
 }
 
 // WorkloadColumnCounts returns a snapshot of the predicate-reference
@@ -241,15 +262,19 @@ func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, erro
 	case *sql.Select:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(s, cacheKey, false)
+		return db.query(s, cacheKey, modeRun)
 	case *sql.Explain:
 		inner, ok := s.Stmt.(*sql.Select)
 		if !ok {
 			return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT")
 		}
+		mode := modeExplain
+		if s.Analyze {
+			mode = modeAnalyze
+		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(inner, "", true)
+		return db.query(inner, stripExplainPrefix(cacheKey), mode)
 	}
 
 	db.mu.Lock()
@@ -348,6 +373,7 @@ func (db *Database) cacheLookup(cacheKey string) (*cachedPlan, bool) {
 	if entry, ok := db.planCache[cacheKey]; ok {
 		if entry.catVersion == db.cat.Version() {
 			db.cacheStat.Hits++
+			db.obs.metrics.Counter(mCacheHits).Inc()
 			return entry, true
 		}
 		// §4.1: if only soft characterizations changed (the hard version
@@ -360,23 +386,71 @@ func (db *Database) cacheLookup(cacheKey string) (*cachedPlan, bool) {
 			bk.trace = append([]string{"backup-plan: reverted after soft-constraint change (§4.1)"}, bk.trace...)
 			db.planCache[cacheKey] = bk
 			db.cacheStat.Failovers++
+			db.obs.metrics.Counter(mCacheFailover).Inc()
 			return bk, true
 		}
 		delete(db.planCache, cacheKey)
 		db.cacheStat.Invalidations++
+		db.obs.metrics.Counter(mCacheInvals).Inc()
+		db.obs.cacheEntries.Set(int64(len(db.planCache)))
 	}
 	db.cacheStat.Misses++
+	db.obs.metrics.Counter(mCacheMisses).Inc()
 	return nil, false
 }
 
-func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*Result, error) {
-	useCache := cacheKey != "" && !db.DisablePlanCache && !explainOnly
+// cachePeek reports "hit" or "miss" for the select text's cache slot
+// without disturbing the §4.1 lifecycle or the stats — used by EXPLAIN to
+// annotate its output with the plan-cache status the equivalent SELECT
+// would see.
+func (db *Database) cachePeek(selKey string) string {
+	if selKey == "" || db.DisablePlanCache {
+		return "miss"
+	}
+	key := fmt.Sprintf("%s\x00parallel=%d", selKey, db.Parallel)
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	if e, ok := db.planCache[key]; ok && e.catVersion == db.cat.Version() {
+		return "hit"
+	}
+	return "miss"
+}
+
+// stripExplainPrefix reduces an EXPLAIN [ANALYZE] statement's text to the
+// underlying SELECT's text, which is the plan-cache key for direct runs.
+func stripExplainPrefix(q string) string {
+	s := strings.TrimSpace(q)
+	if len(s) >= 7 && strings.EqualFold(s[:7], "EXPLAIN") {
+		s = strings.TrimSpace(s[7:])
+		if len(s) >= 7 && strings.EqualFold(s[:7], "ANALYZE") {
+			s = strings.TrimSpace(s[7:])
+		}
+	}
+	return s
+}
+
+// queryMode selects the query path's behavior: execute, explain the plan,
+// or execute under instrumentation and explain with actuals.
+type queryMode int
+
+const (
+	modeRun queryMode = iota
+	modeExplain
+	modeAnalyze
+)
+
+func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Result, error) {
+	sqlText := cacheKey
+	if sqlText == "" {
+		sqlText = sql.Print(sel)
+	}
+	useCache := cacheKey != "" && !db.DisablePlanCache && mode == modeRun
 	if useCache {
 		// The degree of parallelism shapes the physical plan, so it is part
 		// of the cache identity.
 		cacheKey = fmt.Sprintf("%s\x00parallel=%d", cacheKey, db.Parallel)
 		if entry, ok := db.cacheLookup(cacheKey); ok {
-			return db.runCached(entry)
+			return db.execute(entry, sqlText, true)
 		}
 	}
 
@@ -396,25 +470,8 @@ func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*
 	if err != nil {
 		return nil, err
 	}
+	db.countRewriteFires(rw.Events)
 	planText := exec.Format(result.Root)
-	if explainOnly {
-		var rows []types.Row
-		for _, line := range strings.Split(strings.TrimRight(planText, "\n"), "\n") {
-			rows = append(rows, types.Row{types.NewString(line)})
-		}
-		for _, t := range rw.Trace {
-			rows = append(rows, types.Row{types.NewString("rewrite: " + t)})
-		}
-		rows = append(rows, types.Row{types.NewString(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))})
-		return &Result{
-			Columns: []string{"plan"},
-			Rows:    rows,
-			EstRows: result.EstRows,
-			EstCost: result.EstCost,
-			Plan:    planText,
-			Trace:   rw.Trace,
-		}, nil
-	}
 	entry := &cachedPlan{
 		catVersion:  db.cat.Version(),
 		hardVersion: db.cat.HardVersion(),
@@ -424,13 +481,45 @@ func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*
 		estCost:     result.EstCost,
 		planText:    planText,
 		trace:       rw.Trace,
+		nodeRows:    result.NodeRows,
+		events:      append(append([]obs.Event(nil), rw.Events...), result.Events...),
+		degree:      exec.MaxDegree(result.Root),
+	}
+	if mode == modeAnalyze {
+		return db.explainAnalyze(entry, sqlText, db.cachePeek(cacheKey))
+	}
+	if mode == modeExplain {
+		var rows []types.Row
+		line := func(s string) { rows = append(rows, types.Row{types.NewString(s)}) }
+		for _, l := range strings.Split(strings.TrimRight(planText, "\n"), "\n") {
+			line(l)
+		}
+		for _, t := range rw.Trace {
+			line("rewrite: " + t)
+		}
+		for _, e := range entry.events {
+			line("event: " + e.String())
+		}
+		line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))
+		line(fmt.Sprintf("parallel degree: %d", entry.degree))
+		line("plan cache: " + db.cachePeek(cacheKey))
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    rows,
+			EstRows: result.EstRows,
+			EstCost: result.EstCost,
+			Plan:    planText,
+			Trace:   rw.Trace,
+			Degree:  entry.degree,
+			Events:  entry.events,
+		}, nil
 	}
 	if useCache {
 		if len(rw.Trace) > 0 && db.ASCDynamicOnly {
 			// §4.1: "restrict the use of ASCs in rewrite just to dynamic
 			// queries and never for precompilation" — run the rewritten
 			// plan once, cache nothing.
-			return db.runCached(entry)
+			return db.execute(entry, sqlText, false)
 		}
 		// §4.1 backup plan: when soft rules shaped the primary plan,
 		// compile the SQO-free alternative alongside so an overturned ASC
@@ -442,25 +531,103 @@ func (db *Database) query(sel *sql.Select, cacheKey string, explainOnly bool) (*
 		}
 		db.cacheMu.Lock()
 		db.planCache[cacheKey] = entry
+		db.obs.cacheEntries.Set(int64(len(db.planCache)))
 		db.cacheMu.Unlock()
 	}
-	return db.runCached(entry)
+	return db.execute(entry, sqlText, false)
 }
 
-func (db *Database) runCached(entry *cachedPlan) (*Result, error) {
+// execute runs a compiled plan, instrumenting it with a span tree when
+// tracing is on, and records the execution in metrics and the query log.
+func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*Result, error) {
+	start := time.Now()
+	root := entry.root
+	var span *obs.SpanNode
+	if db.obs.tracing.Load() {
+		root, span = exec.Instrument(entry.root, estLookup(entry.nodeRows))
+	}
 	ctx := &exec.Ctx{}
-	rows, err := exec.Collect(entry.root, ctx)
+	rows, err := exec.Collect(root, ctx)
+	dur := time.Since(start)
+	io := ctx.IO.Load()
+	t := &obs.Trace{
+		SQL: sqlText, Start: start, Duration: dur,
+		Degree: entry.degree, CacheHit: cacheHit,
+		Root: span, Events: entry.events,
+		EstRows: entry.estRows, EstCost: entry.estCost,
+		ActualRows: int64(len(rows)), PagesRead: io.PagesRead,
+	}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	db.observeQuery(t)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Columns: entry.cols,
-		Rows:    rows,
-		Ctx:     *ctx,
-		EstRows: entry.estRows,
-		EstCost: entry.estCost,
-		Plan:    entry.planText,
-		Trace:   entry.trace,
+		Columns:  entry.cols,
+		Rows:     rows,
+		Ctx:      *ctx,
+		EstRows:  entry.estRows,
+		EstCost:  entry.estCost,
+		Plan:     entry.planText,
+		Trace:    entry.trace,
+		Degree:   entry.degree,
+		CacheHit: cacheHit,
+		Events:   entry.events,
+	}, nil
+}
+
+// explainAnalyze executes the plan under full instrumentation and renders
+// per-node estimated vs. actual figures plus every soft-constraint
+// consultation made while planning.
+func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus string) (*Result, error) {
+	start := time.Now()
+	iroot, span := exec.Instrument(entry.root, estLookup(entry.nodeRows))
+	ctx := &exec.Ctx{}
+	resRows, err := exec.Collect(iroot, ctx)
+	dur := time.Since(start)
+	io := ctx.IO.Load()
+	t := &obs.Trace{
+		SQL: sqlText, Start: start, Duration: dur,
+		Degree: entry.degree, CacheHit: cacheStatus == "hit",
+		Root: span, Events: entry.events,
+		EstRows: entry.estRows, EstCost: entry.estCost,
+		ActualRows: int64(len(resRows)), PagesRead: io.PagesRead,
+	}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	db.observeQuery(t)
+	if err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	line := func(s string) { rows = append(rows, types.Row{types.NewString(s)}) }
+	for _, l := range span.Render() {
+		line(l)
+	}
+	for _, tr := range entry.trace {
+		line("rewrite: " + tr)
+	}
+	for _, e := range entry.events {
+		line("event: " + e.String())
+	}
+	line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", entry.estRows, entry.estCost))
+	line(fmt.Sprintf("actual rows: %d, elapsed: %s, pages: %d", len(resRows), dur, io.PagesRead))
+	line(fmt.Sprintf("parallel degree: %d", entry.degree))
+	line("plan cache: " + cacheStatus)
+	return &Result{
+		Columns:  []string{"plan"},
+		Rows:     rows,
+		Ctx:      *ctx,
+		EstRows:  entry.estRows,
+		EstCost:  entry.estCost,
+		Plan:     entry.planText,
+		Trace:    entry.trace,
+		Degree:   entry.degree,
+		CacheHit: cacheStatus == "hit",
+		Events:   entry.events,
 	}, nil
 }
 
@@ -491,6 +658,8 @@ func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan,
 		estRows:     result.EstRows,
 		estCost:     result.EstCost,
 		planText:    exec.Format(result.Root),
+		nodeRows:    result.NodeRows,
+		degree:      exec.MaxDegree(result.Root),
 	}, nil
 }
 
@@ -517,6 +686,8 @@ func (db *Database) InvalidateStaleCache() int {
 		}
 	}
 	db.cacheStat.Invalidations += int64(n)
+	db.obs.metrics.Counter(mCacheInvals).Add(int64(n))
+	db.obs.cacheEntries.Set(int64(len(db.planCache)))
 	return n
 }
 

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"softdb/internal/exec"
+	"softdb/internal/obs"
+	"softdb/internal/softc"
+)
+
+// Metric family names the engine exports. Everything is prefixed softdb_ and
+// follows Prometheus naming conventions (_total for counters, base units in
+// the name for histograms).
+const (
+	mQueries       = "softdb_queries_total"
+	mQueryErrors   = "softdb_query_errors_total"
+	mSlowQueries   = "softdb_slow_queries_total"
+	mQueryDuration = "softdb_query_duration_seconds"
+	mCacheHits     = "softdb_plan_cache_hits_total"
+	mCacheMisses   = "softdb_plan_cache_misses_total"
+	mCacheInvals   = "softdb_plan_cache_invalidations_total"
+	mCacheFailover = "softdb_plan_cache_failovers_total"
+	mCacheEntries  = "softdb_plan_cache_entries"
+	mRewriteFires  = "softdb_rewrite_fires_total"
+	mParallelQs    = "softdb_parallel_queries_total"
+	mASCViolations = "softdb_asc_violations_total"
+	mCorrDrops     = "softdb_correlation_drops_total"
+	mHolesRetired  = "softdb_holes_retired_total"
+	mSSCRefreshes  = "softdb_ssc_refreshes_total"
+	mPromotions    = "softdb_probation_promotions_total"
+	mDiscoveryRuns = "softdb_discovery_runs_total"
+)
+
+// obsState bundles the database's observability surfaces. The hot-path
+// metric pointers are resolved once at Open so per-query updates are single
+// atomic adds with no registry lookups.
+type obsState struct {
+	metrics *obs.Registry
+	qlog    *obs.QueryLog
+	logger  atomic.Pointer[slog.Logger]
+	tracing atomic.Bool
+	slowNs  atomic.Int64
+
+	queries      *obs.Counter
+	queryErrors  *obs.Counter
+	slowQueries  *obs.Counter
+	duration     *obs.Histogram
+	cacheEntries *obs.Gauge
+}
+
+func (db *Database) initObs() {
+	o := &db.obs
+	o.metrics = obs.NewRegistry()
+	o.qlog = obs.NewQueryLog(128)
+
+	r := o.metrics
+	r.Describe(mQueries, "counter", "Queries executed.")
+	r.Describe(mQueryErrors, "counter", "Queries that returned an error.")
+	r.Describe(mSlowQueries, "counter", "Queries exceeding the slow-query threshold.")
+	r.Describe(mQueryDuration, "histogram", "Query latency in seconds.")
+	r.Describe(mCacheHits, "counter", "Plan-cache hits.")
+	r.Describe(mCacheMisses, "counter", "Plan-cache misses.")
+	r.Describe(mCacheInvals, "counter", "Plan-cache entries invalidated by catalog changes.")
+	r.Describe(mCacheFailover, "counter", "Plan-cache reversions to the SQO-free backup plan (§4.1).")
+	r.Describe(mCacheEntries, "gauge", "Live plan-cache entries.")
+	r.Describe(mRewriteFires, "counter", "Semantic rewrite rule firings by kind.")
+	r.Describe(mParallelQs, "counter", "Queries executed with a parallel plan, by degree.")
+	r.Describe(mASCViolations, "counter", "Absolute soft constraints deactivated by violating writes.")
+	r.Describe(mCorrDrops, "counter", "Absolute linear correlations dropped by violating writes.")
+	r.Describe(mHolesRetired, "counter", "Join holes retired by the §4.3 synchronous repair.")
+	r.Describe(mSSCRefreshes, "counter", "Statistical soft-constraint confidence refreshes.")
+	r.Describe(mPromotions, "counter", "Probationary correlations promoted to employed.")
+	r.Describe(mDiscoveryRuns, "counter", "Soft-constraint discovery passes over a table.")
+
+	o.queries = r.Counter(mQueries)
+	o.queryErrors = r.Counter(mQueryErrors)
+	o.slowQueries = r.Counter(mSlowQueries)
+	o.duration = r.Histogram(mQueryDuration, obs.DefLatencyBuckets)
+	o.cacheEntries = r.Gauge(mCacheEntries)
+}
+
+// Metrics exposes the database's metrics registry.
+func (db *Database) Metrics() *obs.Registry { return db.obs.metrics }
+
+// QueryLog exposes the recent-queries ring buffer.
+func (db *Database) QueryLog() *obs.QueryLog { return db.obs.qlog }
+
+// SetLogger installs a structured logger for query and soft-constraint
+// lifecycle logging. Safe to call concurrently with running queries.
+func (db *Database) SetLogger(l *slog.Logger) { db.obs.logger.Store(l) }
+
+// SetTracing toggles per-operator span collection on the query path.
+func (db *Database) SetTracing(on bool) { db.obs.tracing.Store(on) }
+
+// Tracing reports whether per-operator tracing is on.
+func (db *Database) Tracing() bool { return db.obs.tracing.Load() }
+
+// SetSlowQueryThreshold sets the duration above which a query is counted
+// (and logged) as slow; 0 disables slow-query accounting.
+func (db *Database) SetSlowQueryThreshold(d time.Duration) { db.obs.slowNs.Store(int64(d)) }
+
+// DebugHandler serves /metrics (Prometheus text format) and /debug/queries
+// (recent query traces) for a -debug-addr style listener.
+func (db *Database) DebugHandler() http.Handler {
+	return obs.Handler(db.obs.metrics, db.obs.qlog)
+}
+
+// SoftcManager returns a soft-constraint manager over this database's
+// catalog wired into its structured logger and metrics registry.
+func (db *Database) SoftcManager() *softc.Manager {
+	m := softc.NewManager(db.cat)
+	m.Logger = db.obs.logger.Load()
+	m.Metrics = db.obs.metrics
+	return m
+}
+
+// observeQuery records one finished query execution into metrics, the
+// recent-queries ring, and the structured log.
+func (db *Database) observeQuery(t *obs.Trace) {
+	o := &db.obs
+	o.queries.Inc()
+	o.duration.Observe(t.Duration.Seconds())
+	if t.Err != "" {
+		o.queryErrors.Inc()
+	}
+	if t.Degree > 1 {
+		o.metrics.Counter(mParallelQs, "degree", strconv.Itoa(t.Degree)).Inc()
+	}
+	if slow := o.slowNs.Load(); slow > 0 && t.Duration >= time.Duration(slow) {
+		t.Slow = true
+		o.slowQueries.Inc()
+	}
+	o.qlog.Add(t)
+	if l := o.logger.Load(); l != nil {
+		level := slog.LevelDebug
+		if t.Slow {
+			level = slog.LevelWarn
+		}
+		attrs := []any{
+			"sql", t.SQL,
+			"duration", t.Duration,
+			"rows", t.ActualRows,
+			"pages", t.PagesRead,
+			"degree", t.Degree,
+			"cache_hit", t.CacheHit,
+			"slow", t.Slow,
+		}
+		if t.Err != "" {
+			attrs = append(attrs, "err", t.Err)
+			level = slog.LevelError
+		}
+		l.Log(context.Background(), level, "query", attrs...)
+	}
+}
+
+// countRewriteFires bumps the per-kind rewrite counter for every rule that
+// actually fired while planning a query. Counted at plan time, so cached
+// re-executions do not inflate the figures.
+func (db *Database) countRewriteFires(events []obs.Event) {
+	for _, e := range events {
+		if e.Applied {
+			db.obs.metrics.Counter(mRewriteFires, "kind", e.Rule).Inc()
+		}
+	}
+}
+
+// estLookup adapts an optimizer NodeRows map into exec.Instrument's estimate
+// callback.
+func estLookup(nodeRows map[exec.Operator]float64) func(exec.Operator) (float64, bool) {
+	if nodeRows == nil {
+		return nil
+	}
+	return func(op exec.Operator) (float64, bool) {
+		rows, ok := nodeRows[op]
+		return rows, ok
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"testing"
@@ -20,6 +22,34 @@ func TestConcurrentSessions(t *testing.T) {
 	db := Open()
 	db.Parallel = 4
 	db.ParallelMinRows = 1
+	runConcurrentSessions(t, db)
+}
+
+// TestConcurrentSessionsTraced re-runs the same stress mix with
+// per-operator tracing on, a structured logger attached, and a 1ns
+// slow-query threshold (so every query takes the slow path) — under -race
+// this is the observability layer's concurrency proof.
+func TestConcurrentSessionsTraced(t *testing.T) {
+	db := Open()
+	db.Parallel = 4
+	db.ParallelMinRows = 1
+	db.SetTracing(true)
+	db.SetSlowQueryThreshold(1)
+	db.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	runConcurrentSessions(t, db)
+	if got := db.Metrics().Counter(mQueries).Value(); got == 0 {
+		t.Error("queries counter stayed zero under stress")
+	}
+	if got := db.Metrics().Counter(mSlowQueries).Value(); got == 0 {
+		t.Error("slow-queries counter stayed zero with a 1ns threshold")
+	}
+	if len(db.QueryLog().Recent(0)) == 0 {
+		t.Error("query log empty after stress")
+	}
+}
+
+func runConcurrentSessions(t *testing.T, db *Database) {
+	t.Helper()
 	db.MustExec("CREATE TABLE s (id INT PRIMARY KEY, v INT, w INT)")
 	db.MustExec("CREATE INDEX sv ON s (v)")
 	// Seed rows so readers have something to chew on from the start.

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"time"
+
+	"softdb/internal/obs"
+	"softdb/internal/types"
+)
+
+// Instrument wraps an operator tree for tracing: every node is replaced by a
+// span wrapper that accumulates emitted rows, busy time, and I/O deltas into
+// an obs.SpanNode tree mirroring the plan shape. est, when non-nil, supplies
+// the optimizer's row estimate for an original plan node so EXPLAIN ANALYZE
+// can print estimated vs. actual side by side.
+//
+// The wrappers preserve the PartitionedOperator contract — a wrapped
+// partitioned child still reports its partitions and serves RunPartition —
+// so instrumented parallel plans keep their parallel execution strategy.
+// Operators are stateless across runs; Instrument builds fresh wrappers
+// around shared (plan-cached) operators, so concurrent queries can
+// instrument the same plan independently.
+func Instrument(root Operator, est func(Operator) (float64, bool)) (Operator, *obs.SpanNode) {
+	var wrap func(op Operator) (Operator, *obs.SpanNode)
+	wrap = func(op Operator) (Operator, *obs.SpanNode) {
+		node := &obs.SpanNode{Desc: op.Describe()}
+		if est != nil {
+			if rows, ok := est(op); ok {
+				node.EstRows, node.HasEst = rows, true
+			}
+		}
+		if kids := op.Inputs(); len(kids) > 0 {
+			wrapped := make([]Operator, len(kids))
+			spans := make([]*obs.SpanNode, len(kids))
+			for i, k := range kids {
+				wrapped[i], spans[i] = wrap(k)
+			}
+			if rewired := withInputs(op, wrapped); rewired != nil {
+				op = rewired
+				node.Children = spans
+			}
+			// Unknown operator shape: keep the original children (they run
+			// untraced) rather than break the plan.
+		}
+		return &spanOp{inner: op, node: node}, node
+	}
+	return wrap(root)
+}
+
+// MaxDegree reports the largest worker count any operator in the tree would
+// use; 1 means a fully serial plan.
+func MaxDegree(op Operator) int {
+	deg := 1
+	var walk func(Operator)
+	walk = func(o Operator) {
+		w := 0
+		switch t := o.(type) {
+		case *spanOp:
+			walk(t.inner)
+			return
+		case *ParallelScan:
+			w = t.Workers
+		case *PartitionedHashJoin:
+			w = t.Workers
+		case *ParallelHashAggregate:
+			w = t.Workers
+		}
+		if w > deg {
+			deg = w
+		}
+		for _, c := range o.Inputs() {
+			walk(c)
+		}
+	}
+	walk(op)
+	return deg
+}
+
+// spanOp measures one operator. Figures are inclusive of the subtree the
+// wrapped Run drives, and cumulative across calls (nested-loop re-runs) and
+// partition workers, which is why every accumulation is atomic.
+type spanOp struct {
+	inner Operator
+	node  *obs.SpanNode
+}
+
+func (s *spanOp) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	return s.measure(ctx, func(wctx *Ctx, wemit func(types.Row) bool) error {
+		return s.inner.Run(wctx, wemit)
+	}, emit)
+}
+
+// Partitions implements PartitionedOperator by delegation; a wrapped
+// non-partitioned operator reports a single partition.
+func (s *spanOp) Partitions() int {
+	if p, ok := s.inner.(PartitionedOperator); ok {
+		return p.Partitions()
+	}
+	return 1
+}
+
+// RunPartition implements PartitionedOperator. Calls for different
+// partitions land concurrently with distinct worker Ctxs; the I/O delta of
+// each call is measured against that call's own Ctx, so the atomic sums
+// across workers equal one serial run.
+func (s *spanOp) RunPartition(part int, ctx *Ctx, emit func(types.Row) bool) error {
+	p, ok := s.inner.(PartitionedOperator)
+	if !ok {
+		return s.Run(ctx, emit)
+	}
+	return s.measure(ctx, func(wctx *Ctx, wemit func(types.Row) bool) error {
+		return p.RunPartition(part, wctx, wemit)
+	}, emit)
+}
+
+func (s *spanOp) measure(ctx *Ctx, run func(*Ctx, func(types.Row) bool) error, emit func(types.Row) bool) error {
+	before := ctx.IO.Load()
+	start := time.Now()
+	var rows int64
+	err := run(ctx, func(r types.Row) bool {
+		rows++
+		return emit(r)
+	})
+	after := ctx.IO.Load()
+	s.node.Nanos.Add(time.Since(start).Nanoseconds())
+	s.node.Rows.Add(rows)
+	s.node.Pages.Add(after.PagesRead - before.PagesRead)
+	s.node.RowsRead.Add(after.RowsRead - before.RowsRead)
+	s.node.Calls.Add(1)
+	return err
+}
+
+func (s *spanOp) Describe() string { return s.inner.Describe() }
+
+func (s *spanOp) Inputs() []Operator { return s.inner.Inputs() }
+
+// withInputs returns a shallow copy of op with its children replaced, or nil
+// when the operator is not a known shape. Copies keep the original operator
+// untouched so plan-cached trees stay shareable.
+func withInputs(op Operator, kids []Operator) Operator {
+	switch t := op.(type) {
+	case *Filter:
+		return &Filter{Input: kids[0], Conds: t.Conds}
+	case *Project:
+		return &Project{Input: kids[0], Exprs: t.Exprs}
+	case *Limit:
+		return &Limit{Input: kids[0], N: t.N}
+	case *Distinct:
+		return &Distinct{Input: kids[0]}
+	case *Sort:
+		return &Sort{Input: kids[0], Keys: t.Keys}
+	case *UnionAll:
+		return &UnionAll{Arms: kids, Pruned: t.Pruned}
+	case *NestedLoopJoin:
+		return &NestedLoopJoin{Outer: kids[0], Inner: kids[1], Cond: t.Cond}
+	case *HashJoin:
+		return &HashJoin{Left: kids[0], Right: kids[1], LeftKeys: t.LeftKeys, RightKey: t.RightKey, Residual: t.Residual}
+	case *MergeJoin:
+		return &MergeJoin{Left: kids[0], Right: kids[1], LeftKey: t.LeftKey, RightKey: t.RightKey, Residual: t.Residual}
+	case *HashAggregate:
+		return &HashAggregate{Input: kids[0], GroupBy: t.GroupBy, Aggs: t.Aggs, Redundant: t.Redundant}
+	case *PartitionedHashJoin:
+		return &PartitionedHashJoin{Left: kids[0], Right: kids[1], LeftKeys: t.LeftKeys, RightKey: t.RightKey, Residual: t.Residual, Workers: t.Workers}
+	case *ParallelHashAggregate:
+		return &ParallelHashAggregate{Input: kids[0], GroupBy: t.GroupBy, Aggs: t.Aggs, Redundant: t.Redundant, Workers: t.Workers}
+	default:
+		return nil
+	}
+}
+
+// Unwrap returns the operator beneath any instrumentation wrapper.
+func Unwrap(op Operator) Operator {
+	if s, ok := op.(*spanOp); ok {
+		return s.inner
+	}
+	return op
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the debug HTTP surface:
+//
+//	GET /metrics        — Prometheus text exposition of reg
+//	GET /debug/queries  — recent query traces from qlog, newest first
+//	                      (?n=K limits the count; default 20)
+//
+// Either argument may be nil, in which case its endpoint serves an empty
+// body rather than failing.
+func Handler(reg *Registry, qlog *QueryLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		n := 20
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		traces := qlog.Recent(n)
+		fmt.Fprintf(w, "recent queries: %d\n", len(traces))
+		for i, t := range traces {
+			fmt.Fprintf(w, "\n--- [%d] ---\n%s", i, t.Render())
+		}
+	})
+	return mux
+}

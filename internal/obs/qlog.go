@@ -1,0 +1,59 @@
+package obs
+
+import "sync"
+
+// QueryLog is a fixed-capacity ring buffer of recent query traces, used to
+// serve /debug/queries. Adds overwrite the oldest entry once full. A nil
+// *QueryLog ignores adds and reports no entries, matching the rest of the
+// package's disable-by-nil convention.
+type QueryLog struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+// NewQueryLog returns a ring buffer holding up to capacity traces.
+func NewQueryLog(capacity int) *QueryLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &QueryLog{buf: make([]*Trace, capacity)}
+}
+
+// Add records a trace, evicting the oldest when full.
+func (q *QueryLog) Add(t *Trace) {
+	if q == nil || t == nil {
+		return
+	}
+	q.mu.Lock()
+	q.buf[q.next] = t
+	q.next++
+	if q.next == len(q.buf) {
+		q.next = 0
+		q.full = true
+	}
+	q.mu.Unlock()
+}
+
+// Recent returns up to n traces, newest first. n <= 0 means all.
+func (q *QueryLog) Recent(n int) []*Trace {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	size := q.next
+	if q.full {
+		size = len(q.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := (q.next - i + len(q.buf)) % len(q.buf)
+		out = append(out, q.buf[idx])
+	}
+	return out
+}

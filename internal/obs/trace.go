@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// SpanNode is one operator's slot in a query's execution trace. The
+// executor's instrumentation wrapper accumulates into the atomic fields —
+// possibly from several partition workers concurrently — and the tree is
+// read after the query quiesces. All accumulated figures are inclusive of
+// the node's children (the natural reading for a push-based executor where
+// an operator's Run drives its whole subtree).
+type SpanNode struct {
+	// Desc is the operator's Describe() line.
+	Desc string
+	// EstRows is the optimizer's cardinality estimate for this node;
+	// HasEst reports whether one was recorded.
+	EstRows float64
+	HasEst  bool
+
+	// Rows counts rows this operator emitted. Pages/RowsRead are the I/O
+	// charged while the node (and its subtree) ran. Nanos is busy time,
+	// cumulative across calls and partition workers, so for parallel
+	// operators it can exceed wall clock. Calls counts Run/RunPartition
+	// invocations (nested-loop join re-runs its inner side per outer row).
+	Rows     atomic.Int64
+	Pages    atomic.Int64
+	RowsRead atomic.Int64
+	Nanos    atomic.Int64
+	Calls    atomic.Int64
+
+	Children []*SpanNode
+}
+
+// ActualLine renders the node's measured figures.
+func (n *SpanNode) ActualLine() string {
+	d := time.Duration(n.Nanos.Load())
+	s := fmt.Sprintf("(actual rows=%d time=%s pages=%d", n.Rows.Load(), formatDur(d), n.Pages.Load())
+	if calls := n.Calls.Load(); calls > 1 {
+		s += fmt.Sprintf(" calls=%d", calls)
+	}
+	return s + ")"
+}
+
+// Render writes the span tree as indented plan lines with estimated vs
+// actual figures.
+func (n *SpanNode) Render() []string {
+	var out []string
+	var walk func(*SpanNode, int)
+	walk = func(s *SpanNode, depth int) {
+		line := strings.Repeat("  ", depth) + s.Desc
+		if s.HasEst {
+			line += fmt.Sprintf("  (est rows=%.1f)", s.EstRows)
+		}
+		line += "  " + s.ActualLine()
+		out = append(out, line)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return out
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Event records one optimizer or rewriter decision involving a
+// soft-constraint-like characterization: which rule consulted which
+// constraint, at what effective confidence, and whether the rule applied
+// or why it was rejected.
+type Event struct {
+	// Rule names the consulting rule (predicate-introduction, ssc-twin,
+	// exception-union, branch-elimination, hole-trim, join-elimination,
+	// ast-routing, sort-simplify, group-simplify, ssc-estimation,
+	// ast-estimation, ...).
+	Rule string
+	// Constraint is the consulted characterization's catalog name (empty
+	// when the rule is not tied to a named object).
+	Constraint string
+	// Mode is the characterization's enforcement mode string.
+	Mode string
+	// Confidence is the effective confidence at consultation time — stated
+	// confidence minus the §3.3 margin of error; 1 for absolute rules.
+	Confidence float64
+	// Applied reports whether the rule fired; when false Detail carries
+	// the rejection reason.
+	Applied bool
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// String renders the event for traces and EXPLAIN output.
+func (e Event) String() string {
+	status := "applied"
+	if !e.Applied {
+		status = "rejected"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", e.Rule, status)
+	if e.Constraint != "" {
+		fmt.Fprintf(&b, ": constraint %s", e.Constraint)
+		if e.Mode != "" {
+			fmt.Fprintf(&b, " [%s]", e.Mode)
+		}
+		fmt.Fprintf(&b, " eff-conf=%.3f", e.Confidence)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " — %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Trace is the complete observability record of one query execution.
+type Trace struct {
+	SQL      string
+	Start    time.Time
+	Duration time.Duration
+	// Degree is the plan's chosen maximum degree of parallelism (1 =
+	// serial).
+	Degree int
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool
+	// Slow marks the query as exceeding the engine's slow-query threshold.
+	Slow bool
+	// Root is the instrumented span tree; nil when per-operator tracing
+	// was off for this query.
+	Root *SpanNode
+	// Events are the plan-time soft-constraint consultations.
+	Events []Event
+	// Estimates and outcome.
+	EstRows    float64
+	EstCost    float64
+	ActualRows int64
+	PagesRead  int64
+	Err        string
+}
+
+// Render formats the full trace as plan-style text lines.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", t.SQL)
+	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d degree=%d cache=%s\n",
+		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.Degree, cacheWord(t.CacheHit))
+	if t.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", t.Err)
+	}
+	if t.Root != nil {
+		for _, line := range t.Root.Render() {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "event: %s\n", e)
+	}
+	return b.String()
+}
+
+func cacheWord(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}

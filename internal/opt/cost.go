@@ -6,10 +6,12 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 	"softdb/internal/stats"
 )
@@ -59,15 +61,28 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 	filter := s.Filter
 	baseFraction := 1.0
 	if s.Entry != nil && !o.NoASTEstimation && rowCount > 0 {
-		if frac, remaining, ok := o.astCoverage(s, rowCount); ok {
+		if frac, remaining, name, ok := o.astCoverage(s, rowCount); ok {
 			baseFraction = frac
 			filter = remaining
+			o.event(obs.Event{
+				Rule: "ast-estimation", Constraint: name, Mode: "AST",
+				Confidence: 1, Applied: true,
+				Detail: fmt.Sprintf("summary row count gives exact filter factor %.4f for %s", frac, s.Table),
+			})
 		}
 	}
 	est := o.estimatorFor(s, ts)
 	var sel float64
 	if len(s.EstOnly) > 0 && !o.NoSSCEstimation {
 		sel = est.SelectivityWithSSCs(filter, s.EstOnly)
+		for _, ep := range s.EstOnly {
+			o.event(obs.Event{
+				Rule: "ssc-estimation", Constraint: ep.Source,
+				Mode: catalog.ModeSoftStatistical.String(), Confidence: ep.Confidence,
+				Applied: true,
+				Detail:  fmt.Sprintf("twinned predicate %s tightens %s estimate", ep.Pred, s.Table),
+			})
+		}
 	} else {
 		sel = est.Selectivity(filter)
 	}
@@ -77,7 +92,7 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 // astCoverage finds the AST over s's base table whose defining predicate is
 // contained in the scan's conjuncts and covers the most of them, returning
 // the AST's observed fraction and the conjuncts it does not account for.
-func (o *Optimizer) astCoverage(s *plan.Scan, total int64) (frac float64, remaining []expr.Expr, ok bool) {
+func (o *Optimizer) astCoverage(s *plan.Scan, total int64) (frac float64, remaining []expr.Expr, name string, ok bool) {
 	bestCovered := 0
 	for _, st := range o.Cat.SummariesOn(s.Table) {
 		if st.Where == nil {
@@ -109,9 +124,10 @@ func (o *Optimizer) astCoverage(s *plan.Scan, total int64) (frac float64, remain
 		bestCovered = len(astConjuncts)
 		frac = float64(astRows) / float64(total)
 		remaining = rest
+		name = st.Name
 		ok = true
 	}
-	return frac, remaining, ok
+	return frac, remaining, name, ok
 }
 
 func (o *Optimizer) estimatorFor(s *plan.Scan, ts *stats.TableStats) *stats.Estimator {

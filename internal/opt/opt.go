@@ -9,6 +9,7 @@ import (
 	"softdb/internal/catalog"
 	"softdb/internal/exec"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 	"softdb/internal/sql"
 	"softdb/internal/stats"
@@ -47,6 +48,11 @@ type Optimizer struct {
 	// serial, because early termination would make parallel workers scan
 	// pages a serial plan never touches, breaking exact cost parity.
 	limitFree bool
+	// nodeRows and events accumulate per Optimize call: per-operator row
+	// estimates keyed by operator identity (EXPLAIN ANALYZE matches them to
+	// plan nodes) and soft-constraint consultation events.
+	nodeRows map[exec.Operator]float64
+	events   []obs.Event
 }
 
 // Result is a lowered, costed physical plan.
@@ -54,16 +60,43 @@ type Result struct {
 	Root    exec.Operator
 	EstRows float64
 	EstCost float64
+	// NodeRows maps each operator in Root (plus discarded candidates, which
+	// are harmless) to its estimated output cardinality.
+	NodeRows map[exec.Operator]float64
+	// Events records every soft-constraint consultation made while costing
+	// this plan (SSC twinned-predicate estimation, AST filter factors).
+	Events []obs.Event
 }
 
 // Optimize lowers the logical plan.
 func (o *Optimizer) Optimize(n plan.Node) (*Result, error) {
 	o.limitFree = !containsLimit(n)
+	o.nodeRows = map[exec.Operator]float64{}
+	o.events = nil
 	op, pr, err := o.lower(n)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Root: op, EstRows: pr.rows, EstCost: pr.cost}, nil
+	return &Result{Root: op, EstRows: pr.rows, EstCost: pr.cost, NodeRows: o.nodeRows, Events: o.events}, nil
+}
+
+// note records an operator's estimated cardinality for EXPLAIN ANALYZE.
+func (o *Optimizer) note(op exec.Operator, rows float64) {
+	if o.nodeRows != nil && op != nil {
+		o.nodeRows[op] = rows
+	}
+}
+
+// event records a soft-constraint consultation made during planning.
+func (o *Optimizer) event(e obs.Event) { o.events = append(o.events, e) }
+
+// lower lowers one node and records its cardinality estimate.
+func (o *Optimizer) lower(n plan.Node) (exec.Operator, prop, error) {
+	op, pr, err := o.lowerNode(n)
+	if err == nil {
+		o.note(op, pr.rows)
+	}
+	return op, pr, err
 }
 
 func containsLimit(n plan.Node) bool {
@@ -104,7 +137,7 @@ func (o *Optimizer) parallelDegree(est float64) int {
 	return dop
 }
 
-func (o *Optimizer) lower(n plan.Node) (exec.Operator, prop, error) {
+func (o *Optimizer) lowerNode(n plan.Node) (exec.Operator, prop, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		op, pr := o.lowerScan(t)
@@ -387,6 +420,7 @@ func (o *Optimizer) lowerJoinGroup(jg *plan.JoinGroup) (exec.Operator, prop, err
 			sel := genericSelectivity(filters)
 			pr.rows *= sel
 			pr.cost += pr.rows * costRow
+			o.note(op, pr.rows)
 		}
 		leaves[i] = &joinState{op: op, rows: pr.rows, cost: pr.cost, layout: []int{i}}
 	}
@@ -412,6 +446,7 @@ func (o *Optimizer) lowerJoinGroup(jg *plan.JoinGroup) (exec.Operator, prop, err
 			exprs[orig] = expr.NewColumn(cols[orig].Qualifier, cols[orig].Name, remap[orig], cols[orig].Kind)
 		}
 		op = &exec.Project{Input: op, Exprs: exprs}
+		o.note(op, final.rows)
 	}
 	return op, prop{rows: final.rows, cost: final.cost}, nil
 }
@@ -560,6 +595,7 @@ func (o *Optimizer) joinPairBest(jg *plan.JoinGroup, l, r *joinState, mask int, 
 			if dop := o.parallelDegree(math.Max(build.rows, probe.rows)); dop > 1 {
 				jop = &exec.PartitionedHashJoin{Left: build.op, Right: probe.op, LeftKeys: lk, RightKey: rk, Residual: res, Workers: dop}
 			}
+			o.note(jop, outRows)
 			return &joinState{
 				op:     jop,
 				rows:   outRows,
@@ -604,6 +640,7 @@ func (o *Optimizer) joinPairBest(jg *plan.JoinGroup, l, r *joinState, mask int, 
 			cost:   cost,
 			layout: layout,
 		}
+		o.note(cand.op, outRows)
 		if best == nil || cand.cost < best.cost {
 			best = cand
 		}

@@ -1,10 +1,12 @@
 package rewrite
 
 import (
+	"fmt"
 	"strings"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 )
 
@@ -203,6 +205,9 @@ func (r *Rewriter) tryEliminateParent(jg *plan.JoinGroup, slots []*expr.Expr, re
 		*s = expr.RemapColumns(*s, mapping)
 	}
 	r.tracef("join-elimination: removed %s (FK %s from %s)", parent.Alias, fk.Name, child.Alias)
+	r.event(obs.Event{Rule: "join-elimination", Constraint: fk.Name,
+		Mode: fk.Mode.String(), Confidence: fk.Confidence, Applied: true,
+		Detail: fmt.Sprintf("removed %s (referential integrity from %s)", parent.Alias, child.Alias)})
 	return true
 }
 

@@ -1,8 +1,11 @@
 package rewrite
 
 import (
+	"fmt"
+
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 )
 
@@ -84,6 +87,10 @@ func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int
 		r.replaceInterval(rs, bOrd, ib)
 		r.tracef("hole-trim: %s: %s.%s to %s, %s.%s to %s",
 			source, ls.Alias, ls.Def.Columns[aOrd].Name, ia, rs.Alias, rs.Def.Columns[bOrd].Name, ib)
+		r.event(obs.Event{Rule: "hole-trim", Constraint: source,
+			Mode: "JOIN HOLES", Confidence: 1, Applied: true,
+			Detail: fmt.Sprintf("%s.%s to %s, %s.%s to %s",
+				ls.Alias, ls.Def.Columns[aOrd].Name, ia, rs.Alias, rs.Def.Columns[bOrd].Name, ib)})
 	}
 }
 

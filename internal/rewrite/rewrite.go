@@ -7,6 +7,7 @@ import (
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 	"softdb/internal/stats"
 	"softdb/internal/types"
@@ -30,6 +31,10 @@ type Rewriter struct {
 	Cat   *catalog.Catalog
 	Opt   Options
 	Trace []string
+	// Events mirrors Trace in structured form: every soft-constraint
+	// consultation, applied or rejected, with the constraint's name, mode,
+	// and effective confidence.
+	Events []obs.Event
 }
 
 // New returns a rewriter over the given catalog with all rules enabled.
@@ -38,6 +43,8 @@ func New(cat *catalog.Catalog) *Rewriter { return &Rewriter{Cat: cat} }
 func (r *Rewriter) tracef(format string, args ...any) {
 	r.Trace = append(r.Trace, fmt.Sprintf(format, args...))
 }
+
+func (r *Rewriter) event(e obs.Event) { r.Events = append(r.Events, e) }
 
 // Rewrite applies all enabled rules and returns the (possibly replaced)
 // plan root.
@@ -111,6 +118,8 @@ func (r *Rewriter) Rewrite(n plan.Node) plan.Node {
 				if !r.Opt.NoBranchPrune {
 					t.Pruned = append(t.Pruned, reasonOf(na))
 					r.tracef("branch-elimination: pruned union arm (%s)", reasonOf(na))
+					r.event(obs.Event{Rule: "branch-elimination", Applied: true,
+						Detail: "pruned union arm: " + reasonOf(na)})
 					continue
 				}
 			}
@@ -251,7 +260,13 @@ func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
 	}
 	var out []bound
 	for _, con := range s.Entry.Constraints {
-		if con.Kind != catalog.Check || !con.Active {
+		if con.Kind != catalog.Check {
+			continue
+		}
+		if !con.Active {
+			r.event(obs.Event{Rule: "bound-lowering", Constraint: con.Name,
+				Mode: con.Mode.String(), Confidence: con.Confidence, Applied: false,
+				Detail: "constraint deactivated by a violating write"})
 			continue
 		}
 		for _, lb := range boundsFromCheck(con) {
@@ -260,7 +275,11 @@ func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
 	}
 	for _, lc := range r.Cat.Correlations(s.Table) {
 		if !lc.Usable() {
-			continue // §3.2: probationary SCs are maintained, not employed
+			// §3.2: probationary SCs are maintained, not employed.
+			r.event(obs.Event{Rule: "bound-lowering", Constraint: lc.Name,
+				Mode: catalog.ModeSoftStatistical.String(), Confidence: lc.Confidence,
+				Applied: false, Detail: "correlation on probation or dropped; maintained, not employed"})
+			continue
 		}
 		aOrd := s.Def.ColumnIndex(lc.ColA)
 		bOrd := s.Def.ColumnIndex(lc.ColB)
@@ -327,6 +346,9 @@ func (r *Rewriter) rewriteScan(s *plan.Scan) plan.Node {
 				continue
 			}
 			if fiv.Disjoint(biv) {
+				r.event(obs.Event{Rule: "branch-elimination", Constraint: b.Source,
+					Mode: b.Mode.String(), Confidence: b.Confidence, Applied: true,
+					Detail: fmt.Sprintf("%s contradicts bound on %s; scan proven empty", s.Alias, s.Def.Columns[b.ColA].Name)})
 				return &plan.Empty{
 					Schema: s.Cols(),
 					Reason: fmt.Sprintf("%s contradicts %s on %s", s.Alias, b.Source, s.Def.Columns[b.ColA].Name),
@@ -397,6 +419,11 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 
 	if absolute {
 		if r.Opt.NoPredIntro || !indexHelps {
+			if !r.Opt.NoPredIntro {
+				r.event(obs.Event{Rule: "predicate-introduction", Constraint: b.Source,
+					Mode: b.Mode.String(), Confidence: 1, Applied: false,
+					Detail: fmt.Sprintf("derived predicate on %s.%s gains no index access path", s.Alias, s.Def.Columns[target].Name)})
+			}
 			return s, false
 		}
 		for _, c := range expr.SplitConjuncts(pred) {
@@ -405,6 +432,9 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 			}
 		}
 		r.tracef("predicate-introduction: %s: added %s from %s", s.Alias, pred, b.Source)
+		r.event(obs.Event{Rule: "predicate-introduction", Constraint: b.Source,
+			Mode: b.Mode.String(), Confidence: 1, Applied: true,
+			Detail: fmt.Sprintf("%s: added %s", s.Alias, pred)})
 		return s, false
 	}
 
@@ -426,6 +456,9 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 		}
 		s.EstOnly = append(s.EstOnly, ep)
 		r.tracef("ssc-twin: %s: %s twinned with confidence %.3f from %s", s.Alias, pred, b.Confidence, b.Source)
+		r.event(obs.Event{Rule: "ssc-twin", Constraint: b.Source,
+			Mode: b.Mode.String(), Confidence: b.Confidence, Applied: true,
+			Detail: fmt.Sprintf("%s: twinned %s for estimation only", s.Alias, pred)})
 	}
 	return s, false
 }
@@ -461,6 +494,9 @@ func (r *Rewriter) routeThroughAST(s *plan.Scan) plan.Node {
 	}
 	r.tracef("ast-routing: %s: routed through AST %s (%d of %d rows)",
 		s.Alias, best.Name, best.Heap.RowCount(), s.Entry.Heap.RowCount())
+	r.event(obs.Event{Rule: "ast-routing", Constraint: best.Name, Mode: "AST",
+		Confidence: 1, Applied: true,
+		Detail: fmt.Sprintf("%s: scan routed to summary (%d of %d rows)", s.Alias, best.Heap.RowCount(), s.Entry.Heap.RowCount())})
 	return &plan.Scan{
 		Table: best.Name, Alias: s.Alias, Summary: best, Def: best.Def,
 		Filter:  append([]expr.Expr(nil), s.Filter...),
@@ -495,6 +531,9 @@ func (r *Rewriter) exceptionUnion(s *plan.Scan, b bound, pred expr.Expr, ast *ca
 	}
 	r.tracef("exception-union: %s: routed through AST %s with %s (constraint %s)",
 		s.Alias, ast.Name, pred, b.check.Name)
+	r.event(obs.Event{Rule: "exception-union", Constraint: b.check.Name,
+		Mode: b.Mode.String(), Confidence: b.Confidence, Applied: true,
+		Detail: fmt.Sprintf("%s: exact rewrite via exception AST %s with %s", s.Alias, ast.Name, pred)})
 	return &plan.UnionAll{Arms: []plan.Node{arm1, arm2}}, true
 }
 

@@ -1,10 +1,12 @@
 package rewrite
 
 import (
+	"fmt"
 	"strings"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/obs"
 	"softdb/internal/plan"
 )
 
@@ -33,6 +35,8 @@ func (r *Rewriter) simplifySort(s *plan.Sort) {
 			iv, _ := expr.ExtractInterval(sc.Filter, ci.SourceOrdinal)
 			if iv.EqualityConstant != nil {
 				r.tracef("sort-simplify: dropped key %s.%s (pinned to %s)", ci.Qualifier, ci.Name, *iv.EqualityConstant)
+				r.event(obs.Event{Rule: "sort-simplify", Applied: true,
+					Detail: fmt.Sprintf("dropped key %s.%s (pinned to a constant)", ci.Qualifier, ci.Name)})
 				continue
 			}
 		}
@@ -45,6 +49,8 @@ func (r *Rewriter) simplifySort(s *plan.Sort) {
 		}
 		if len(dets) > 0 && r.determines(ci.SourceTable, dets, ci.SourceColumn) {
 			r.tracef("sort-simplify: dropped key %s.%s (determined by %s)", ci.Qualifier, ci.Name, strings.Join(dets, ", "))
+			r.event(obs.Event{Rule: "sort-simplify", Applied: true, Confidence: 1, Mode: "FD",
+				Detail: fmt.Sprintf("dropped key %s.%s (determined by %s)", ci.Qualifier, ci.Name, strings.Join(dets, ", "))})
 			continue
 		}
 		kept = append(kept, k)
@@ -54,6 +60,8 @@ func (r *Rewriter) simplifySort(s *plan.Sort) {
 		s.Eliminated = true
 		s.Reason = "all keys constant or functionally determined"
 		r.tracef("sort-simplify: sort eliminated entirely")
+		r.event(obs.Event{Rule: "sort-simplify", Applied: true,
+			Detail: "sort eliminated entirely"})
 	}
 	s.Keys = kept
 }
@@ -97,6 +105,9 @@ func (r *Rewriter) reduceGroupBy(a *plan.Aggregate) {
 			redundant[i] = true
 			r.tracef("group-simplify: %s.%s removed from grouping key (determined by %s)",
 				target.Qualifier, target.Name, strings.Join(dets, ", "))
+			r.event(obs.Event{Rule: "group-simplify", Applied: true, Confidence: 1, Mode: "FD",
+				Detail: fmt.Sprintf("%s.%s removed from grouping key (determined by %s)",
+					target.Qualifier, target.Name, strings.Join(dets, ", "))})
 		}
 	}
 	for _, red := range redundant {

@@ -1,0 +1,191 @@
+package softc
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"sort"
+	"testing"
+
+	"softdb/internal/obs"
+)
+
+// recordingHandler captures slog records so tests can assert on structured
+// attributes rather than rendered text.
+type recordingHandler struct {
+	records *[]slog.Record
+}
+
+func (h recordingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h recordingHandler) Handle(_ context.Context, r slog.Record) error {
+	*h.records = append(*h.records, r)
+	return nil
+}
+func (h recordingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h recordingHandler) WithGroup(string) slog.Handler      { return h }
+
+func attrValue(r slog.Record, key string) (slog.Value, bool) {
+	var v slog.Value
+	found := false
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Key == key {
+			v = a.Value
+			found = true
+			return false
+		}
+		return true
+	})
+	return v, found
+}
+
+// Discovery and refresh logs must carry the constraint/table name as a
+// structured field, not only inside the rendered message.
+func TestStructuredLogCarriesConstraintName(t *testing.T) {
+	cat, te := setupPurchase(t, 400, 0)
+	var records []slog.Record
+	m := NewManager(cat)
+	m.Logger = slog.New(recordingHandler{records: &records})
+	m.Metrics = obs.NewRegistry()
+
+	cands, err := m.DiscoverTable("purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands.Correlations) == 0 {
+		t.Fatal("expected at least one mined correlation")
+	}
+	sel := m.SelectCorrelations(cands.Correlations, 1)
+	if err := m.InstallCorrelations(sel); err != nil {
+		t.Fatal(err)
+	}
+	name := sel[0].Corr.Name
+	if err := m.RefreshCorrelation(name); err != nil {
+		t.Fatal(err)
+	}
+
+	var sawDiscover, sawInstall, sawRefresh bool
+	for _, r := range records {
+		switch r.Message {
+		case "discovery complete":
+			sawDiscover = true
+			if v, ok := attrValue(r, "table"); !ok || v.String() != "purchase" {
+				t.Errorf("discovery record: table attr = %v, ok=%v", v, ok)
+			}
+		case "installed correlation":
+			sawInstall = true
+			if v, ok := attrValue(r, "constraint"); !ok || v.String() != name {
+				t.Errorf("install record: constraint attr = %v, ok=%v, want %s", v, ok, name)
+			}
+		case "correlation refreshed", "correlation reactivated":
+			sawRefresh = true
+			if v, ok := attrValue(r, "constraint"); !ok || v.String() != name {
+				t.Errorf("refresh record: constraint attr = %v, ok=%v, want %s", v, ok, name)
+			}
+			if v, ok := attrValue(r, "table"); !ok || v.String() != te.Def.Name {
+				t.Errorf("refresh record: table attr = %v, ok=%v", v, ok)
+			}
+		}
+	}
+	if !sawDiscover || !sawInstall || !sawRefresh {
+		t.Fatalf("missing structured records: discover=%v install=%v refresh=%v",
+			sawDiscover, sawInstall, sawRefresh)
+	}
+	// Events lines are preserved alongside the structured stream.
+	if len(m.Events) == 0 {
+		t.Fatal("Events should still accumulate rendered lines")
+	}
+	// Lifecycle counters fired.
+	if got := m.Metrics.Counter("softdb_discovery_runs_total").Value(); got != 1 {
+		t.Errorf("discovery runs counter = %d, want 1", got)
+	}
+	if got := m.Metrics.Counter("softdb_ssc_refreshes_total").Value(); got != 1 {
+		t.Errorf("ssc refreshes counter = %d, want 1", got)
+	}
+}
+
+// A manager with no Logger and no Metrics must keep working (nil-safe path).
+func TestManagerNilLoggerAndMetrics(t *testing.T) {
+	cat, _ := setupPurchase(t, 100, 0)
+	m := NewManager(cat)
+	if _, err := m.DiscoverTable("purchase"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events) == 0 {
+		t.Fatal("Events should accumulate without a logger")
+	}
+}
+
+func TestMarginOfErrorEdges(t *testing.T) {
+	cases := []struct {
+		mods, rows int64
+		want       float64
+	}{
+		{0, 0, 1},   // zero rows: total uncertainty
+		{5, 0, 1},   // mods against an empty table
+		{0, -3, 1},  // negative row count clamps the same way
+		{0, 100, 0}, // fresh verification
+		{50, 100, 0.5},
+		{150, 100, 1}, // more mods than rows caps at 1
+		{100, 100, 1},
+	}
+	for _, c := range cases {
+		if got := MarginOfError(c.mods, c.rows); got != c.want {
+			t.Errorf("MarginOfError(%d, %d) = %v, want %v", c.mods, c.rows, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveConfidenceEdges(t *testing.T) {
+	cases := []struct {
+		stated     float64
+		mods, rows int64
+		want       float64
+	}{
+		{1, 0, 100, 1},   // pristine: full stated confidence
+		{1, 0, 0, 0},     // zero rows: margin 1 wipes it out
+		{1, 200, 100, 0}, // mods > rows: margin capped at 1
+		{0, 0, 100, 0},   // stated 0 stays 0
+		{0, 50, 100, 0},  // never goes negative
+		{0.9, 30, 100, 0.6},
+		{0.2, 50, 100, 0}, // margin exceeds stated: clamps at 0
+	}
+	for _, c := range cases {
+		got := EffectiveConfidence(c.stated, c.mods, c.rows)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("EffectiveConfidence(%v, %d, %d) = %v, want %v",
+				c.stated, c.mods, c.rows, got, c.want)
+		}
+	}
+}
+
+func TestCurrencyReportSortedByName(t *testing.T) {
+	cat, te := setupPurchase(t, 300, 7)
+	m := NewManager(cat)
+	cands, err := m.DiscoverTable("purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install everything statistical we can find so the report has entries.
+	if err := m.InstallCorrelations(m.SelectCorrelations(cands.Correlations, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.CurrencyReport()
+	if len(rep) == 0 {
+		t.Skip("no statistical characterizations mined on this dataset")
+	}
+	if !sort.SliceIsSorted(rep, func(i, j int) bool { return rep[i].Name < rep[j].Name }) {
+		t.Errorf("CurrencyReport not sorted by name: %+v", rep)
+	}
+	n := te.Heap.RowCount()
+	for _, e := range rep {
+		if e.RowCount != n {
+			t.Errorf("entry %s: RowCount = %d, want %d", e.Name, e.RowCount, n)
+		}
+		if want := MarginOfError(e.ModsSince, e.RowCount); e.Margin != want {
+			t.Errorf("entry %s: Margin = %v, want %v", e.Name, e.Margin, want)
+		}
+		if want := EffectiveConfidence(e.Stated, e.ModsSince, e.RowCount); e.Effective != want {
+			t.Errorf("entry %s: Effective = %v, want %v", e.Name, e.Effective, want)
+		}
+	}
+}

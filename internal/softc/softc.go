@@ -6,7 +6,9 @@
 package softc
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
 	"softdb/internal/mining"
+	"softdb/internal/obs"
 	"softdb/internal/storage"
 	"softdb/internal/types"
 )
@@ -27,13 +30,28 @@ type Manager struct {
 	FDs mining.FDMinerConfig
 	// Events records lifecycle actions for inspection.
 	Events []string
+	// Logger, when set, receives every lifecycle action as a structured
+	// record (constraint and table names as fields, not prose).
+	Logger *slog.Logger
+	// Metrics, when set, counts lifecycle actions (discovery runs, SSC
+	// refreshes, probation promotions). A nil registry disables counting.
+	Metrics *obs.Registry
 }
 
 // NewManager returns a manager with default miner configurations.
 func NewManager(cat *catalog.Catalog) *Manager { return &Manager{Cat: cat} }
 
-func (m *Manager) logf(format string, args ...any) {
-	m.Events = append(m.Events, fmt.Sprintf(format, args...))
+// log appends the rendered line to Events and, when a Logger is wired,
+// emits msg as a structured record with the given attrs.
+func (m *Manager) log(level slog.Level, msg string, line string, attrs ...any) {
+	m.Events = append(m.Events, line)
+	if m.Logger != nil {
+		m.Logger.Log(context.Background(), level, msg, attrs...)
+	}
+}
+
+func (m *Manager) count(name string) {
+	m.Metrics.Counter(name).Inc()
 }
 
 // Candidates is the output of a discovery pass over one table.
@@ -54,8 +72,12 @@ func (m *Manager) DiscoverTable(table string) (*Candidates, error) {
 	c.Correlations = mining.MineCorrelations(te.Def, te.Heap, m.Linear)
 	c.FDs = mining.MineFDs(te.Def, te.Heap, m.FDs)
 	c.Ranges = mining.MineRanges(te.Def, te.Heap, 0)
-	m.logf("discover %s: %d correlations, %d FDs, %d ranges",
-		table, len(c.Correlations), len(c.FDs), len(c.Ranges))
+	m.count("softdb_discovery_runs_total")
+	m.log(slog.LevelInfo, "discovery complete",
+		fmt.Sprintf("discover %s: %d correlations, %d FDs, %d ranges",
+			table, len(c.Correlations), len(c.FDs), len(c.Ranges)),
+		"table", table,
+		"correlations", len(c.Correlations), "fds", len(c.FDs), "ranges", len(c.Ranges))
 	return c, nil
 }
 
@@ -128,7 +150,9 @@ func (m *Manager) InstallCorrelations(sel []ScoredCorrelation) error {
 		if err := m.Cat.AddCorrelation(sc.Corr); err != nil {
 			return err
 		}
-		m.logf("install correlation %s (score %.2f: %s)", sc.Corr.Name, sc.Score, sc.Why)
+		m.log(slog.LevelInfo, "installed correlation",
+			fmt.Sprintf("install correlation %s (score %.2f: %s)", sc.Corr.Name, sc.Score, sc.Why),
+			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
 	return nil
 }
@@ -140,7 +164,9 @@ func (m *Manager) InstallFDs(table string, fds []mining.FD) error {
 		if err := m.Cat.AddConstraint(con); err != nil {
 			return err
 		}
-		m.logf("install FD %s: %s -> %s @%.3f", con.Name, strings.Join(fd.Det, ","), fd.Dep, fd.Confidence)
+		m.log(slog.LevelInfo, "installed FD",
+			fmt.Sprintf("install FD %s: %s -> %s @%.3f", con.Name, strings.Join(fd.Det, ","), fd.Dep, fd.Confidence),
+			"constraint", con.Name, "table", table, "confidence", fd.Confidence)
 	}
 	return nil
 }
@@ -151,7 +177,9 @@ func (m *Manager) InstallRanges(ranges []*catalog.Constraint) error {
 		if err := m.Cat.AddConstraint(con); err != nil {
 			return err
 		}
-		m.logf("install range %s", con.Name)
+		m.log(slog.LevelInfo, "installed range",
+			fmt.Sprintf("install range %s", con.Name),
+			"constraint", con.Name, "table", con.Table)
 	}
 	return nil
 }
@@ -183,11 +211,16 @@ func (m *Manager) RefreshCorrelation(name string) error {
 	lc.Confidence = conf
 	lc.ModsSince = 0
 	lc.VerifiedVersion = te.Heap.Version()
+	m.count("softdb_ssc_refreshes_total")
 	if !lc.Active && conf >= 1 {
 		lc.Active = true
-		m.logf("refresh %s: reactivated (confidence back to 1)", name)
+		m.log(slog.LevelInfo, "correlation reactivated",
+			fmt.Sprintf("refresh %s: reactivated (confidence back to 1)", name),
+			"constraint", name, "table", lc.Table)
 	} else {
-		m.logf("refresh %s: confidence %.4f -> %.4f (fit k=%.3f)", name, prev, conf, fit.K)
+		m.log(slog.LevelInfo, "correlation refreshed",
+			fmt.Sprintf("refresh %s: confidence %.4f -> %.4f (fit k=%.3f)", name, prev, conf, fit.K),
+			"constraint", name, "table", lc.Table, "prev", prev, "confidence", conf)
 	}
 	m.Cat.Touch()
 	return nil
@@ -254,12 +287,17 @@ func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, err
 	con.Confidence = conf
 	con.ModsSince = 0
 	con.VerifiedVersion = te.Heap.Version()
+	m.count("softdb_ssc_refreshes_total")
 	if !con.Active && conf >= 1 && con.Mode == catalog.ModeSoftAbsolute {
 		con.Active = true
-		m.logf("refresh %s: reactivated", constraint)
+		m.log(slog.LevelInfo, "check constraint reactivated",
+			fmt.Sprintf("refresh %s: reactivated", constraint),
+			"constraint", constraint, "table", table)
 	}
 	m.Cat.Touch()
-	m.logf("refresh %s: confidence %.4f -> %.4f over %d rows", constraint, prev, conf, total)
+	m.log(slog.LevelInfo, "check confidence refreshed",
+		fmt.Sprintf("refresh %s: confidence %.4f -> %.4f over %d rows", constraint, prev, conf, total),
+		"constraint", constraint, "table", table, "prev", prev, "confidence", conf, "rows", total)
 	return conf, nil
 }
 
@@ -293,7 +331,9 @@ func (m *Manager) RemineJoinHoles(name string, cfg mining.HoleMinerConfig) (int,
 	jh.ModsSince = 0
 	jh.VerifiedVersion = left.Heap.Version()
 	m.Cat.Touch()
-	m.logf("remine %s: %d holes", name, len(jh.Holes))
+	m.log(slog.LevelInfo, "join holes remined",
+		fmt.Sprintf("remine %s: %d holes", name, len(jh.Holes)),
+		"constraint", name, "holes", len(jh.Holes))
 	return len(jh.Holes), nil
 }
 
@@ -372,7 +412,9 @@ func (m *Manager) InstallOnProbation(sel []ScoredCorrelation) error {
 		if err := m.Cat.AddCorrelation(sc.Corr); err != nil {
 			return err
 		}
-		m.logf("probation: installed %s (score %.2f)", sc.Corr.Name, sc.Score)
+		m.log(slog.LevelDebug, "installed on probation",
+			fmt.Sprintf("probation: installed %s (score %.2f)", sc.Corr.Name, sc.Score),
+			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
 	return nil
 }
@@ -399,7 +441,10 @@ func (m *Manager) Promote(name string) error {
 	}
 	lc.Probation = false
 	m.Cat.Touch()
-	m.logf("probation: promoted %s", name)
+	m.count("softdb_probation_promotions_total")
+	m.log(slog.LevelInfo, "probation promoted",
+		fmt.Sprintf("probation: promoted %s", name),
+		"constraint", name, "table", lc.Table)
 	return nil
 }
 

@@ -207,8 +207,13 @@ type Select struct {
 
 func (*Select) stmt() {}
 
-// Explain wraps a statement for EXPLAIN.
-type Explain struct{ Stmt Statement }
+// Explain wraps a statement for EXPLAIN. Analyze marks EXPLAIN ANALYZE:
+// execute the statement and annotate the plan with actual row counts,
+// page counts, and per-operator timing alongside the estimates.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 

@@ -25,6 +25,7 @@ func fuzzSeeds(tb testing.TB) []string {
 		"UPDATE t SET a = a + 1, b = NULL WHERE c <> 2",
 		"DELETE FROM t WHERE a IS NOT NULL",
 		"EXPLAIN SELECT a FROM t WHERE b >= 1e-9",
+		"EXPLAIN ANALYZE SELECT a FROM t WHERE b >= 1e-9",
 		"DROP TABLE t",
 		"ANALYZE t",
 	}

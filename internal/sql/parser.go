@@ -175,11 +175,18 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSelectStmt()
 	case "EXPLAIN":
 		p.pos++
+		// EXPLAIN ANALYZE SELECT ... runs the query; bare EXPLAIN ANALYZE t
+		// still explains the ANALYZE statement, so only a following SELECT
+		// selects the analyze form.
+		analyze := p.peek().IsKeyword("ANALYZE") && p.toks[p.pos+1].IsKeyword("SELECT")
+		if analyze {
+			p.pos++
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case "ANALYZE":
 		p.pos++
 		p.eatKeyword("TABLE")

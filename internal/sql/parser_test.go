@@ -266,6 +266,26 @@ func TestParseExplainAnalyze(t *testing.T) {
 	if s.(*Analyze).Table != "t" {
 		t.Error("analyze")
 	}
+	s = mustParse(t, "EXPLAIN ANALYZE SELECT * FROM t")
+	ex := s.(*Explain)
+	if !ex.Analyze {
+		t.Error("EXPLAIN ANALYZE should set Analyze")
+	}
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Error("explain analyze wraps select")
+	}
+	if got := Print(ex); got != "EXPLAIN ANALYZE SELECT * FROM t" {
+		t.Errorf("round trip: %q", got)
+	}
+	// EXPLAIN ANALYZE <ident> still explains the ANALYZE statement.
+	s = mustParse(t, "EXPLAIN ANALYZE t")
+	ex = s.(*Explain)
+	if ex.Analyze {
+		t.Error("EXPLAIN of ANALYZE statement must not set Analyze")
+	}
+	if _, ok := ex.Stmt.(*Analyze); !ok {
+		t.Error("explain wraps analyze stmt")
+	}
 }
 
 func TestParseAlterAdd(t *testing.T) {

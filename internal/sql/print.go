@@ -27,6 +27,9 @@ func printStmt(b *strings.Builder, st Statement) {
 		printSelect(b, s)
 	case *Explain:
 		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
 		printStmt(b, s.Stmt)
 	case *Analyze:
 		fmt.Fprintf(b, "ANALYZE %s", s.Table)
