@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	scbench [-only E1,E5] [-list] [-parallel N]
+//	scbench [-only E1,E5] [-list] [-parallel N] [-bench-json DIR]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,8 +26,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", bench.ParallelDegree, "worker count for the parallel configurations (P1)")
+	benchJSON := flag.String("bench-json", "", "instead of the experiment tables, run `go test -bench=. -benchtime=1x -short`, write BENCH_<date>.json into this directory, and fail if the E1/E2/E4 optimized variants stop beating their baselines on pages/op")
 	flag.Parse()
 	bench.ParallelDegree = *parallel
+
+	if *benchJSON != "" {
+		if err := benchSnapshot(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := bench.All()
 	if *list {
@@ -55,4 +69,119 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// benchResult is one benchmark line of the snapshot file.
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> value (ns/op, pages/op, ...)
+}
+
+// benchSnapshot runs the top-level benchmark suite once, records every
+// reported metric into BENCH_<date>.json under dir, and enforces the
+// perf-trajectory floor: the optimized variant of E1, E2, and E4 must still
+// beat its baseline on pages/op.
+func benchSnapshot(dir string) error {
+	cmd := exec.Command("go", "test", "-bench=.", "-benchtime=1x", "-short", "-run", "^$", ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	fmt.Print(string(out))
+	if err != nil {
+		return fmt.Errorf("bench run failed: %w", err)
+	}
+	results := parseBenchOutput(string(out))
+	if len(results) == 0 {
+		return fmt.Errorf("bench run produced no parseable benchmark lines")
+	}
+	snapshot := struct {
+		Date       string        `json:"date"`
+		GoVersion  string        `json:"go_version"`
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Benchmarks []benchResult `json:"benchmarks"`
+	}{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+snapshot.Date+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	return checkTrajectory(results)
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName/sub-4   12   345 ns/op   6.0 pages/op   7.0 skipped/op
+//
+// into structured results. Non-benchmark lines are ignored.
+func parseBenchOutput(out string) []benchResult {
+	var results []benchResult
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		if len(r.Metrics) > 0 {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// checkTrajectory fails when a tracked optimized/baseline pair no longer
+// shows the optimization winning on pages/op — the regression this guard
+// exists to catch is a rewrite silently stopping to fire.
+func checkTrajectory(results []benchResult) error {
+	pages := func(sub string) (float64, bool) {
+		for _, r := range results {
+			if strings.Contains(r.Name, sub) {
+				v, ok := r.Metrics["pages/op"]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	pairs := []struct{ id, optimized, baseline string }{
+		{"E1", "E1PredicateIntroduction/sqo", "E1PredicateIntroduction/baseline"},
+		{"E2", "E2JoinHoles/holetrim", "E2JoinHoles/baseline"},
+		{"E4", "E4JoinElimination/eliminated", "E4JoinElimination/join"},
+	}
+	var failures []string
+	for _, p := range pairs {
+		opt, okO := pages(p.optimized)
+		base, okB := pages(p.baseline)
+		if !okO || !okB {
+			failures = append(failures, fmt.Sprintf("%s: missing pages/op for %s or %s", p.id, p.optimized, p.baseline))
+			continue
+		}
+		if opt >= base {
+			failures = append(failures, fmt.Sprintf("%s: optimized variant no longer beats baseline on pages/op: %.1f >= %.1f", p.id, opt, base))
+			continue
+		}
+		fmt.Printf("trajectory %s: ok (%.1f < %.1f pages/op)\n", p.id, opt, base)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench trajectory regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -16,8 +16,9 @@
 // workers. -debug-addr HOST:PORT starts an HTTP listener serving /metrics
 // (Prometheus text format) and /debug/queries (recent query traces).
 // -slow-query D logs queries slower than duration D; -trace starts with
-// per-operator tracing on. An optional file argument is executed as a
-// script before the prompt.
+// per-operator tracing on. -no-prune disables synopsis-based page pruning
+// (useful for measuring what the zone maps buy). An optional file argument
+// is executed as a script before the prompt.
 package main
 
 import (
@@ -39,10 +40,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/queries on this address")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
 	trace := flag.Bool("trace", false, "start with per-operator query tracing on")
+	noPrune := flag.Bool("no-prune", false, "disable synopsis-based page pruning (zone maps); scans read every page")
 	flag.Parse()
 
 	db := engine.Open()
 	db.Parallel = *parallel
+	db.NoPrune = *noPrune
 	db.SetTracing(*trace)
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))

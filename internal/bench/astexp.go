@@ -11,7 +11,7 @@ import (
 // amounts >= 90 come from it), an AST over the premium rows, and
 // statistics. The correlation is what defeats the independence assumption.
 func buildASTWorkload(n int, informational bool) (*engine.Database, error) {
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if _, err := db.Exec(`CREATE TABLE purchase (
 		id INT PRIMARY KEY,

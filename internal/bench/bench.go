@@ -9,6 +9,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"softdb/internal/engine"
 )
 
 // Report is one experiment's result table.
@@ -88,6 +90,16 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// openSQO returns a database configured for the semantic-rewrite
+// experiments: zone-map page pruning is pinned off so each experiment
+// isolates the one rewrite effect it measures. P2 measures synopsis
+// pruning by itself, against an unpruned baseline.
+func openSQO() *engine.Database {
+	db := engine.Open()
+	db.NoPrune = true
+	return db
+}
+
 // Experiment names a runnable experiment.
 type Experiment struct {
 	ID   string
@@ -112,6 +124,7 @@ func All() []Experiment {
 		{"E12", "AST routing and AST-based estimation", func() (*Report, error) { return E12ASTs(20000) }},
 		{"E13", "virtual-column statistics for expression predicates", func() (*Report, error) { return E13VirtualColumns(20000) }},
 		{"P1", "intra-query parallelism: serial vs parallel", func() (*Report, error) { return P1Parallel(200000) }},
+		{"P2", "zone-map page pruning from synopses and soft constraints", func() (*Report, error) { return P2Prune(20000) }},
 	}
 }
 

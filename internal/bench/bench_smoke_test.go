@@ -222,6 +222,43 @@ func TestE11Shape(t *testing.T) {
 	}
 }
 
+func TestP2Shape(t *testing.T) {
+	rep, err := P2Prune(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range rep.Rows {
+		rows[row[0]+"/"+row[1]] = row
+	}
+	get := func(key string) []string {
+		t.Helper()
+		row, ok := rows[key]
+		if !ok {
+			t.Fatalf("missing row %q in %v", key, rep.Rows)
+		}
+		return row
+	}
+	// Selective workloads: pruning must read at most 25% of the baseline
+	// pages (the acceptance bar) and account for every page.
+	for _, wl := range []string{"selective-scan", "corr-derived"} {
+		off := lastFloat(t, get(wl + "/prune off")[2])
+		on := lastFloat(t, get(wl + "/prune on")[2])
+		if on*4 > off {
+			t.Errorf("%s: pruning should read <=25%% of pages: %0.f of %.0f", wl, on, off)
+		}
+		if skipped := lastFloat(t, get(wl + "/prune on")[3]); on+skipped != off {
+			t.Errorf("%s: read %0.f + skipped %.0f != total %.0f", wl, on, skipped, off)
+		}
+	}
+	// The interior hole must add skips beyond what the filter proves.
+	filterOnly := lastFloat(t, get("join-hole/filter-only")[3])
+	full := lastFloat(t, get("join-hole/prune on")[3])
+	if full <= filterOnly {
+		t.Errorf("interior hole should add skips: filter-only %.0f vs full %.0f", filterOnly, full)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	rep := &Report{ID: "X", Title: "t", Claim: "c", Header: []string{"a", "bb"}}
 	rep.AddRow(1, 2.5)

@@ -32,7 +32,7 @@ func E3Cardinality(n int, longFrac float64) (*Report, error) {
 		Claim:  "twinning end_date predicates onto start_date converts a cross-column range pair into a single-column range where statistics are reliable, beating the independence assumption (§5.1)",
 		Header: []string{"day offset", "actual", "est independence", "est SSC twin", "q-err indep", "q-err twin"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadProject(db, workload.ProjectConfig{
 		N: n, LongFrac: longFrac, Seed: 3, Confidence: 1 - longFrac,
@@ -106,7 +106,7 @@ func E9Currency(rows, updatesPerDay, days int) (*Report, error) {
 		Header: []string{"day", "predicted margin %", "actual drift %", "effective confidence"},
 	}
 	// Scale down while keeping the paper's ratio (1k/1M per day).
-	db := engine.Open()
+	db := openSQO()
 	if err := workload.LoadProject(db, workload.ProjectConfig{
 		N: rows, LongFrac: 0, Seed: 9, Confidence: 0.999,
 	}); err != nil {
@@ -179,7 +179,7 @@ func E8CheckingOverhead(n int) (*Report, error) {
 	for _, mode := range []string{"informational", "enforced"} {
 		best := time.Duration(0)
 		for rep := 0; rep < 3; rep++ {
-			db := engine.Open()
+			db := openSQO()
 			start := time.Now()
 			if err := loadStarTimed(db, n, mode); err != nil {
 				return nil, err
@@ -255,7 +255,7 @@ func E13VirtualColumns(n int) (*Report, error) {
 		Claim:  "distribution statistics on a virtual column estimate predicates over column expressions, e.g. end_date - start_date <= k (§5.1)",
 		Header: []string{"k (days)", "actual", "est default", "est virtual", "q-err default", "q-err virtual"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadProject(db, workload.ProjectConfig{
 		N: n, LongFrac: 0.1, Seed: 13,

@@ -13,7 +13,7 @@ import (
 // setupHolesDB builds the orders⋈lineitem workload with a planted empty
 // band, mines the holes and registers them.
 func setupHolesDB(orders, linesPer int) (*engine.Database, *softc.Manager, error) {
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	bandLo, bandHi := orders/4, orders/2
 	if err := workload.LoadOrdersLineitem(db, workload.HolesConfig{
@@ -111,7 +111,7 @@ func E10Miners(sizes []int) (*Report, error) {
 		Header: []string{"rows", "correlation ms", "corr ms/row (µs)", "holes ms", "holes ms/row (µs)"},
 	}
 	for _, n := range sizes {
-		db := engine.Open()
+		db := openSQO()
 		if err := workload.LoadPurchase(db, workload.PurchaseConfig{N: n, Seed: 6}); err != nil {
 			return nil, err
 		}
@@ -125,7 +125,7 @@ func E10Miners(sizes []int) (*Report, error) {
 		}
 		corrDur := time.Since(t0)
 
-		dbh := engine.Open()
+		dbh := openSQO()
 		if err := workload.LoadOrdersLineitem(dbh, workload.HolesConfig{
 			Orders: n, LinesPer: 1, Seed: 6, BandLo: n / 4, BandHi: n / 2,
 		}); err != nil {

@@ -66,7 +66,7 @@ func E1PredicateIntroduction(sizes []int) (*Report, error) {
 		Header: []string{"rows", "pages no-SQO", "pages SQO", "speedup", "answers equal"},
 	}
 	for _, n := range sizes {
-		db := engine.Open()
+		db := openSQO()
 		db.DisablePlanCache = true
 		if err := workload.LoadPurchase(db, workload.PurchaseConfig{
 			N: n, Seed: 1, IndexOrderDate: true,
@@ -115,7 +115,7 @@ func E4JoinElimination(dimRows, factRows int) (*Report, error) {
 		Claim:  "joins over foreign keys are removed when only child columns are used; marked improvement on TPC-D-style queries ([6], §2)",
 		Header: []string{"query", "pages join/elim", "probes join/elim", "ms join/elim", "time speedup", "answers equal"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadStar(db, workload.StarConfig{
 		DimRows: dimRows, FactRows: factRows, Seed: 2, FKMode: "informational",
@@ -158,7 +158,7 @@ func E5BranchPrune(rowsPerMonth int) (*Report, error) {
 		Claim:  "a Jan–Mar query against a 12-month union-all view needs only the first three branches (§5)",
 		Header: []string{"months asked", "branches scanned (no prune)", "branches scanned (prune)", "pages no-prune", "pages prune", "speedup"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadPartitionedSales(db, rowsPerMonth, 3); err != nil {
 		return nil, err
@@ -219,7 +219,7 @@ func E6ExceptionAST(n int, lateFrac float64) (*Report, error) {
 		Claim:  "σ(purchase) ≡ indexed-range arm ∪ exception-AST arm; both arms cheap, answers exact, UNION ALL safe because arms are disjoint (§4.4)",
 		Header: []string{"config", "pages", "rows", "speedup vs scan"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadPurchase(db, workload.PurchaseConfig{
 		N: n, LateFrac: lateFrac, Seed: 4, ShipWindowMode: "ssc", IndexOrderDate: true,
@@ -276,7 +276,7 @@ func E7FDSort(n, customers int) (*Report, error) {
 		Claim:  "FDs beyond keys (common in denormalized schemas) remove superfluous sort/group columns, saving sort cost ([29], §2)",
 		Header: []string{"query", "comparisons no-FD", "comparisons FD", "saved %", "answers equal"},
 	}
-	db := engine.Open()
+	db := openSQO()
 	db.DisablePlanCache = true
 	if err := workload.LoadDenormalized(db, n, customers, 7); err != nil {
 		return nil, err

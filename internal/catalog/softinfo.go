@@ -52,6 +52,29 @@ func (lc *LinearCorrelation) Usable() bool { return lc.Active && !lc.Probation }
 // IsAbsolute reports whether the correlation holds for every row.
 func (lc *LinearCorrelation) IsAbsolute() bool { return lc.Confidence >= 1 }
 
+// EffectiveConfidence is §3.3's currency-discounted confidence over a table
+// of rowCount rows: the stated confidence lowered by the fraction of the
+// table modified since verification (the margin of error). Absolute
+// correlations are exempt — every write is envelope-checked synchronously,
+// so they stay exact until a violation deactivates them.
+func (lc *LinearCorrelation) EffectiveConfidence(rowCount int64) float64 {
+	if lc.IsAbsolute() {
+		return lc.Confidence
+	}
+	if rowCount <= 0 {
+		return 0
+	}
+	margin := float64(lc.ModsSince) / float64(rowCount)
+	if margin > 1 {
+		margin = 1
+	}
+	eff := lc.Confidence - margin
+	if eff < 0 {
+		eff = 0
+	}
+	return eff
+}
+
 // Rect is an axis-aligned empty rectangle in the (left attribute, right
 // attribute) plane of a join result.
 type Rect struct {

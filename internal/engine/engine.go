@@ -118,6 +118,14 @@ type Database struct {
 	// soft rules are never cached (used only for the current, "dynamic"
 	// execution), so no precompiled plan can ever depend on an ASC.
 	ASCDynamicOnly bool
+	// NoPrune disables synopsis-based page pruning end to end: the
+	// optimizer derives no prune predicates from filters, the rewriter
+	// plants none from constraints, and scans read every page (baseline
+	// mode for the P2 experiments).
+	NoPrune bool
+	// NoBatch disables page-batched row emission; scans fall back to
+	// row-at-a-time delivery (differential baseline for the batch kernel).
+	NoBatch bool
 	// Parallel is the maximum intra-query degree of parallelism; <= 1
 	// (the default) plans serial operators only.
 	Parallel int
@@ -341,9 +349,21 @@ func (db *Database) optimizer() *opt.Optimizer {
 		NoIndexes:       db.NoIndexes,
 		NoSSCEstimation: db.NoSSCEstimation,
 		NoASTEstimation: db.NoASTEstimation,
+		NoPrune:         db.NoPrune,
 		Parallel:        db.Parallel,
 		ParallelMinRows: db.ParallelMinRows,
 	}
+}
+
+// rewriteOpts derives the per-query rewrite options from the database
+// toggles: NoPrune also stops the rewriter from planting prune-only
+// predicates.
+func (db *Database) rewriteOpts() rewrite.Options {
+	o := db.RewriteOpts
+	if db.NoPrune {
+		o.NoPruneIntro = true
+	}
+	return o
 }
 
 // Plan builds, rewrites and optimizes a select without running it.
@@ -354,7 +374,7 @@ func (db *Database) Plan(sel *sql.Select) (*opt.Result, *rewrite.Rewriter, error
 	if err != nil {
 		return nil, nil, err
 	}
-	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts()}
 	logical = rw.Rewrite(logical)
 	result, err := db.optimizer().Optimize(logical)
 	if err != nil {
@@ -407,7 +427,7 @@ func (db *Database) cachePeek(selKey string) string {
 	if selKey == "" || db.DisablePlanCache {
 		return "miss"
 	}
-	key := fmt.Sprintf("%s\x00parallel=%d", selKey, db.Parallel)
+	key := fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", selKey, db.Parallel, db.NoPrune)
 	db.cacheMu.Lock()
 	defer db.cacheMu.Unlock()
 	if e, ok := db.planCache[key]; ok && e.catVersion == db.cat.Version() {
@@ -446,9 +466,9 @@ func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Re
 	}
 	useCache := cacheKey != "" && !db.DisablePlanCache && mode == modeRun
 	if useCache {
-		// The degree of parallelism shapes the physical plan, so it is part
-		// of the cache identity.
-		cacheKey = fmt.Sprintf("%s\x00parallel=%d", cacheKey, db.Parallel)
+		// The degree of parallelism and the prune toggle shape the physical
+		// plan, so both are part of the cache identity.
+		cacheKey = fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", cacheKey, db.Parallel, db.NoPrune)
 		if entry, ok := db.cacheLookup(cacheKey); ok {
 			return db.execute(entry, sqlText, true)
 		}
@@ -464,7 +484,7 @@ func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Re
 	for i, c := range cols {
 		names[i] = c.Name
 	}
-	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.RewriteOpts}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts()}
 	logical = rw.Rewrite(logical)
 	result, err := db.optimizer().Optimize(logical)
 	if err != nil {
@@ -547,7 +567,13 @@ func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*
 		root, span = exec.Instrument(entry.root, estLookup(entry.nodeRows))
 	}
 	ctx := &exec.Ctx{}
-	rows, err := exec.Collect(root, ctx)
+	var rows []types.Row
+	var err error
+	if db.NoBatch {
+		rows, err = exec.Collect(root, ctx)
+	} else {
+		rows, err = exec.CollectBatched(root, ctx)
+	}
 	dur := time.Since(start)
 	io := ctx.IO.Load()
 	t := &obs.Trace{
@@ -556,6 +582,7 @@ func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*
 		Root: span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(rows)), PagesRead: io.PagesRead,
+		PagesSkipped: io.PagesSkipped,
 	}
 	if err != nil {
 		t.Err = err.Error()
@@ -585,7 +612,13 @@ func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus strin
 	start := time.Now()
 	iroot, span := exec.Instrument(entry.root, estLookup(entry.nodeRows))
 	ctx := &exec.Ctx{}
-	resRows, err := exec.Collect(iroot, ctx)
+	var resRows []types.Row
+	var err error
+	if db.NoBatch {
+		resRows, err = exec.Collect(iroot, ctx)
+	} else {
+		resRows, err = exec.CollectBatched(iroot, ctx)
+	}
 	dur := time.Since(start)
 	io := ctx.IO.Load()
 	t := &obs.Trace{
@@ -594,6 +627,7 @@ func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus strin
 		Root: span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(resRows)), PagesRead: io.PagesRead,
+		PagesSkipped: io.PagesSkipped,
 	}
 	if err != nil {
 		t.Err = err.Error()
@@ -614,7 +648,7 @@ func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus strin
 		line("event: " + e.String())
 	}
 	line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", entry.estRows, entry.estCost))
-	line(fmt.Sprintf("actual rows: %d, elapsed: %s, pages: %d", len(resRows), dur, io.PagesRead))
+	line(fmt.Sprintf("actual rows: %d, elapsed: %s, pages: %d, skipped: %d", len(resRows), dur, io.PagesRead, io.PagesSkipped))
 	line(fmt.Sprintf("parallel degree: %d", entry.degree))
 	line("plan cache: " + cacheStatus)
 	return &Result{
@@ -640,7 +674,7 @@ func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan,
 	rw := &rewrite.Rewriter{Cat: db.cat, Opt: rewrite.Options{
 		NoJoinElim: true, NoPredIntro: true, NoBranchPrune: true,
 		NoHoleTrim: true, NoSortOpt: true, NoExceptionAST: true,
-		NoSSCTwins: true, NoASTRouting: true,
+		NoSSCTwins: true, NoASTRouting: true, NoPruneIntro: true,
 	}}
 	logical = rw.Rewrite(logical)
 	o := db.optimizer()

@@ -34,6 +34,8 @@ const (
 	mSSCRefreshes  = "softdb_ssc_refreshes_total"
 	mPromotions    = "softdb_probation_promotions_total"
 	mDiscoveryRuns = "softdb_discovery_runs_total"
+	mPagesSkipped  = "softdb_scan_pages_skipped_total"
+	mPruneRejected = "softdb_prune_rejected_total"
 )
 
 // obsState bundles the database's observability surfaces. The hot-path
@@ -51,6 +53,7 @@ type obsState struct {
 	slowQueries  *obs.Counter
 	duration     *obs.Histogram
 	cacheEntries *obs.Gauge
+	pagesSkipped *obs.Counter
 }
 
 func (db *Database) initObs() {
@@ -76,12 +79,15 @@ func (db *Database) initObs() {
 	r.Describe(mSSCRefreshes, "counter", "Statistical soft-constraint confidence refreshes.")
 	r.Describe(mPromotions, "counter", "Probationary correlations promoted to employed.")
 	r.Describe(mDiscoveryRuns, "counter", "Soft-constraint discovery passes over a table.")
+	r.Describe(mPagesSkipped, "counter", "Heap pages skipped by synopsis-based scan pruning.")
+	r.Describe(mPruneRejected, "counter", "Prune-predicate introductions rejected, by reason.")
 
 	o.queries = r.Counter(mQueries)
 	o.queryErrors = r.Counter(mQueryErrors)
 	o.slowQueries = r.Counter(mSlowQueries)
 	o.duration = r.Histogram(mQueryDuration, obs.DefLatencyBuckets)
 	o.cacheEntries = r.Gauge(mCacheEntries)
+	o.pagesSkipped = r.Counter(mPagesSkipped)
 }
 
 // Metrics exposes the database's metrics registry.
@@ -131,6 +137,9 @@ func (db *Database) observeQuery(t *obs.Trace) {
 	if t.Degree > 1 {
 		o.metrics.Counter(mParallelQs, "degree", strconv.Itoa(t.Degree)).Inc()
 	}
+	if t.PagesSkipped > 0 {
+		o.pagesSkipped.Add(t.PagesSkipped)
+	}
 	if slow := o.slowNs.Load(); slow > 0 && t.Duration >= time.Duration(slow) {
 		t.Slow = true
 		o.slowQueries.Inc()
@@ -146,6 +155,7 @@ func (db *Database) observeQuery(t *obs.Trace) {
 			"duration", t.Duration,
 			"rows", t.ActualRows,
 			"pages", t.PagesRead,
+			"pages_skipped", t.PagesSkipped,
 			"degree", t.Degree,
 			"cache_hit", t.CacheHit,
 			"slow", t.Slow,
@@ -159,12 +169,16 @@ func (db *Database) observeQuery(t *obs.Trace) {
 }
 
 // countRewriteFires bumps the per-kind rewrite counter for every rule that
-// actually fired while planning a query. Counted at plan time, so cached
-// re-executions do not inflate the figures.
+// actually fired while planning a query, and the per-reason rejection
+// counter for prune introductions turned down (probation, below-floor,
+// no-index). Counted at plan time, so cached re-executions do not inflate
+// the figures.
 func (db *Database) countRewriteFires(events []obs.Event) {
 	for _, e := range events {
 		if e.Applied {
 			db.obs.metrics.Counter(mRewriteFires, "kind", e.Rule).Inc()
+		} else if e.Reason != "" {
+			db.obs.metrics.Counter(mPruneRejected, "reason", e.Reason).Inc()
 		}
 	}
 }

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"softdb/internal/expr"
+	"softdb/internal/plan"
+	"softdb/internal/storage"
+	"softdb/internal/types"
+)
+
+// BatchOperator is an Operator that can additionally push page-sized row
+// batches. The batch slice is borrowed: it is only valid until the emit
+// callback returns, so consumers that retain rows must clone them (the rows
+// themselves are heap-owned and immutable during a query, exactly as with
+// row-at-a-time emit). The emit contract matches Operator.Run: one
+// goroutine at a time.
+type BatchOperator interface {
+	Operator
+	RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error
+}
+
+// RunBatched drives op in batch mode when it supports it, and otherwise
+// adapts row-at-a-time output into single-row batches so batch-aware
+// parents need only one code path.
+func RunBatched(op Operator, ctx *Ctx, emit func(rows []types.Row) bool) error {
+	if bo, ok := op.(BatchOperator); ok {
+		return bo.RunBatch(ctx, emit)
+	}
+	one := make([]types.Row, 1)
+	return op.Run(ctx, func(row types.Row) bool {
+		one[0] = row
+		return emit(one)
+	})
+}
+
+// CollectBatched runs op and gathers all output rows, using the batched
+// path when the root operator supports it. Results are identical to
+// Collect; only the emission granularity differs.
+func CollectBatched(op Operator, ctx *Ctx) ([]types.Row, error) {
+	bo, ok := op.(BatchOperator)
+	if !ok {
+		return Collect(op, ctx)
+	}
+	if ctx == nil {
+		ctx = &Ctx{}
+	}
+	var out []types.Row
+	err := bo.RunBatch(ctx, func(rows []types.Row) bool {
+		for _, r := range rows {
+			out = append(out, r.Clone())
+		}
+		return true
+	})
+	return out, err
+}
+
+// makeSkipper compiles prune predicates into a per-page skip decision over
+// published synopses. Predicates whose Check rejects (source constraint
+// violated, on probation, or decayed below the confidence floor) are
+// dropped for this execution — the scan falls back toward a full read.
+// Returns nil when nothing can prune, which disables synopsis loads
+// entirely.
+func makeSkipper(preds []plan.PrunePred) func(*storage.PageSynopsis) bool {
+	active := make([]plan.PrunePred, 0, len(preds))
+	for _, p := range preds {
+		if p.Check == nil || p.Check() {
+			active = append(active, p)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	return func(syn *storage.PageSynopsis) bool {
+		if syn.Rows == 0 {
+			// Only dead slots: nothing to read, safe to skip under any
+			// predicate set.
+			return true
+		}
+		for _, p := range active {
+			cs := syn.Col(p.Col)
+			if cs == nil {
+				continue
+			}
+			nonNull := syn.Rows - cs.Nulls
+			if p.Exclude {
+				// Every row's value must provably lie inside the excluded
+				// interval; NULLs are outside every interval, so any NULL
+				// keeps the page.
+				if cs.Nulls == 0 && nonNull > 0 &&
+					expr.Between(cs.Min, cs.Max, true, true).CoveredBy(p.Interval) {
+					return true
+				}
+				continue
+			}
+			// Inclusion: qualifying rows need a value inside Interval. A
+			// NULL can only qualify for derived predicates (NullsQualify);
+			// the query's own sargable comparisons reject NULL.
+			if cs.Nulls > 0 && p.NullsQualify {
+				continue
+			}
+			if nonNull == 0 {
+				return true // all-NULL page, NULLs cannot qualify here
+			}
+			if expr.Between(cs.Min, cs.Max, true, true).Disjoint(p.Interval) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// CountSkippablePages evaluates the prune predicates against a heap's
+// current synopses and reports how many pages a scan would skip. The
+// optimizer uses this for synopsis-aware page estimates; it touches no
+// counters.
+func CountSkippablePages(h *storage.Heap, preds []plan.PrunePred) int64 {
+	skip := makeSkipper(preds)
+	if skip == nil {
+		return 0
+	}
+	var n int64
+	for pi := 0; pi < int(h.PageCount()); pi++ {
+		if syn := h.Synopsis(pi); syn != nil && skip(syn) {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterPrunePreds extracts prune predicates from a scan's own sargable
+// conjuncts: every column with a bounded extracted interval yields an
+// inclusion predicate (NULL never qualifies a comparison, so pages may be
+// skipped regardless of their null counts). Hole-trimmed filter intervals
+// are already part of the conjuncts and are picked up here for free.
+func FilterPrunePreds(filter []expr.Expr, ncols int) []plan.PrunePred {
+	var out []plan.PrunePred
+	for ord := 0; ord < ncols; ord++ {
+		iv, _ := expr.ExtractInterval(filter, ord)
+		if iv.IsUnbounded() {
+			continue
+		}
+		out = append(out, plan.PrunePred{Col: ord, Interval: iv, Source: "filter"})
+	}
+	return out
+}

@@ -101,26 +101,55 @@ func Format(op Operator) string {
 
 // --- scans ---
 
-// SeqScan reads every live row of a heap, applying residual filters.
+// SeqScan reads every live row of a heap, applying residual filters. The
+// inner loop is page-batched: each heap page's live rows arrive as one
+// borrowed batch, are filtered in place, and leave as one batch (Run adapts
+// back to row-at-a-time for parents that need it). Prune predicates let the
+// scan skip pages whose synopsis proves no qualifying row, charging
+// PagesSkipped instead of a read.
 type SeqScan struct {
 	Table  string
 	Heap   *storage.Heap
 	Filter []expr.Expr
+	Prune  []plan.PrunePred
 }
 
 // Run implements Operator.
 func (s *SeqScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
-	var runErr error
-	s.Heap.Scan(&ctx.IO, func(_ storage.RowID, row types.Row) bool {
-		ok, err := evalFilters(s.Filter, row)
-		if err != nil {
-			runErr = err
-			return false
+	return s.RunBatch(ctx, func(rows []types.Row) bool {
+		for _, r := range rows {
+			if !emit(r) {
+				return false
+			}
 		}
-		if !ok {
+		return true
+	})
+}
+
+// RunBatch implements BatchOperator.
+func (s *SeqScan) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+	var runErr error
+	skip := makeSkipper(s.Prune)
+	var pass []types.Row
+	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row) bool {
+		if len(s.Filter) == 0 {
+			return emit(rows)
+		}
+		pass = pass[:0]
+		for _, row := range rows {
+			ok, err := evalFilters(s.Filter, row)
+			if err != nil {
+				runErr = err
+				return false
+			}
+			if ok {
+				pass = append(pass, row)
+			}
+		}
+		if len(pass) == 0 {
 			return true
 		}
-		return emit(row)
+		return emit(pass)
 	})
 	return runErr
 }
@@ -130,6 +159,13 @@ func (s *SeqScan) Describe() string {
 	d := "SeqScan " + s.Table
 	if len(s.Filter) > 0 {
 		d += " filter=" + expr.And(s.Filter...).String()
+	}
+	for _, pp := range s.Prune {
+		// Filter-derived predicates restate the filter; only derived
+		// (constraint- or hole-sourced) ones add information to EXPLAIN.
+		if pp.Source != "filter" {
+			d += " prune=" + pp.Describe(s.Heap.Def().Columns[pp.Col].Name)
+		}
 	}
 	return d
 }
@@ -318,6 +354,35 @@ func (f *Filter) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	return err
 }
 
+// RunBatch implements BatchOperator: batches from a batch-capable input are
+// filtered in place and re-emitted compacted, preserving page-granular
+// emission above the scan.
+func (f *Filter) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+	var inner error
+	var pass []types.Row
+	err := RunBatched(f.Input, ctx, func(rows []types.Row) bool {
+		pass = pass[:0]
+		for _, row := range rows {
+			ok, err := evalFilters(f.Conds, row)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if ok {
+				pass = append(pass, row)
+			}
+		}
+		if len(pass) == 0 {
+			return true
+		}
+		return emit(pass)
+	})
+	if inner != nil {
+		return inner
+	}
+	return err
+}
+
 // Describe implements Operator.
 func (f *Filter) Describe() string { return "Filter " + expr.And(f.Conds...).String() }
 
@@ -342,6 +407,33 @@ func (p *Project) Run(ctx *Ctx, emit func(types.Row) bool) error {
 				return false
 			}
 			out[i] = v
+		}
+		return emit(out)
+	})
+	if inner != nil {
+		return inner
+	}
+	return err
+}
+
+// RunBatch implements BatchOperator. Output rows are freshly allocated (as
+// in Run) but leave in the input's batch granularity.
+func (p *Project) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+	var inner error
+	var out []types.Row
+	err := RunBatched(p.Input, ctx, func(rows []types.Row) bool {
+		out = out[:0]
+		for _, row := range rows {
+			o := make(types.Row, len(p.Exprs))
+			for i, e := range p.Exprs {
+				v, err := e.Eval(row)
+				if err != nil {
+					inner = err
+					return false
+				}
+				o[i] = v
+			}
+			out = append(out, o)
 		}
 		return emit(out)
 	})
@@ -378,6 +470,25 @@ func (l *Limit) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	return l.Input.Run(ctx, func(row types.Row) bool {
 		count++
 		if !emit(row) {
+			return false
+		}
+		return count < l.N
+	})
+}
+
+// RunBatch implements BatchOperator, truncating the final batch at the
+// limit boundary.
+func (l *Limit) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+	if l.N <= 0 {
+		return nil
+	}
+	var count int64
+	return RunBatched(l.Input, ctx, func(rows []types.Row) bool {
+		if count+int64(len(rows)) > l.N {
+			rows = rows[:l.N-count]
+		}
+		count += int64(len(rows))
+		if !emit(rows) {
 			return false
 		}
 		return count < l.N

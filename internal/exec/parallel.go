@@ -116,6 +116,7 @@ type ParallelScan struct {
 	Table   string
 	Heap    *storage.Heap
 	Filter  []expr.Expr
+	Prune   []plan.PrunePred
 	Workers int
 }
 
@@ -133,20 +134,28 @@ func (s *ParallelScan) Partitions() int {
 	return w
 }
 
-// RunPartition implements PartitionedOperator.
+// RunPartition implements PartitionedOperator. Each partition prunes and
+// batches its own page range; skip decisions depend only on the published
+// synopses, so partition counters still sum to one serial scan exactly.
 func (s *ParallelScan) RunPartition(part int, ctx *Ctx, emit func(types.Row) bool) error {
 	lo, hi := splitRange(int(s.Heap.PageCount()), s.Partitions(), part)
 	var runErr error
-	s.Heap.ScanRange(lo, hi, &ctx.IO, func(_ storage.RowID, row types.Row) bool {
-		ok, err := evalFilters(s.Filter, row)
-		if err != nil {
-			runErr = err
-			return false
+	skip := makeSkipper(s.Prune)
+	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row) bool {
+		for _, row := range rows {
+			ok, err := evalFilters(s.Filter, row)
+			if err != nil {
+				runErr = err
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !emit(row) {
+				return false
+			}
 		}
-		if !ok {
-			return true
-		}
-		return emit(row)
+		return true
 	})
 	return runErr
 }
@@ -247,7 +256,7 @@ func (p *Project) RunPartition(part int, ctx *Ctx, emit func(types.Row) bool) er
 func Serialize(op Operator) Operator {
 	switch t := op.(type) {
 	case *ParallelScan:
-		return &SeqScan{Table: t.Table, Heap: t.Heap, Filter: t.Filter}
+		return &SeqScan{Table: t.Table, Heap: t.Heap, Filter: t.Filter, Prune: t.Prune}
 	case *Filter:
 		return &Filter{Input: Serialize(t.Input), Conds: t.Conds}
 	case *Project:

@@ -89,6 +89,26 @@ func (s *spanOp) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	}, emit)
 }
 
+// RunBatch implements BatchOperator so instrumented plans keep page-batched
+// emission; deltas are measured around the inner batched run.
+func (s *spanOp) RunBatch(ctx *Ctx, emit func([]types.Row) bool) error {
+	before := ctx.IO.Load()
+	start := time.Now()
+	var rows int64
+	err := RunBatched(s.inner, ctx, func(batch []types.Row) bool {
+		rows += int64(len(batch))
+		return emit(batch)
+	})
+	after := ctx.IO.Load()
+	s.node.Nanos.Add(time.Since(start).Nanoseconds())
+	s.node.Rows.Add(rows)
+	s.node.Pages.Add(after.PagesRead - before.PagesRead)
+	s.node.PagesSkipped.Add(after.PagesSkipped - before.PagesSkipped)
+	s.node.RowsRead.Add(after.RowsRead - before.RowsRead)
+	s.node.Calls.Add(1)
+	return err
+}
+
 // Partitions implements PartitionedOperator by delegation; a wrapped
 // non-partitioned operator reports a single partition.
 func (s *spanOp) Partitions() int {
@@ -124,6 +144,7 @@ func (s *spanOp) measure(ctx *Ctx, run func(*Ctx, func(types.Row) bool) error, e
 	s.node.Nanos.Add(time.Since(start).Nanoseconds())
 	s.node.Rows.Add(rows)
 	s.node.Pages.Add(after.PagesRead - before.PagesRead)
+	s.node.PagesSkipped.Add(after.PagesSkipped - before.PagesSkipped)
 	s.node.RowsRead.Add(after.RowsRead - before.RowsRead)
 	s.node.Calls.Add(1)
 	return err

@@ -26,19 +26,27 @@ type SpanNode struct {
 	// cumulative across calls and partition workers, so for parallel
 	// operators it can exceed wall clock. Calls counts Run/RunPartition
 	// invocations (nested-loop join re-runs its inner side per outer row).
-	Rows     atomic.Int64
-	Pages    atomic.Int64
-	RowsRead atomic.Int64
-	Nanos    atomic.Int64
-	Calls    atomic.Int64
+	Rows  atomic.Int64
+	Pages atomic.Int64
+	// PagesSkipped counts heap pages the subtree's scans pruned via
+	// synopses instead of reading.
+	PagesSkipped atomic.Int64
+	RowsRead     atomic.Int64
+	Nanos        atomic.Int64
+	Calls        atomic.Int64
 
 	Children []*SpanNode
 }
 
-// ActualLine renders the node's measured figures.
+// ActualLine renders the node's measured figures. Scans that pruned pages
+// additionally report the skip count and the prune ratio (fraction of the
+// pages they would otherwise have read).
 func (n *SpanNode) ActualLine() string {
 	d := time.Duration(n.Nanos.Load())
 	s := fmt.Sprintf("(actual rows=%d time=%s pages=%d", n.Rows.Load(), formatDur(d), n.Pages.Load())
+	if sk := n.PagesSkipped.Load(); sk > 0 {
+		s += fmt.Sprintf(" skipped=%d prune=%.0f%%", sk, 100*float64(sk)/float64(sk+n.Pages.Load()))
+	}
 	if calls := n.Calls.Load(); calls > 1 {
 		s += fmt.Sprintf(" calls=%d", calls)
 	}
@@ -97,6 +105,10 @@ type Event struct {
 	// Applied reports whether the rule fired; when false Detail carries
 	// the rejection reason.
 	Applied bool
+	// Reason is a short machine-readable slug for rejections (e.g.
+	// "probation", "below-floor", "no-index"); it labels the per-reason
+	// rejection counters and stays low-cardinality.
+	Reason string
 	// Detail is a human-readable elaboration.
 	Detail string
 }
@@ -109,6 +121,9 @@ func (e Event) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s", e.Rule, status)
+	if e.Reason != "" {
+		fmt.Fprintf(&b, " (%s)", e.Reason)
+	}
 	if e.Constraint != "" {
 		fmt.Fprintf(&b, ": constraint %s", e.Constraint)
 		if e.Mode != "" {
@@ -144,15 +159,17 @@ type Trace struct {
 	EstCost    float64
 	ActualRows int64
 	PagesRead  int64
-	Err        string
+	// PagesSkipped counts heap pages pruned via synopses query-wide.
+	PagesSkipped int64
+	Err          string
 }
 
 // Render formats the full trace as plan-style text lines.
 func (t *Trace) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", t.SQL)
-	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d degree=%d cache=%s\n",
-		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.Degree, cacheWord(t.CacheHit))
+	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d skipped=%d degree=%d cache=%s\n",
+		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.PagesSkipped, t.Degree, cacheWord(t.CacheHit))
 	if t.Err != "" {
 		fmt.Fprintf(&b, "error: %s\n", t.Err)
 	}

@@ -37,6 +37,9 @@ type Optimizer struct {
 	NoASTEstimation bool
 	// ForceGreedyJoins bypasses DP join ordering (ablation).
 	ForceGreedyJoins bool
+	// NoPrune disables synopsis-based page pruning: scans get no prune
+	// predicates and page estimates ignore synopses (ablation/baseline).
+	NoPrune bool
 	// Parallel is the maximum intra-query degree of parallelism; values
 	// <= 1 plan serial operators only.
 	Parallel int
@@ -309,7 +312,23 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 	}
 	total, selected := o.scanEstimate(s)
 	pages := float64(heap.PageCount())
-	best := exec.Operator(&exec.SeqScan{Table: s.Table, Heap: heap, Filter: s.Filter})
+	prune := o.prunePreds(s)
+	// Synopsis-aware page estimate: pages the skipper would prune right now
+	// are free, and the rows on them are never materialized. Access-path
+	// selection still compares the UNPRUNED sequential cost against index
+	// paths — an index that beats a full scan is strictly more precise than
+	// zone maps (it touches only matching rows' pages), and current synopsis
+	// state is too volatile to let it veto an index. The pruned figures are
+	// what the chosen sequential scan reports upward for join costing.
+	readPages := pages
+	if len(prune) > 0 {
+		readPages = pages - float64(exec.CountSkippablePages(heap, prune))
+	}
+	readRows := total
+	if pages > 0 {
+		readRows = total * readPages / pages
+	}
+	best := exec.Operator(&exec.SeqScan{Table: s.Table, Heap: heap, Filter: s.Filter, Prune: prune})
 	bestCost := seqScanCost(pages, total)
 
 	if s.Entry != nil && !o.NoIndexes {
@@ -354,11 +373,26 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 	// parallel key-space split would repeat root-to-leaf descents per
 	// worker and break exact page-count parity with the serial plan.
 	if ss, ok := best.(*exec.SeqScan); ok {
+		// Report the synopsis-aware cost for the surviving sequential scan so
+		// join ordering sees the pages it will actually read.
+		bestCost = seqScanCost(readPages, readRows)
 		if dop := o.parallelDegree(selected); dop > 1 {
-			best = &exec.ParallelScan{Table: ss.Table, Heap: ss.Heap, Filter: ss.Filter, Workers: dop}
+			best = &exec.ParallelScan{Table: ss.Table, Heap: ss.Heap, Filter: ss.Filter, Prune: ss.Prune, Workers: dop}
 		}
 	}
 	return best, prop{rows: math.Max(selected, 0), cost: bestCost}
+}
+
+// prunePreds assembles a scan's page-prune predicates: intervals extracted
+// from its own sargable conjuncts (which already include hole-trimmed
+// ranges) plus the prune-only predicates rewrite planted from correlations
+// and interior join holes.
+func (o *Optimizer) prunePreds(s *plan.Scan) []plan.PrunePred {
+	if o.NoPrune {
+		return nil
+	}
+	preds := exec.FilterPrunePreds(s.Filter, len(s.Def.Columns))
+	return append(preds, s.PrunePreds...)
 }
 
 // boundsFor converts an interval to B+tree scan bounds over a

@@ -55,6 +55,11 @@ type Scan struct {
 	Def     *schema.Table
 	Filter  []expr.Expr
 	EstOnly []stats.EstimationPredicate
+	// PrunePreds are prune-only predicates planted by rewrite (derived from
+	// correlations or interior join holes): sound for skipping whole pages
+	// via synopses, never applied to rows. The optimizer merges them with
+	// the scan's own sargable filter intervals when lowering.
+	PrunePreds []PrunePred
 
 	// PinnedIndex, when non-nil, forces this scan to use the given index
 	// (used by tests and ablations); normally access-path selection is
@@ -109,6 +114,9 @@ func (s *Scan) Describe() string {
 	}
 	for _, ep := range s.EstOnly {
 		fmt.Fprintf(&b, " est-only=%s@%.3f", ep.Pred, ep.Confidence)
+	}
+	for _, pp := range s.PrunePreds {
+		fmt.Fprintf(&b, " prune-only=%s", pp.Describe(s.Def.Columns[pp.Col].Name))
 	}
 	return b.String()
 }

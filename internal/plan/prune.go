@@ -1,0 +1,43 @@
+package plan
+
+import (
+	"fmt"
+
+	"softdb/internal/expr"
+)
+
+// PrunePred is a prune-only predicate attached to a Scan: a sound,
+// single-column page-skipping condition that is evaluated against per-page
+// synopses (zone maps) but never applied to individual rows. Two shapes
+// exist:
+//
+//   - inclusion (Exclude=false): qualifying rows must have Col inside
+//     Interval. A page is skipped when its non-null [min, max] range is
+//     disjoint from Interval — and, when NullsQualify, only if the page
+//     also holds no NULLs in Col (a NULL row could still qualify).
+//   - exclusion (Exclude=true): rows with Col inside Interval provably
+//     contribute nothing (an interior join hole). A page is skipped when
+//     its whole non-null range lies inside Interval and it has no NULLs.
+//
+// Check, when non-nil, is consulted once per scan: returning false disables
+// the predicate for that execution. Derived predicates capture their source
+// constraint here, so pruning stops the moment the constraint is violated,
+// demoted to probation, or its effective confidence decays — even on a plan
+// compiled while the constraint was healthy.
+type PrunePred struct {
+	Col          int // column ordinal in the scanned table
+	Interval     expr.Interval
+	Exclude      bool
+	NullsQualify bool   // a NULL in Col may satisfy the query (derived preds)
+	Source       string // "filter", or the constraint/correlation/hole name
+	Check        func() bool
+}
+
+// Describe renders the predicate for EXPLAIN output.
+func (p PrunePred) Describe(col string) string {
+	op := "in"
+	if p.Exclude {
+		op = "not-in"
+	}
+	return fmt.Sprintf("%s %s %s [%s]", col, op, p.Interval, p.Source)
+}

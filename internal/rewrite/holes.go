@@ -51,12 +51,14 @@ func (r *Rewriter) trimJoinHoles(jg *plan.JoinGroup) {
 		if aOrd < 0 || bOrd < 0 {
 			continue
 		}
-		r.trimScanPair(leftScan, aOrd, rightScan, bOrd, holes.Name, holes.Holes)
+		r.trimScanPair(leftScan, aOrd, rightScan, bOrd, holes)
 	}
 }
 
-// trimScanPair iterates hole-based tightening to a fixpoint.
-func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int, source string, rects []catalog.Rect) {
+// trimScanPair iterates hole-based tightening to a fixpoint, then plants
+// prune-only predicates for interior holes the trim could not exploit.
+func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int, holes *catalog.JoinHoles) {
+	source, rects := holes.Name, holes.Holes
 	// Normalize filters into flat conjunct lists first.
 	ls.Filter = expr.SplitConjuncts(expr.And(ls.Filter...))
 	rs.Filter = expr.SplitConjuncts(expr.And(rs.Filter...))
@@ -81,7 +83,7 @@ func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int
 			}
 		}
 		if !changed {
-			return
+			break
 		}
 		r.replaceInterval(ls, aOrd, ia)
 		r.replaceInterval(rs, bOrd, ib)
@@ -91,6 +93,65 @@ func (r *Rewriter) trimScanPair(ls *plan.Scan, aOrd int, rs *plan.Scan, bOrd int
 			Mode: "JOIN HOLES", Confidence: 1, Applied: true,
 			Detail: fmt.Sprintf("%s.%s to %s, %s.%s to %s",
 				ls.Alias, ls.Def.Columns[aOrd].Name, ia, rs.Alias, rs.Def.Columns[bOrd].Name, ib)})
+	}
+	if r.Opt.NoPruneIntro {
+		return
+	}
+	// Interior holes: Subtract can only cut the ends of a range, but a hole
+	// strictly inside the remaining query range still proves that rows with
+	// the attribute inside it produce no join result (the hole's other-side
+	// extent covers the whole other-side query range). Those rows cannot be
+	// filtered away as a range predicate — the range would split — but the
+	// pages holding only them can be skipped wholesale.
+	ia, _ := expr.ExtractInterval(ls.Filter, aOrd)
+	ib, _ := expr.ExtractInterval(rs.Filter, bOrd)
+	for _, h := range rects {
+		if !ib.IsUnbounded() && ib.CoveredBy(h.B) && !ia.Disjoint(h.A) {
+			r.plantHolePrune(ls, aOrd, holes, h, h.A)
+		}
+		if !ia.IsUnbounded() && ia.CoveredBy(h.A) && !ib.Disjoint(h.B) {
+			r.plantHolePrune(rs, bOrd, holes, h, h.B)
+		}
+	}
+}
+
+// plantHolePrune attaches an exclusion prune predicate: pages whose values
+// of column ord all lie inside iv (an interior hole's extent) are skipped.
+// The runtime check re-verifies the hole survives — §4.3's hole retirement
+// must stop derived pruning exactly as it invalidates plans.
+func (r *Rewriter) plantHolePrune(s *plan.Scan, ord int, holes *catalog.JoinHoles, h catalog.Rect, iv expr.Interval) {
+	for _, pp := range s.PrunePreds {
+		if pp.Col == ord && pp.Exclude && pp.Interval.String() == iv.String() {
+			return
+		}
+	}
+	s.PrunePreds = append(s.PrunePreds, plan.PrunePred{
+		Col: ord, Interval: iv, Exclude: true,
+		Source: holes.Name, Check: holeCheck(holes, h),
+	})
+	// No tracef — prune-only predicates self-invalidate via Check, so they
+	// must not engage the §4.1 trace-driven cache machinery. Events record it.
+	r.event(obs.Event{Rule: "prune-introduction", Constraint: holes.Name,
+		Mode: "JOIN HOLES", Confidence: 1, Applied: true,
+		Detail: fmt.Sprintf("%s: pages with %s entirely inside %s skippable (interior hole)",
+			s.Alias, s.Def.Columns[ord].Name, iv)})
+}
+
+// holeCheck reports whether the specific hole rectangle is still registered
+// and the hole set active; retired holes (violating writes) disable the
+// derived predicate immediately, even on cached plans.
+func holeCheck(holes *catalog.JoinHoles, h catalog.Rect) func() bool {
+	a, b := h.A.String(), h.B.String()
+	return func() bool {
+		if !holes.Active {
+			return false
+		}
+		for _, cur := range holes.Holes {
+			if cur.A.String() == a && cur.B.String() == b {
+				return true
+			}
+		}
+		return false
 	}
 }
 

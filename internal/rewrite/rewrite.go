@@ -23,6 +23,7 @@ type Options struct {
 	NoExceptionAST bool // disable the §4.4 exception-union rewrite
 	NoSSCTwins     bool // disable §5.1 estimation-only twinned predicates
 	NoASTRouting   bool // disable routing scans through matching ASTs (§4.4)
+	NoPruneIntro   bool // disable planting prune-only predicates (zone-map pruning)
 }
 
 // Rewriter applies semantic query optimization to logical plans. It may
@@ -278,7 +279,8 @@ func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
 			// §3.2: probationary SCs are maintained, not employed.
 			r.event(obs.Event{Rule: "bound-lowering", Constraint: lc.Name,
 				Mode: catalog.ModeSoftStatistical.String(), Confidence: lc.Confidence,
-				Applied: false, Detail: "correlation on probation or dropped; maintained, not employed"})
+				Applied: false, Reason: "probation",
+				Detail: "correlation on probation or dropped; maintained, not employed"})
 			continue
 		}
 		aOrd := s.Def.ColumnIndex(lc.ColA)
@@ -420,8 +422,14 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 	if absolute {
 		if r.Opt.NoPredIntro || !indexHelps {
 			if !r.Opt.NoPredIntro {
+				// No index access path to gain — but the derived interval is
+				// still sound, so plant it as a prune-only predicate: scans
+				// skip heap pages whose synopsis cannot meet it.
+				if r.plantPrunePred(s, b, target, div) {
+					return s, false
+				}
 				r.event(obs.Event{Rule: "predicate-introduction", Constraint: b.Source,
-					Mode: b.Mode.String(), Confidence: 1, Applied: false,
+					Mode: b.Mode.String(), Confidence: 1, Applied: false, Reason: "no-index",
 					Detail: fmt.Sprintf("derived predicate on %s.%s gains no index access path", s.Alias, s.Def.Columns[target].Name)})
 			}
 			return s, false
@@ -436,6 +444,21 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 			Mode: b.Mode.String(), Confidence: 1, Applied: true,
 			Detail: fmt.Sprintf("%s: added %s", s.Alias, pred)})
 		return s, false
+	}
+
+	// Statistical bounds never prune: skipping pages drops rows for real,
+	// and an effective confidence under the 1.0 floor admits exceptions
+	// that could live anywhere. Record the refusal so the fallback to a
+	// full (unpruned) scan is observable.
+	if !r.Opt.NoPruneIntro {
+		eff := b.Confidence
+		if b.corr != nil && s.Entry != nil {
+			eff = b.corr.EffectiveConfidence(s.Entry.Heap.RowCount())
+		}
+		r.event(obs.Event{Rule: "prune-introduction", Constraint: b.Source,
+			Mode: b.Mode.String(), Confidence: eff, Applied: false, Reason: "below-floor",
+			Detail: fmt.Sprintf("effective confidence %.3f below prune floor 1.0; %s.%s scan not pruned",
+				eff, s.Alias, s.Def.Columns[target].Name)})
 	}
 
 	// Statistical bound. Prefer the exact §4.4 exception-union rewrite when
@@ -461,6 +484,52 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 			Detail: fmt.Sprintf("%s: twinned %s for estimation only", s.Alias, pred)})
 	}
 	return s, false
+}
+
+// plantPrunePred attaches a prune-only predicate for the derived interval
+// div on target. It fires only for absolute bounds and reports whether it
+// planted (or an equivalent predicate already exists). NullsQualify is set:
+// the bound says nothing about rows where either column is NULL, so a page
+// holding NULLs in the target column can never be skipped by it.
+func (r *Rewriter) plantPrunePred(s *plan.Scan, b bound, target int, div expr.Interval) bool {
+	if r.Opt.NoPruneIntro || s.Summary != nil || s.Entry == nil {
+		return false
+	}
+	for _, pp := range s.PrunePreds {
+		if pp.Col == target && pp.Source == b.Source {
+			return true
+		}
+	}
+	s.PrunePreds = append(s.PrunePreds, plan.PrunePred{
+		Col: target, Interval: div, NullsQualify: true,
+		Source: b.Source, Check: pruneCheck(b),
+	})
+	// Deliberately no tracef: a prune-only predicate never makes the plan
+	// depend on the constraint for correctness (the Check closure re-validates
+	// at every scan), so it must not trigger the §4.1 trace-driven cache
+	// machinery (ASCDynamicOnly, backup-plan compilation). Events record it.
+	r.event(obs.Event{Rule: "prune-introduction", Constraint: b.Source,
+		Mode: b.Mode.String(), Confidence: b.Confidence, Applied: true,
+		Detail: fmt.Sprintf("%s: derived prune-only interval %s on %s (pages skippable via synopses)",
+			s.Alias, div, s.Def.Columns[target].Name)})
+	return true
+}
+
+// pruneCheck captures the bound's source object so the executor re-validates
+// it at scan start: pruning must stop the moment the source is violated
+// (deactivated), demoted to probation, or loses absoluteness — §4.1
+// invalidation applied to derived prune predicates, not just plans.
+func pruneCheck(b bound) func() bool {
+	switch {
+	case b.corr != nil:
+		lc := b.corr
+		return func() bool { return lc.Usable() && lc.IsAbsolute() }
+	case b.check != nil:
+		con := b.check
+		return func() bool { return con.Active && con.Confidence >= 1 && con.Mode.UsableInRewrite() }
+	default:
+		return nil
+	}
 }
 
 // routeThroughAST returns a summary-table scan replacing s when some

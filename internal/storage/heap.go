@@ -35,8 +35,9 @@ func (r RowID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 // atomic.Int64) so Counters values remain freely copyable once a query has
 // quiesced.
 type Counters struct {
-	PagesRead int64 // heap or index pages fetched
-	RowsRead  int64 // rows materialized from pages
+	PagesRead    int64 // heap or index pages fetched
+	RowsRead     int64 // rows materialized from pages
+	PagesSkipped int64 // heap pages proven irrelevant by a synopsis and never touched
 }
 
 // AddPages atomically charges n page reads. Nil receivers are ignored so
@@ -54,17 +55,26 @@ func (c *Counters) AddRows(n int64) {
 	}
 }
 
+// AddSkipped atomically records n pages pruned via synopses.
+func (c *Counters) AddSkipped(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.PagesSkipped, n)
+	}
+}
+
 // Add atomically accumulates other into c.
 func (c *Counters) Add(other Counters) {
 	c.AddPages(other.PagesRead)
 	c.AddRows(other.RowsRead)
+	c.AddSkipped(other.PagesSkipped)
 }
 
 // Load returns an atomic snapshot of the counters.
 func (c *Counters) Load() Counters {
 	return Counters{
-		PagesRead: atomic.LoadInt64(&c.PagesRead),
-		RowsRead:  atomic.LoadInt64(&c.RowsRead),
+		PagesRead:    atomic.LoadInt64(&c.PagesRead),
+		RowsRead:     atomic.LoadInt64(&c.RowsRead),
+		PagesSkipped: atomic.LoadInt64(&c.PagesSkipped),
 	}
 }
 
@@ -77,6 +87,10 @@ type page struct {
 	slots []slot
 	bytes int // estimated payload bytes
 	live  int
+	// syn is the page's published min/max synopsis. Writers (serialized by
+	// the engine) replace it wholesale; concurrent scans Load it. It is only
+	// ever nil before the first insert into the page.
+	syn atomic.Pointer[PageSynopsis]
 }
 
 // Heap is an append-oriented row store with slotted pages. It is not safe
@@ -148,6 +162,9 @@ func (h *Heap) Insert(row types.Row) RowID {
 	p.slots = append(p.slots, slot{row: row})
 	p.bytes += h.rowSize
 	p.live++
+	// Extend the page synopsis copy-on-write: inserts only widen min/max,
+	// so merging the new row into a fresh snapshot is exact.
+	p.syn.Store(p.syn.Load().extend(row, len(h.def.Columns)))
 	return RowID{Page: int32(len(h.pages) - 1), Slot: int32(len(p.slots) - 1)}
 }
 
@@ -188,6 +205,9 @@ func (h *Heap) Delete(id RowID) bool {
 	p.live--
 	h.live--
 	h.version++
+	// Deletes can shrink min/max, so recompute the page synopsis from the
+	// surviving slots and republish.
+	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
 	return true
 }
 
@@ -203,6 +223,7 @@ func (h *Heap) Update(id RowID, row types.Row) bool {
 	}
 	p.slots[id.Slot].row = row
 	h.version++
+	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
 	return true
 }
 

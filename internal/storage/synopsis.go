@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"softdb/internal/types"
+)
+
+// ColSynopsis summarizes one column of one page: the minimum and maximum
+// over the page's live non-null values, and how many live rows are NULL.
+// Min and Max are NULL datums when the page holds no non-null value for the
+// column.
+type ColSynopsis struct {
+	Min   types.Datum
+	Max   types.Datum
+	Nulls int64
+}
+
+// PageSynopsis is an immutable per-page summary (a zone map): one
+// ColSynopsis per table column plus the live-row count. A synopsis is never
+// mutated after publication — writers build a fresh one and publish it with
+// an atomic pointer swap, so concurrent scans either see the old snapshot
+// or the new one, never a torn mix.
+type PageSynopsis struct {
+	Rows int64 // live rows on the page
+	Cols []ColSynopsis
+}
+
+// Col returns the synopsis for column ord, or nil if the synopsis does not
+// cover it (schema drift; callers must treat nil as "cannot prune").
+func (s *PageSynopsis) Col(ord int) *ColSynopsis {
+	if s == nil || ord < 0 || ord >= len(s.Cols) {
+		return nil
+	}
+	return &s.Cols[ord]
+}
+
+// extend returns a new synopsis covering the old rows plus row. The
+// receiver may be nil (empty page).
+func (s *PageSynopsis) extend(row types.Row, ncols int) *PageSynopsis {
+	next := &PageSynopsis{Rows: 1, Cols: make([]ColSynopsis, ncols)}
+	if s != nil {
+		next.Rows = s.Rows + 1
+		copy(next.Cols, s.Cols)
+	}
+	for ci := range next.Cols {
+		if ci >= len(row) {
+			break
+		}
+		mergeDatum(&next.Cols[ci], row[ci])
+	}
+	return next
+}
+
+func mergeDatum(cs *ColSynopsis, d types.Datum) {
+	if d.IsNull() {
+		cs.Nulls++
+		return
+	}
+	if cs.Min.IsNull() || d.Compare(cs.Min) < 0 {
+		cs.Min = d
+	}
+	if cs.Max.IsNull() || d.Compare(cs.Max) > 0 {
+		cs.Max = d
+	}
+}
+
+// computeSynopsis builds a synopsis from scratch over a page's live slots.
+func computeSynopsis(p *page, ncols int) *PageSynopsis {
+	syn := &PageSynopsis{Cols: make([]ColSynopsis, ncols)}
+	for si := range p.slots {
+		s := &p.slots[si]
+		if s.dead {
+			continue
+		}
+		syn.Rows++
+		for ci := range syn.Cols {
+			if ci >= len(s.row) {
+				break
+			}
+			mergeDatum(&syn.Cols[ci], s.row[ci])
+		}
+	}
+	return syn
+}
+
+// Synopsis returns the published synopsis for page pi, or nil when the page
+// does not exist. The returned snapshot is immutable and safe to read
+// concurrently with writers (which publish replacements by pointer swap).
+func (h *Heap) Synopsis(pi int) *PageSynopsis {
+	if pi < 0 || pi >= len(h.pages) {
+		return nil
+	}
+	return h.pages[pi].syn.Load()
+}
+
+// ScanPages iterates pages [pageLo, pageHi). For each page it first offers
+// the page's synopsis to skip (when non-nil); if skip returns true the page
+// is not touched — it charges one PagesSkipped and zero page or row reads.
+// Otherwise the page's live rows are gathered into an internal buffer
+// (charging one page read and one row read per live row, exactly like
+// ScanRange) and fn is called once with the batch. The batch slice is
+// borrowed: it is reused for the next page, so fn must not retain it.
+// Iteration stops when fn returns false.
+//
+// Unlike ScanRange, row charges land page-at-a-time: a consumer that stops
+// mid-batch has already been charged for the whole page, mirroring the page
+// model (touching any row of a page faults the full page in).
+func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsis) bool, fn func(rows []types.Row) bool) {
+	if pageLo < 0 {
+		pageLo = 0
+	}
+	if pageHi > len(h.pages) {
+		pageHi = len(h.pages)
+	}
+	var buf []types.Row
+	for pi := pageLo; pi < pageHi; pi++ {
+		p := h.pages[pi]
+		if skip != nil {
+			if syn := p.syn.Load(); syn != nil && skip(syn) {
+				c.AddSkipped(1)
+				continue
+			}
+		}
+		c.AddPages(1)
+		buf = buf[:0]
+		for si := range p.slots {
+			s := &p.slots[si]
+			if s.dead {
+				continue
+			}
+			buf = append(buf, s.row)
+		}
+		c.AddRows(int64(len(buf)))
+		if len(buf) == 0 {
+			continue
+		}
+		if !fn(buf) {
+			return
+		}
+	}
+}
