@@ -5,8 +5,10 @@
 package softdb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"softdb/internal/bench"
 	"softdb/internal/engine"
@@ -509,6 +511,50 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	}
 	db.SetTracing(false)
+}
+
+// BenchmarkR1LifecycleOverhead bounds what the query-lifecycle plumbing
+// costs a query that never exercises it (experiment R1). The ctx=on
+// variants run under a live cancelable deadline context, so every page and
+// row checkpoint performs the full done-channel select; the ctx=off
+// variants run with a background context — the fast path where the
+// checkpoint is a nil test. No faults, budgets, or cancellations fire in
+// either variant; the acceptance bar is <=5% wall-time overhead.
+func BenchmarkR1LifecycleOverhead(b *testing.B) {
+	db := engine.Open()
+	if err := workload.LoadStar(db, workload.StarConfig{DimRows: 1000, FactRows: 100000, Seed: 17}); err != nil {
+		b.Fatal(err)
+	}
+	queries := []struct{ name, q string }{
+		{"filter-scan", "SELECT id, qty FROM fact WHERE qty > 25 AND price < 500.0"},
+		{"group-agg", "SELECT dim_id, COUNT(*) AS n, SUM(qty) AS total FROM fact GROUP BY dim_id"},
+	}
+	for _, qc := range queries {
+		for _, withCtx := range []bool{false, true} {
+			label := "ctx=off"
+			if withCtx {
+				label = "ctx=on"
+			}
+			b.Run(fmt.Sprintf("%s/%s", qc.name, label), func(b *testing.B) {
+				var pages int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if withCtx {
+						ctx, cancel = context.WithTimeout(ctx, time.Hour)
+					}
+					res, err := db.ExecCtx(ctx, qc.q)
+					cancel()
+					if err != nil {
+						b.Fatal(err)
+					}
+					pages += res.Ctx.IO.PagesRead
+				}
+				b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+			})
+		}
+	}
 }
 
 // runPruneBench reports per-op page reads and skips alongside wall time —

@@ -17,23 +17,67 @@
 // (Prometheus text format) and /debug/queries (recent query traces).
 // -slow-query D logs queries slower than duration D; -trace starts with
 // per-operator tracing on. -no-prune disables synopsis-based page pruning
-// (useful for measuring what the zone maps buy). An optional file argument
-// is executed as a script before the prompt.
+// (useful for measuring what the zone maps buy). -timeout D applies a
+// per-statement deadline, -mem-budget N caps the bytes of rows a query may
+// buffer, and -max-concurrent N gates statement admission. The first
+// Ctrl-C cancels the running query through the context path; a second (or
+// one at the prompt) exits cleanly. An optional file argument is executed
+// as a script before the prompt.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 
 	"softdb/internal/engine"
 	"softdb/internal/sql"
 	"softdb/internal/types"
 )
+
+// interruptState routes SIGINT: while a statement runs it holds that
+// statement's cancel func; at the prompt it is empty and Ctrl-C exits.
+type interruptState struct {
+	cancel atomic.Pointer[context.CancelFunc]
+}
+
+// watch consumes SIGINT for the life of the process: the first Ctrl-C
+// during a statement cancels it via the context path, a Ctrl-C with no
+// statement running (including the second one, after the cancellation
+// lands) exits cleanly.
+func (is *interruptState) watch() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		for range ch {
+			if cancel := is.cancel.Swap(nil); cancel != nil {
+				(*cancel)()
+				fmt.Fprintln(os.Stderr, "\ncanceling statement (Ctrl-C again to exit)")
+				continue
+			}
+			fmt.Println()
+			os.Exit(0)
+		}
+	}()
+}
+
+// begin installs a fresh statement context; the returned done must be
+// called when the statement finishes.
+func (is *interruptState) begin() (ctx context.Context, done func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	is.cancel.Store(&cancel)
+	return ctx, func() {
+		is.cancel.Store(nil)
+		cancel()
+	}
+}
 
 func main() {
 	parallel := flag.Int("parallel", 1, "maximum intra-query degree of parallelism (1 = serial)")
@@ -41,11 +85,17 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
 	trace := flag.Bool("trace", false, "start with per-operator query tracing on")
 	noPrune := flag.Bool("no-prune", false, "disable synopsis-based page pruning (zone maps); scans read every page")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query budget in bytes for buffered rows (0 = unlimited)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: maximum concurrently executing statements (0 = unlimited)")
 	flag.Parse()
 
 	db := engine.Open()
 	db.Parallel = *parallel
 	db.NoPrune = *noPrune
+	db.StmtTimeout = *timeout
+	db.MemBudget = *memBudget
+	db.MaxConcurrent = *maxConcurrent
 	db.SetTracing(*trace)
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))
@@ -58,6 +108,8 @@ func main() {
 		}()
 		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", *debugAddr)
 	}
+	is := &interruptState{}
+	is.watch()
 	if args := flag.Args(); len(args) > 0 {
 		script, err := os.ReadFile(args[0])
 		if err != nil {
@@ -72,17 +124,20 @@ func main() {
 			os.Exit(1)
 		}
 		for _, s := range stmts {
-			if _, err := db.ExecStmt(s, sql.Print(s)); err != nil {
+			ctx, done := is.begin()
+			_, err := db.ExecStmtCtx(ctx, s, sql.Print(s))
+			done()
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
 		fmt.Printf("loaded %s\n", args[0])
 	}
-	repl(db)
+	repl(db, is)
 }
 
-func repl(db *engine.Database) {
+func repl(db *engine.Database, is *interruptState) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -107,15 +162,17 @@ func repl(db *engine.Database) {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			run(db, buf.String())
+			run(db, is, buf.String())
 			buf.Reset()
 		}
 		prompt()
 	}
 }
 
-func run(db *engine.Database, stmt string) {
-	res, err := db.Exec(strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+func run(db *engine.Database, is *interruptState, stmt string) {
+	ctx, done := is.begin()
+	res, err := db.ExecCtx(ctx, strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	done()
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"E13", "virtual-column statistics for expression predicates", func() (*Report, error) { return E13VirtualColumns(20000) }},
 		{"P1", "intra-query parallelism: serial vs parallel", func() (*Report, error) { return P1Parallel(200000) }},
 		{"P2", "zone-map page pruning from synopses and soft constraints", func() (*Report, error) { return P2Prune(20000) }},
+		{"R1", "query lifecycle: cancellation latency and context-check overhead", func() (*Report, error) { return R1Robustness(100000) }},
 	}
 }
 

@@ -259,6 +259,36 @@ func TestP2Shape(t *testing.T) {
 	}
 }
 
+func TestR1Shape(t *testing.T) {
+	rep, err := R1Robustness(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range rep.Rows {
+		rows[row[0]+"/"+row[1]] = row
+	}
+	for _, key := range []string{
+		"filter-scan/ctx=off", "filter-scan/ctx=on",
+		"group-agg/ctx=off", "group-agg/ctx=on",
+		"cancel-latency/slow-pages 1ms", "deadline/stmt-timeout 5ms", "mem-budget/16KiB sort",
+	} {
+		if _, ok := rows[key]; !ok {
+			t.Fatalf("missing row %q in %v", key, rep.Rows)
+		}
+	}
+	// Cancellation latency must be a small multiple of the checkpoint
+	// interval (one stalled page = 1ms), not the full-scan time.
+	if lat := lastFloat(t, rows["cancel-latency/slow-pages 1ms"][2]); lat > 100 {
+		t.Errorf("cancellation latency %.1fms; a canceled scan should stop within a few pages", lat)
+	}
+	// The deadline run must return near the 5ms deadline, not after the
+	// (multi-second) stalled full scan.
+	if took := lastFloat(t, rows["deadline/stmt-timeout 5ms"][2]); took > 500 {
+		t.Errorf("deadline run took %.1fms against a 5ms timeout", took)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	rep := &Report{ID: "X", Title: "t", Claim: "c", Header: []string{"a", "bb"}}
 	rep.AddRow(1, 2.5)

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"softdb/internal/engine"
+	"softdb/internal/exec"
+	"softdb/internal/fault"
+	"softdb/internal/workload"
+)
+
+// R1Robustness measures the query-lifecycle machinery (experiment R1):
+//
+//   - context-check overhead: the star-schema scan and aggregation queries
+//     run under a live cancelable deadline context versus the background
+//     default; the per-page/per-batch checkpoints are the only difference,
+//     and the acceptance bar is <=5% median wall-time overhead;
+//   - cancellation latency: with every page stalled 1ms by the fault
+//     injector, how long after cancel() a running scan takes to return its
+//     typed canceled error;
+//   - deadline and budget enforcement: a statement deadline and a memory
+//     budget each abort with their typed error, reported for completeness.
+//
+// Overhead is reported from medians over several repetitions; on a noisy
+// host individual runs can exceed the bar — BenchmarkR1LifecycleOverhead
+// is the steadier gate.
+func R1Robustness(factRows int) (*Report, error) {
+	rep := &Report{
+		ID:     "R1",
+		Title:  "query lifecycle: cancellation latency and context-check overhead",
+		Claim:  "page/batch-granular cancellation checkpoints stop a canceled query within a few checkpoint intervals while costing <5% wall time on queries that never use them",
+		Header: []string{"measure", "config", "ms", "detail"},
+	}
+	db := engine.Open()
+	db.DisablePlanCache = true
+	if err := workload.LoadStar(db, workload.StarConfig{DimRows: 1000, FactRows: factRows, Seed: 17}); err != nil {
+		return nil, err
+	}
+	queries := []struct{ name, q string }{
+		{"filter-scan", "SELECT id, qty FROM fact WHERE qty > 25 AND price < 500.0"},
+		{"group-agg", "SELECT dim_id, COUNT(*) AS n, SUM(qty) AS total FROM fact GROUP BY dim_id"},
+	}
+
+	// (a) Context-check overhead, background vs live-deadline context.
+	for _, qc := range queries {
+		offMs, onMs, err := timeQueryLifecycle(db, qc.q)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(qc.name, "ctx=off", fmt.Sprintf("%.2f", offMs), "background context")
+		rep.AddRow(qc.name, "ctx=on", fmt.Sprintf("%.2f", onMs),
+			fmt.Sprintf("overhead %+.1f%%", (onMs/offMs-1)*100))
+	}
+
+	// (b) Cancellation latency under 1ms/page slow pages.
+	db.Fault = fault.New(fault.Config{SlowProb: 1, SlowDelay: time.Millisecond})
+	var latencies []float64
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		canceledAt := make(chan time.Time, 1)
+		timer := time.AfterFunc(5*time.Millisecond, func() {
+			canceledAt <- time.Now()
+			cancel()
+		})
+		_, err := db.ExecCtx(ctx, queries[0].q)
+		returned := time.Now()
+		timer.Stop()
+		cancel()
+		qe, ok := exec.AsQueryError(err)
+		if !ok || qe.Kind != exec.KindCanceled {
+			return nil, fmt.Errorf("R1: canceled query returned %T: %v", err, err)
+		}
+		latencies = append(latencies, float64(returned.Sub(<-canceledAt).Microseconds())/1000)
+	}
+	sort.Float64s(latencies)
+	rep.AddRow("cancel-latency", "slow-pages 1ms", fmt.Sprintf("%.2f", latencies[len(latencies)/2]),
+		"cancel() to typed error, median of 5")
+
+	// (c) Deadline and budget enforcement.
+	db.StmtTimeout = 5 * time.Millisecond
+	start := time.Now()
+	_, err := db.Exec(queries[0].q)
+	tookMs := float64(time.Since(start).Microseconds()) / 1000
+	if qe, ok := exec.AsQueryError(err); !ok || qe.Kind != exec.KindTimeout {
+		return nil, fmt.Errorf("R1: deadline run returned %T: %v", err, err)
+	}
+	rep.AddRow("deadline", "stmt-timeout 5ms", fmt.Sprintf("%.2f", tookMs), "typed timeout error")
+	db.StmtTimeout = 0
+	db.Fault = nil
+
+	db.MemBudget = 16 << 10
+	start = time.Now()
+	_, err = db.Exec("SELECT id FROM fact ORDER BY qty")
+	tookMs = float64(time.Since(start).Microseconds()) / 1000
+	if qe, ok := exec.AsQueryError(err); !ok || qe.Kind != exec.KindMemBudget {
+		return nil, fmt.Errorf("R1: budget run returned %T: %v", err, err)
+	}
+	rep.AddRow("mem-budget", "16KiB sort", fmt.Sprintf("%.2f", tookMs), "typed oom error")
+	db.MemBudget = 0
+
+	rep.Notef("fact rows: %d; overhead medians over 7 reps — see BenchmarkR1LifecycleOverhead for the gated numbers", factRows)
+	return rep, nil
+}
+
+// timeQueryLifecycle measures q under a background context and under a
+// live cancelable deadline context, interleaving the repetitions so heap
+// and cache drift hit both variants equally, and returns the median
+// wall-clock milliseconds of each.
+func timeQueryLifecycle(db *engine.Database, q string) (offMs, onMs float64, err error) {
+	const reps = 7
+	run := func(withCtx bool) (float64, error) {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if withCtx {
+			ctx, cancel = context.WithTimeout(ctx, time.Hour)
+		}
+		start := time.Now()
+		_, err := db.ExecCtx(ctx, q)
+		took := time.Since(start)
+		cancel()
+		if err != nil {
+			return 0, err
+		}
+		return float64(took.Microseconds()) / 1000, nil
+	}
+	var off, on []float64
+	for i := 0; i < reps; i++ {
+		o, err := run(false)
+		if err != nil {
+			return 0, 0, err
+		}
+		w, err := run(true)
+		if err != nil {
+			return 0, 0, err
+		}
+		off = append(off, o)
+		on = append(on, w)
+	}
+	sort.Float64s(off)
+	sort.Float64s(on)
+	return off[reps/2], on[reps/2], nil
+}

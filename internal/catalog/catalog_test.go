@@ -10,7 +10,7 @@ import (
 )
 
 func tableDef(name string) *schema.Table {
-	return schema.MustTable(name,
+	return mustTable(name,
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "v", Type: types.KindInt, Nullable: true},
 	)
@@ -383,4 +383,14 @@ func TestDescribeStrings(t *testing.T) {
 	if !strings.Contains(lc.Describe(), "confidence 0.93") {
 		t.Errorf("correlation describe: %s", lc.Describe())
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

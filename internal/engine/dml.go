@@ -116,9 +116,15 @@ func (db *Database) checkOne(te *catalog.TableEntry, con *catalog.Constraint, ro
 		if err != nil {
 			return err
 		}
-		// SQL check semantics: NULL passes, FALSE fails.
-		if !v.IsNull() && !v.Bool() {
-			return fmt.Errorf("engine: row violates check constraint %s", con.Name)
+		// SQL check semantics: NULL passes, FALSE fails. A non-boolean
+		// check expression is a type error, not a Bool() accessor panic.
+		if !v.IsNull() {
+			if v.Kind() != types.KindBool {
+				return fmt.Errorf("engine: check constraint %s evaluated to %s, not BOOL", con.Name, v.Kind())
+			}
+			if !v.Bool() {
+				return fmt.Errorf("engine: row violates check constraint %s", con.Name)
+			}
 		}
 	case catalog.PrimaryKey, catalog.Unique:
 		ords := ordinalsOf(te, con.Columns)
@@ -209,7 +215,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 			continue
 		}
 		v, err := con.CheckExpr.Eval(row)
-		if err == nil && !v.IsNull() && !v.Bool() {
+		if err == nil && v.Kind() == types.KindBool && !v.Bool() {
 			_ = db.cat.DeactivateConstraint(te.Def.Name, con.Name)
 			db.obs.metrics.Counter(mASCViolations).Inc()
 			db.notify("ASC %s on %s deactivated by violating write", con.Name, te.Def.Name)

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"softdb/internal/catalog"
 	"softdb/internal/exec"
 	"softdb/internal/expr"
+	"softdb/internal/fault"
 	"softdb/internal/obs"
 	"softdb/internal/opt"
 	"softdb/internal/plan"
@@ -132,6 +134,27 @@ type Database struct {
 	// ParallelMinRows overrides the optimizer's estimated-cardinality
 	// threshold for going parallel; 0 means the default.
 	ParallelMinRows float64
+	// MemBudget caps, per query, the bytes of rows its blocking operators
+	// (Sort, hash-join builds, hash aggregation, Distinct, merge-join
+	// materialization) may buffer; exceeding it aborts that query with an
+	// "oom" QueryError. 0 means unlimited.
+	MemBudget int64
+	// StmtTimeout is the default per-statement deadline applied when the
+	// caller's context carries none; 0 means no default deadline.
+	StmtTimeout time.Duration
+	// MaxConcurrent is the admission gate: at most this many statements
+	// execute at once, the rest queue until a slot frees or their context
+	// fires. 0 means unlimited. Latched on first use, like the other
+	// config fields.
+	MaxConcurrent int
+	// Fault, when set, injects deterministic storage faults into every
+	// query's page checkpoints (robustness testing only).
+	Fault *fault.Injector
+
+	// admitOnce latches MaxConcurrent into admitSlots on the first
+	// statement.
+	admitOnce  sync.Once
+	admitSlots chan struct{}
 
 	planCache map[string]*cachedPlan
 	cacheStat CacheStats
@@ -226,13 +249,20 @@ func (db *Database) ResetCacheStats() {
 	db.cacheStat = CacheStats{}
 }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement without caller cancellation
+// (StmtTimeout, if configured, still applies).
 func (db *Database) Exec(query string) (*Result, error) {
+	return db.ExecCtx(context.Background(), query)
+}
+
+// ExecCtx parses and executes one statement under ctx: cancellation and
+// deadline expiry abort the statement with a typed QueryError.
+func (db *Database) ExecCtx(ctx context.Context, query string) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt, query)
+	return db.ExecStmtCtx(ctx, stmt, query)
 }
 
 // ExecScript executes a semicolon-separated script, returning the last
@@ -252,25 +282,93 @@ func (db *Database) ExecScript(script string) (*Result, error) {
 	return last, nil
 }
 
-// MustExec is Exec that panics on error; for tests and generators.
+// mustExecSQLLimit bounds how much query text MustExec's panic message
+// carries, so a hostile multi-megabyte statement cannot blow up logs.
+const mustExecSQLLimit = 120
+
+// truncateSQL clips s to mustExecSQLLimit runes for error messages.
+func truncateSQL(s string) string {
+	if len(s) <= mustExecSQLLimit {
+		return s
+	}
+	return s[:mustExecSQLLimit] + "…"
+}
+
+// MustExec is Exec that panics on error; for tests and generators. The
+// panic value is a *exec.QueryError carrying a truncated copy of the
+// statement text.
 func (db *Database) MustExec(query string) *Result {
 	res, err := db.Exec(query)
 	if err != nil {
-		panic(fmt.Sprintf("engine: %s: %v", query, err))
+		kind := exec.KindError
+		if qe, ok := exec.AsQueryError(err); ok {
+			kind = qe.Kind
+		}
+		panic(&exec.QueryError{
+			Op:   "engine.MustExec",
+			Kind: kind,
+			Err:  fmt.Errorf("engine: %s: %w", truncateSQL(query), err),
+		})
 	}
 	return res
 }
 
-// ExecStmt executes a parsed statement. cacheKey, when non-empty, enables
-// plan caching for selects. SELECT and EXPLAIN take the shared lock so
-// concurrent readers proceed in parallel; every other statement mutates
-// engine state and takes the exclusive lock.
+// ExecStmt executes a parsed statement without caller cancellation; see
+// ExecStmtCtx.
 func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, error) {
+	return db.ExecStmtCtx(context.Background(), stmt, cacheKey)
+}
+
+// admit acquires an admission-gate slot, waiting until one frees or ctx
+// fires. The returned release must be called when the statement finishes.
+// With MaxConcurrent <= 0 the gate is disabled.
+func (db *Database) admit(ctx context.Context) (release func(), err error) {
+	db.admitOnce.Do(func() {
+		if db.MaxConcurrent > 0 {
+			db.admitSlots = make(chan struct{}, db.MaxConcurrent)
+		}
+	})
+	slots := db.admitSlots
+	if slots == nil {
+		return func() {}, nil
+	}
+	select {
+	case slots <- struct{}{}:
+		return func() { <-slots }, nil
+	case <-ctx.Done():
+		return nil, exec.CancelError("engine.admission", ctx.Err())
+	}
+}
+
+// ExecStmtCtx executes a parsed statement under ctx. cacheKey, when
+// non-empty, enables plan caching for selects. SELECT and EXPLAIN take the
+// shared lock so concurrent readers proceed in parallel; every other
+// statement mutates engine state and takes the exclusive lock. When the
+// database has a StmtTimeout and ctx carries no deadline, the timeout is
+// applied; the admission gate (MaxConcurrent) is crossed before any lock
+// is taken.
+func (db *Database) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if db.StmtTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, db.StmtTimeout)
+			defer cancel()
+		}
+	}
+	release, err := db.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
 	switch s := stmt.(type) {
 	case *sql.Select:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(s, cacheKey, modeRun)
+		return db.query(ctx, s, cacheKey, modeRun)
 	case *sql.Explain:
 		inner, ok := s.Stmt.(*sql.Select)
 		if !ok {
@@ -282,7 +380,7 @@ func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, erro
 		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(inner, stripExplainPrefix(cacheKey), mode)
+		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode)
 	}
 
 	db.mu.Lock()
@@ -291,7 +389,6 @@ func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, erro
 	// holds the exclusive lock, so the shared query path never touches them.
 	db.notices = nil
 	var res *Result
-	var err error
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		res, err = db.createTable(s)
@@ -324,7 +421,12 @@ func (db *Database) ExecStmt(stmt sql.Statement, cacheKey string) (*Result, erro
 
 // Query runs a select and returns its rows.
 func (db *Database) Query(query string) ([]types.Row, error) {
-	res, err := db.Exec(query)
+	return db.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx runs a select under ctx and returns its rows.
+func (db *Database) QueryCtx(ctx context.Context, query string) ([]types.Row, error) {
+	res, err := db.ExecCtx(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -427,13 +529,23 @@ func (db *Database) cachePeek(selKey string) string {
 	if selKey == "" || db.DisablePlanCache {
 		return "miss"
 	}
-	key := fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", selKey, db.Parallel, db.NoPrune)
+	key := db.planCacheKey(selKey)
 	db.cacheMu.Lock()
 	defer db.cacheMu.Unlock()
 	if e, ok := db.planCache[key]; ok && e.catVersion == db.cat.Version() {
 		return "hit"
 	}
 	return "miss"
+}
+
+// planCacheKey builds the plan-cache identity for a select's text. Only
+// knobs that shape the compiled physical plan participate: the degree of
+// parallelism and the prune toggle. The lifecycle knobs (MemBudget,
+// StmtTimeout, MaxConcurrent, Fault) are deliberately excluded — they act
+// at run time on any compiled plan, so keying on them would only fragment
+// the cache without changing what is compiled.
+func (db *Database) planCacheKey(selKey string) string {
+	return fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", selKey, db.Parallel, db.NoPrune)
 }
 
 // stripExplainPrefix reduces an EXPLAIN [ANALYZE] statement's text to the
@@ -459,18 +571,16 @@ const (
 	modeAnalyze
 )
 
-func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Result, error) {
+func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string, mode queryMode) (*Result, error) {
 	sqlText := cacheKey
 	if sqlText == "" {
 		sqlText = sql.Print(sel)
 	}
 	useCache := cacheKey != "" && !db.DisablePlanCache && mode == modeRun
 	if useCache {
-		// The degree of parallelism and the prune toggle shape the physical
-		// plan, so both are part of the cache identity.
-		cacheKey = fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", cacheKey, db.Parallel, db.NoPrune)
+		cacheKey = db.planCacheKey(cacheKey)
 		if entry, ok := db.cacheLookup(cacheKey); ok {
-			return db.execute(entry, sqlText, true)
+			return db.execute(ctx, entry, sqlText, true)
 		}
 	}
 
@@ -506,7 +616,7 @@ func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Re
 		degree:      exec.MaxDegree(result.Root),
 	}
 	if mode == modeAnalyze {
-		return db.explainAnalyze(entry, sqlText, db.cachePeek(cacheKey))
+		return db.explainAnalyze(ctx, entry, sqlText, db.cachePeek(cacheKey))
 	}
 	if mode == modeExplain {
 		var rows []types.Row
@@ -539,7 +649,7 @@ func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Re
 			// §4.1: "restrict the use of ASCs in rewrite just to dynamic
 			// queries and never for precompilation" — run the rewritten
 			// plan once, cache nothing.
-			return db.execute(entry, sqlText, false)
+			return db.execute(ctx, entry, sqlText, false)
 		}
 		// §4.1 backup plan: when soft rules shaped the primary plan,
 		// compile the SQO-free alternative alongside so an overturned ASC
@@ -554,28 +664,71 @@ func (db *Database) query(sel *sql.Select, cacheKey string, mode queryMode) (*Re
 		db.obs.cacheEntries.Set(int64(len(db.planCache)))
 		db.cacheMu.Unlock()
 	}
-	return db.execute(entry, sqlText, false)
+	return db.execute(ctx, entry, sqlText, false)
+}
+
+// execCtx builds the exec context carrying the query's lifecycle: the
+// caller's cancellation signal, the configured memory budget and fault
+// injector, and the panic-recovery hook feeding the metrics registry.
+func (db *Database) execCtx(ctx context.Context) *exec.Ctx {
+	return exec.NewCtx(ctx, exec.CtxOptions{
+		MemBudget: db.MemBudget,
+		OnPanic:   func(string) { db.obs.workerPanics.Inc() },
+		Fault:     db.Fault,
+	})
+}
+
+// terminalState classifies a finished query's outcome for traces and the
+// per-state metrics.
+func terminalState(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	default:
+		if qe, ok := exec.AsQueryError(err); ok {
+			return string(qe.Kind)
+		}
+		return string(exec.KindError)
+	}
+}
+
+// runPlan drives a compiled plan to completion under the engine-boundary
+// panic guard: a panic anywhere on the serial execution path (worker
+// goroutines have their own recovery) surfaces as a KindPanic QueryError
+// instead of crashing the process.
+func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.Ctx) ([]types.Row, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, exec.CancelError("engine.execute", cerr)
+	}
+	var rows []types.Row
+	err := exec.Guard(ectx, "engine.execute", func() error {
+		var cerr error
+		if db.NoBatch {
+			rows, cerr = exec.Collect(root, ectx)
+		} else {
+			rows, cerr = exec.CollectBatched(root, ectx)
+		}
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // execute runs a compiled plan, instrumenting it with a span tree when
 // tracing is on, and records the execution in metrics and the query log.
-func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*Result, error) {
+func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText string, cacheHit bool) (*Result, error) {
 	start := time.Now()
 	root := entry.root
 	var span *obs.SpanNode
 	if db.obs.tracing.Load() {
 		root, span = exec.Instrument(entry.root, estLookup(entry.nodeRows))
 	}
-	ctx := &exec.Ctx{}
-	var rows []types.Row
-	var err error
-	if db.NoBatch {
-		rows, err = exec.Collect(root, ctx)
-	} else {
-		rows, err = exec.CollectBatched(root, ctx)
-	}
+	ectx := db.execCtx(ctx)
+	rows, err := db.runPlan(ctx, root, ectx)
 	dur := time.Since(start)
-	io := ctx.IO.Load()
+	io := ectx.IO.Load()
 	t := &obs.Trace{
 		SQL: sqlText, Start: start, Duration: dur,
 		Degree: entry.degree, CacheHit: cacheHit,
@@ -583,6 +736,7 @@ func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(rows)), PagesRead: io.PagesRead,
 		PagesSkipped: io.PagesSkipped,
+		State:        terminalState(err),
 	}
 	if err != nil {
 		t.Err = err.Error()
@@ -594,7 +748,7 @@ func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*
 	return &Result{
 		Columns:  entry.cols,
 		Rows:     rows,
-		Ctx:      *ctx,
+		Ctx:      *ectx,
 		EstRows:  entry.estRows,
 		EstCost:  entry.estCost,
 		Plan:     entry.planText,
@@ -608,19 +762,14 @@ func (db *Database) execute(entry *cachedPlan, sqlText string, cacheHit bool) (*
 // explainAnalyze executes the plan under full instrumentation and renders
 // per-node estimated vs. actual figures plus every soft-constraint
 // consultation made while planning.
-func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus string) (*Result, error) {
+func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string) (*Result, error) {
 	start := time.Now()
 	iroot, span := exec.Instrument(entry.root, estLookup(entry.nodeRows))
-	ctx := &exec.Ctx{}
-	var resRows []types.Row
-	var err error
-	if db.NoBatch {
-		resRows, err = exec.Collect(iroot, ctx)
-	} else {
-		resRows, err = exec.CollectBatched(iroot, ctx)
-	}
+	ectx := db.execCtx(ctx)
+	resRows, err := db.runPlan(ctx, iroot, ectx)
 	dur := time.Since(start)
-	io := ctx.IO.Load()
+	io := ectx.IO.Load()
+	state := terminalState(err)
 	t := &obs.Trace{
 		SQL: sqlText, Start: start, Duration: dur,
 		Degree: entry.degree, CacheHit: cacheStatus == "hit",
@@ -628,6 +777,7 @@ func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus strin
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(resRows)), PagesRead: io.PagesRead,
 		PagesSkipped: io.PagesSkipped,
+		State:        state,
 	}
 	if err != nil {
 		t.Err = err.Error()
@@ -650,11 +800,12 @@ func (db *Database) explainAnalyze(entry *cachedPlan, sqlText, cacheStatus strin
 	line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", entry.estRows, entry.estCost))
 	line(fmt.Sprintf("actual rows: %d, elapsed: %s, pages: %d, skipped: %d", len(resRows), dur, io.PagesRead, io.PagesSkipped))
 	line(fmt.Sprintf("parallel degree: %d", entry.degree))
+	line("terminal state: " + state)
 	line("plan cache: " + cacheStatus)
 	return &Result{
 		Columns:  []string{"plan"},
 		Rows:     rows,
-		Ctx:      *ctx,
+		Ctx:      *ectx,
 		EstRows:  entry.estRows,
 		EstCost:  entry.estCost,
 		Plan:     entry.planText,

@@ -36,6 +36,11 @@ const (
 	mDiscoveryRuns = "softdb_discovery_runs_total"
 	mPagesSkipped  = "softdb_scan_pages_skipped_total"
 	mPruneRejected = "softdb_prune_rejected_total"
+	// Query-lifecycle terminal states and robustness counters.
+	mQueriesCanceled   = "softdb_queries_canceled_total"
+	mQueriesTimedOut   = "softdb_queries_timed_out_total"
+	mMemBudgetRejected = "softdb_mem_budget_rejected_total"
+	mWorkerPanics      = "softdb_worker_panics_recovered_total"
 )
 
 // obsState bundles the database's observability surfaces. The hot-path
@@ -54,6 +59,11 @@ type obsState struct {
 	duration     *obs.Histogram
 	cacheEntries *obs.Gauge
 	pagesSkipped *obs.Counter
+
+	queriesCanceled   *obs.Counter
+	queriesTimedOut   *obs.Counter
+	memBudgetRejected *obs.Counter
+	workerPanics      *obs.Counter
 }
 
 func (db *Database) initObs() {
@@ -81,6 +91,10 @@ func (db *Database) initObs() {
 	r.Describe(mDiscoveryRuns, "counter", "Soft-constraint discovery passes over a table.")
 	r.Describe(mPagesSkipped, "counter", "Heap pages skipped by synopsis-based scan pruning.")
 	r.Describe(mPruneRejected, "counter", "Prune-predicate introductions rejected, by reason.")
+	r.Describe(mQueriesCanceled, "counter", "Queries terminated by context cancellation.")
+	r.Describe(mQueriesTimedOut, "counter", "Queries terminated by deadline expiry.")
+	r.Describe(mMemBudgetRejected, "counter", "Queries aborted for exceeding the per-query memory budget.")
+	r.Describe(mWorkerPanics, "counter", "Operator or worker panics recovered into query errors.")
 
 	o.queries = r.Counter(mQueries)
 	o.queryErrors = r.Counter(mQueryErrors)
@@ -88,6 +102,10 @@ func (db *Database) initObs() {
 	o.duration = r.Histogram(mQueryDuration, obs.DefLatencyBuckets)
 	o.cacheEntries = r.Gauge(mCacheEntries)
 	o.pagesSkipped = r.Counter(mPagesSkipped)
+	o.queriesCanceled = r.Counter(mQueriesCanceled)
+	o.queriesTimedOut = r.Counter(mQueriesTimedOut)
+	o.memBudgetRejected = r.Counter(mMemBudgetRejected)
+	o.workerPanics = r.Counter(mWorkerPanics)
 }
 
 // Metrics exposes the database's metrics registry.
@@ -134,6 +152,14 @@ func (db *Database) observeQuery(t *obs.Trace) {
 	if t.Err != "" {
 		o.queryErrors.Inc()
 	}
+	switch exec.ErrKind(t.State) {
+	case exec.KindCanceled:
+		o.queriesCanceled.Inc()
+	case exec.KindTimeout:
+		o.queriesTimedOut.Inc()
+	case exec.KindMemBudget:
+		o.memBudgetRejected.Inc()
+	}
 	if t.Degree > 1 {
 		o.metrics.Counter(mParallelQs, "degree", strconv.Itoa(t.Degree)).Inc()
 	}
@@ -159,6 +185,7 @@ func (db *Database) observeQuery(t *obs.Trace) {
 			"degree", t.Degree,
 			"cache_hit", t.CacheHit,
 			"slow", t.Slow,
+			"state", t.State,
 		}
 		if t.Err != "" {
 			attrs = append(attrs, "err", t.Err)

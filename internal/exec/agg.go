@@ -31,13 +31,13 @@ func newAccumulator(kind sql.AggKind) *accumulator {
 	return a
 }
 
-func (a *accumulator) add(v types.Datum) {
+func (a *accumulator) add(v types.Datum) error {
 	if a.kind == sql.AggCountStar {
 		a.count++
-		return
+		return nil
 	}
 	if v.IsNull() {
-		return
+		return nil
 	}
 	a.count++
 	a.seen = true
@@ -45,6 +45,14 @@ func (a *accumulator) add(v types.Datum) {
 	case sql.AggCountDistinct:
 		a.distinct[types.Row{v}.Key()] = true
 	case sql.AggSum, sql.AggAvg:
+		// Guard the Float() widening: strings would panic inside it, and a
+		// user query (SUM over a string column) must get a type error, not
+		// a crash.
+		switch v.Kind() {
+		case types.KindInt, types.KindFloat, types.KindBool, types.KindDate:
+		default:
+			return fmt.Errorf("exec: cannot aggregate %s value with SUM/AVG", v.Kind())
+		}
 		if v.Kind() == types.KindFloat {
 			a.isInt = false
 		}
@@ -58,6 +66,7 @@ func (a *accumulator) add(v types.Datum) {
 			a.max = v
 		}
 	}
+	return nil
 }
 
 // merge folds another accumulator of the same kind into a. Parallel
@@ -161,6 +170,11 @@ func (h *HashAggregate) foldRow(ctx *Ctx, row types.Row, t *aggTable) error {
 	k := hashKey.Key()
 	grp, ok := t.groups[k]
 	if !ok {
+		// Each new group retains its key row plus one accumulator per
+		// aggregate (~accGroupBytes each); charge it to the query budget.
+		if err := ctx.Reserve("HashAggregate", key.MemSize()+int64(len(h.Aggs))*accGroupBytes); err != nil {
+			return err
+		}
 		grp = &aggGroup{key: key}
 		for _, spec := range h.Aggs {
 			grp.accs = append(grp.accs, newAccumulator(spec.Kind))
@@ -171,17 +185,25 @@ func (h *HashAggregate) foldRow(ctx *Ctx, row types.Row, t *aggTable) error {
 	ctx.AddProbes(1)
 	for i, spec := range h.Aggs {
 		if spec.Kind == sql.AggCountStar {
-			grp.accs[i].add(types.Null)
+			if err := grp.accs[i].add(types.Null); err != nil {
+				return err
+			}
 			continue
 		}
 		v, err := spec.Arg.Eval(row)
 		if err != nil {
 			return err
 		}
-		grp.accs[i].add(v)
+		if err := grp.accs[i].add(v); err != nil {
+			return err
+		}
 	}
 	return nil
 }
+
+// accGroupBytes approximates one accumulator's retained size for budget
+// accounting.
+const accGroupBytes = 96
 
 // emitGroups finalizes the table: scalar aggregation over empty input
 // yields one identity row; otherwise groups are emitted in ascending key

@@ -33,6 +33,12 @@ type Ctx struct {
 	IO          storage.Counters
 	Comparisons int64 // sort and join comparisons
 	HashProbes  int64
+
+	// life holds the query's shared lifecycle (cancellation, memory
+	// budget, panic hook, fault injection); nil for legacy callers, which
+	// keeps every checkpoint a single pointer test. All lifecycle state
+	// lives behind this pointer so a quiesced Ctx remains copyable.
+	life *lifecycle
 }
 
 // AddComparisons atomically charges n comparisons.
@@ -131,7 +137,12 @@ func (s *SeqScan) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
 	var runErr error
 	skip := makeSkipper(s.Prune)
 	var pass []types.Row
+	op := "SeqScan " + s.Table // precomputed so the per-page checkpoint allocates nothing
 	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row) bool {
+		if err := ctx.checkpoint(op); err != nil {
+			runErr = err
+			return false
+		}
 		if len(s.Filter) == 0 {
 			return emit(rows)
 		}
@@ -190,7 +201,17 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	// scan, modeling a buffer pool holding the scan's working set; index
 	// page touches are charged by the tree walk itself.
 	seenPages := map[int32]bool{}
+	op := "IndexScan " + s.Table
+	var entries int64
 	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
+		// Index entries have no page batching, so observe cancellation
+		// every checkpointRows entries instead of per page.
+		if entries++; entries%checkpointRows == 0 {
+			if err := ctx.checkpoint(op); err != nil {
+				runErr = err
+				return false
+			}
+		}
 		if !seenPages[rid.Page] {
 			seenPages[rid.Page] = true
 			ctx.IO.AddPages(1)
@@ -507,14 +528,24 @@ type Distinct struct{ Input Operator }
 // Run implements Operator.
 func (d *Distinct) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	seen := map[string]bool{}
-	return d.Input.Run(ctx, func(row types.Row) bool {
+	var inner error
+	err := d.Input.Run(ctx, func(row types.Row) bool {
 		k := row.Key()
 		if seen[k] {
 			return true
 		}
+		// Each retained key is buffered state; charge it to the budget.
+		if err := ctx.Reserve("Distinct", int64(len(k))); err != nil {
+			inner = err
+			return false
+		}
 		seen[k] = true
 		return emit(row)
 	})
+	if inner != nil {
+		return inner
+	}
+	return err
 }
 
 // Describe implements Operator.
@@ -571,10 +602,24 @@ type Sort struct {
 // Run implements Operator.
 func (s *Sort) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	var rows []types.Row
+	var inner error
 	err := s.Input.Run(ctx, func(row types.Row) bool {
+		if err := ctx.Reserve("Sort", row.MemSize()); err != nil {
+			inner = err
+			return false
+		}
+		if int64(len(rows))%checkpointRows == 0 {
+			if err := ctx.checkpoint("Sort"); err != nil {
+				inner = err
+				return false
+			}
+		}
 		rows = append(rows, row.Clone())
 		return true
 	})
+	if inner != nil {
+		return inner
+	}
 	if err != nil {
 		return err
 	}

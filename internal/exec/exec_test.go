@@ -37,7 +37,7 @@ func collect(t *testing.T, op Operator) []types.Row {
 
 func testHeap(t *testing.T, n int) *storage.Heap {
 	t.Helper()
-	def := schema.MustTable("t",
+	def := mustTable("t",
 		schema.Column{Name: "a", Type: types.KindInt},
 		schema.Column{Name: "b", Type: types.KindInt},
 	)
@@ -379,4 +379,14 @@ func TestJoinEquivalenceProperty(t *testing.T) {
 
 func sortRows(rows []types.Row) {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Compare(rows[j]) < 0 })
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

@@ -85,6 +85,10 @@ func (j *HashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		if null {
 			return true
 		}
+		if err := ctx.Reserve("HashJoin build", row.MemSize()); err != nil {
+			inner = err
+			return false
+		}
 		build[key] = append(build[key], row.Clone())
 		return true
 	})
@@ -129,6 +133,15 @@ func (j *HashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		return nil
 	}
 	return err
+}
+
+// rowsMemSize totals the memory footprint of a materialized row set.
+func rowsMemSize(rows []types.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += r.MemSize()
+	}
+	return n
 }
 
 func hashKey(keys []expr.Expr, row types.Row) (string, bool, error) {
@@ -177,8 +190,14 @@ func (j *MergeJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Reserve("MergeJoin", rowsMemSize(lrows)); err != nil {
+		return err
+	}
 	rrows, err := Collect(j.Right, ctx)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Reserve("MergeJoin", rowsMemSize(rrows)); err != nil {
 		return err
 	}
 	lkeys := make([]types.Datum, len(lrows))

@@ -46,11 +46,14 @@ func splitRange(n, parts, part int) (lo, hi int) {
 }
 
 // runPartitioned drives parts workers, one per partition, each charging a
-// private Ctx that is merged into ctx on completion. Rows are batched per
-// worker and emitted under a mutex, preserving the serial-emit contract.
-// The first worker error is returned; an error or a false emit stops the
-// remaining workers at their next batch boundary.
-func runPartitioned(parts int, runPart func(part int, ctx *Ctx, emit func(types.Row) bool) error, ctx *Ctx, emit func(types.Row) bool) error {
+// private child Ctx (sharing the query lifecycle) that is merged into ctx
+// on completion. Rows are batched per worker and emitted under a mutex,
+// preserving the serial-emit contract. The first worker error is returned;
+// an error or a false emit stops the remaining workers at their next batch
+// boundary. A panicking worker is recovered into a KindPanic QueryError
+// attributed to op, so one poisoned partition fails the query instead of
+// the process.
+func runPartitioned(op string, parts int, runPart func(part int, ctx *Ctx, emit func(types.Row) bool) error, ctx *Ctx, emit func(types.Row) bool) error {
 	var (
 		mu       sync.Mutex // serializes emit across workers
 		stop     atomic.Bool
@@ -76,18 +79,21 @@ func runPartitioned(parts int, runPart func(part int, ctx *Ctx, emit func(types.
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			wctx := &Ctx{}
+			wctx := ctx.Child()
 			defer ctx.Merge(wctx)
 			buf := make([]types.Row, 0, emitBatch)
-			err := runPart(part, wctx, func(row types.Row) bool {
-				buf = append(buf, row)
-				if len(buf) < emitBatch {
-					return true
-				}
-				ok := flush(buf)
-				buf = buf[:0]
-				return ok
-			})
+			err := func() (err error) {
+				defer wctx.recoverPanic(op, &err)
+				return runPart(part, wctx, func(row types.Row) bool {
+					buf = append(buf, row)
+					if len(buf) < emitBatch {
+						return true
+					}
+					ok := flush(buf)
+					buf = buf[:0]
+					return ok
+				})
+			}()
 			if err == nil && len(buf) > 0 {
 				flush(buf)
 			}
@@ -141,7 +147,12 @@ func (s *ParallelScan) RunPartition(part int, ctx *Ctx, emit func(types.Row) boo
 	lo, hi := splitRange(int(s.Heap.PageCount()), s.Partitions(), part)
 	var runErr error
 	skip := makeSkipper(s.Prune)
+	op := "ParallelScan " + s.Table
 	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row) bool {
+		if err := ctx.checkpoint(op); err != nil {
+			runErr = err
+			return false
+		}
 		for _, row := range rows {
 			ok, err := evalFilters(s.Filter, row)
 			if err != nil {
@@ -166,7 +177,7 @@ func (s *ParallelScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	if parts <= 1 {
 		return s.RunPartition(0, ctx, emit)
 	}
-	return runPartitioned(parts, s.RunPartition, ctx, emit)
+	return runPartitioned("ParallelScan "+s.Table, parts, s.RunPartition, ctx, emit)
 }
 
 // Describe implements Operator.
@@ -337,7 +348,7 @@ func (j *PartitionedHashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		return true, nil
 	}
 	if rp, ok := j.Right.(PartitionedOperator); ok && rp.Partitions() > 1 && j.Workers > 1 {
-		return runPartitioned(rp.Partitions(), func(part int, wctx *Ctx, wemit func(types.Row) bool) error {
+		return runPartitioned("PartitionedHashJoin probe", rp.Partitions(), func(part int, wctx *Ctx, wemit func(types.Row) bool) error {
 			var inner error
 			err := rp.RunPartition(part, wctx, func(row types.Row) bool {
 				cont, err := probeOne(wctx, row, wemit)
@@ -371,6 +382,7 @@ func (j *PartitionedHashJoin) Run(ctx *Ctx, emit func(types.Row) bool) error {
 // runBuild fills the shard maps from the left input, in parallel when the
 // input is partitioned.
 func (j *PartitionedHashJoin) runBuild(ctx *Ctx, build []map[string][]types.Row, shards int) error {
+	const op = "PartitionedHashJoin build"
 	lp, ok := j.Left.(PartitionedOperator)
 	if !ok || lp.Partitions() <= 1 || j.Workers <= 1 {
 		var inner error
@@ -382,6 +394,10 @@ func (j *PartitionedHashJoin) runBuild(ctx *Ctx, build []map[string][]types.Row,
 			}
 			if null {
 				return true
+			}
+			if err := ctx.Reserve(op, row.MemSize()); err != nil {
+				inner = err
+				return false
 			}
 			m := build[shardOf(key, shards)]
 			m[key] = append(m[key], row.Clone())
@@ -400,25 +416,34 @@ func (j *PartitionedHashJoin) runBuild(ctx *Ctx, build []map[string][]types.Row,
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			wctx := &Ctx{}
+			wctx := ctx.Child()
 			defer ctx.Merge(wctx)
 			local := make([][]keyedRow, shards)
-			err := lp.RunPartition(part, wctx, func(row types.Row) bool {
-				key, null, err := hashKey(j.LeftKeys, row)
-				if err != nil {
-					errs[part] = err
-					return false
-				}
-				if null {
+			errs[part] = func() (err error) {
+				defer wctx.recoverPanic(op, &err)
+				var inner error
+				err = lp.RunPartition(part, wctx, func(row types.Row) bool {
+					key, null, err := hashKey(j.LeftKeys, row)
+					if err != nil {
+						inner = err
+						return false
+					}
+					if null {
+						return true
+					}
+					if err := wctx.Reserve(op, row.MemSize()); err != nil {
+						inner = err
+						return false
+					}
+					s := shardOf(key, shards)
+					local[s] = append(local[s], keyedRow{key: key, row: row.Clone()})
 					return true
+				})
+				if inner != nil {
+					return inner
 				}
-				s := shardOf(key, shards)
-				local[s] = append(local[s], keyedRow{key: key, row: row.Clone()})
-				return true
-			})
-			if errs[part] == nil {
-				errs[part] = err
-			}
+				return err
+			}()
 			partials[part] = local
 		}(p)
 	}
@@ -503,19 +528,24 @@ func (h *ParallelHashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			wctx := &Ctx{}
+			wctx := ctx.Child()
 			defer ctx.Merge(wctx)
 			t := newAggTable()
-			err := pin.RunPartition(part, wctx, func(row types.Row) bool {
-				if err := s.foldRow(wctx, row, t); err != nil {
-					errs[part] = err
-					return false
+			errs[part] = func() (err error) {
+				defer wctx.recoverPanic("ParallelHashAggregate", &err)
+				var inner error
+				err = pin.RunPartition(part, wctx, func(row types.Row) bool {
+					if err := s.foldRow(wctx, row, t); err != nil {
+						inner = err
+						return false
+					}
+					return true
+				})
+				if inner != nil {
+					return inner
 				}
-				return true
-			})
-			if errs[part] == nil {
-				errs[part] = err
-			}
+				return err
+			}()
 			tables[part] = t
 		}(p)
 	}

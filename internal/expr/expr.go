@@ -261,6 +261,16 @@ func (b *Binary) Eval(row types.Row) (types.Datum, error) {
 	return types.NewBool(res), nil
 }
 
+// asBool checks that a logic operand is boolean before the Bool() accessor
+// touches it: a user query like "WHERE id AND x" must get a type error, not
+// the accessor panic.
+func asBool(v types.Datum) (bool, error) {
+	if v.Kind() != types.KindBool {
+		return false, fmt.Errorf("expr: %s value where boolean expected", v.Kind())
+	}
+	return v.Bool(), nil
+}
+
 // evalLogic implements Kleene AND/OR.
 func (b *Binary) evalLogic(row types.Row) (types.Datum, error) {
 	l, err := b.L.Eval(row)
@@ -269,7 +279,10 @@ func (b *Binary) evalLogic(row types.Row) (types.Datum, error) {
 	}
 	// Short circuit where the result is determined.
 	if !l.IsNull() {
-		lb := l.Bool()
+		lb, err := asBool(l)
+		if err != nil {
+			return types.Null, err
+		}
 		if b.Op == OpAnd && !lb {
 			return types.NewBool(false), nil
 		}
@@ -284,7 +297,10 @@ func (b *Binary) evalLogic(row types.Row) (types.Datum, error) {
 	if r.IsNull() {
 		return types.Null, nil
 	}
-	rb := r.Bool()
+	rb, err := asBool(r)
+	if err != nil {
+		return types.Null, err
+	}
 	if b.Op == OpAnd {
 		if !rb {
 			return types.NewBool(false), nil
@@ -346,7 +362,11 @@ func (u *Unary) Eval(row types.Row) (types.Datum, error) {
 		if v.IsNull() {
 			return types.Null, nil
 		}
-		return types.NewBool(!v.Bool()), nil
+		bv, err := asBool(v)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(!bv), nil
 	case OpNeg:
 		if v.IsNull() {
 			return types.Null, nil

@@ -1,0 +1,173 @@
+// Package fault is a deterministic fault-injection harness for softdb's
+// robustness testing. An Injector is configured with a seed and per-site
+// probabilities; the executor consults it at every simulated page read and
+// the engine's maintenance paths consult it per refresh attempt. Injected
+// faults come in three flavors:
+//
+//   - storage read errors (a page read fails with an error wrapping
+//     ErrInjected),
+//   - operator panics (the read site panics with an *InjectedPanic value,
+//     exercising every recover() boundary), and
+//   - artificial slow pages (the read site sleeps, exercising deadlines
+//     and cancellation).
+//
+// Decisions are drawn from a single seeded PRNG behind a mutex, so a given
+// seed produces the same decision sequence run over run. Under parallel
+// execution the assignment of decisions to workers depends on scheduling,
+// but the differential property the test suite checks — a query either
+// returns correct rows or a typed error, never wrong rows — holds for any
+// interleaving.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every injected storage read error, so callers
+// can classify injected faults with errors.Is (e.g. the softc retry path
+// treats them as transient).
+var ErrInjected = errors.New("injected storage fault")
+
+// InjectedPanic is the value an injected operator panic carries; recover
+// sites surface it inside a QueryError, and tests assert on the type to
+// distinguish injected panics from real bugs.
+type InjectedPanic struct {
+	// Site is the operator or subsystem label active when the panic fired.
+	Site string
+	// N is the 1-based ordinal of this panic within the injector's run.
+	N int64
+}
+
+// String renders the panic value.
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic #%d at %s", p.N, p.Site)
+}
+
+// Config sets the fault mix. Probabilities are per page-read decision in
+// [0,1]; zero disables that fault flavor.
+type Config struct {
+	// Seed seeds the decision PRNG.
+	Seed int64
+	// ReadErrProb is the probability a page read returns an error.
+	ReadErrProb float64
+	// PanicProb is the probability a page read panics instead of
+	// returning, simulating a poisoned operator.
+	PanicProb float64
+	// SlowProb is the probability a page read sleeps for SlowDelay,
+	// simulating a stalled I/O.
+	SlowProb float64
+	// SlowDelay is how long a slow page stalls.
+	SlowDelay time.Duration
+}
+
+// Stats counts what the injector did.
+type Stats struct {
+	Decisions  int64 // page-read decisions taken
+	ReadErrors int64 // injected read errors
+	Panics     int64 // injected panics
+	Slowdowns  int64 // injected slow pages
+}
+
+// Injector draws deterministic fault decisions. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   Config
+	stats Stats
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+}
+
+// New returns an injector for the given config.
+func New(cfg Config) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		sleep: time.Sleep,
+	}
+}
+
+// PageRead is the storage-read fault site: the executor calls it once per
+// simulated page touch with the active operator's label. It may sleep (slow
+// page), return an error (read error), or panic (poisoned operator). A nil
+// injector is a no-op so call sites need no guard.
+func (i *Injector) PageRead(site string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	i.stats.Decisions++
+	c := i.cfg
+	r := i.rng.Float64()
+	var (
+		slow   bool
+		fail   bool
+		blow   bool
+		panicN int64
+	)
+	// One draw decides the flavor: disjoint probability bands keep the
+	// per-decision cost at a single Float64 call.
+	switch {
+	case r < c.ReadErrProb:
+		fail = true
+		i.stats.ReadErrors++
+	case r < c.ReadErrProb+c.PanicProb:
+		blow = true
+		i.stats.Panics++
+		panicN = i.stats.Panics
+	case r < c.ReadErrProb+c.PanicProb+c.SlowProb:
+		slow = true
+		i.stats.Slowdowns++
+	}
+	sleep := i.sleep
+	i.mu.Unlock()
+
+	if slow {
+		sleep(c.SlowDelay)
+	}
+	if blow {
+		panic(&InjectedPanic{Site: site, N: panicN})
+	}
+	if fail {
+		return fmt.Errorf("fault: page read at %s: %w", site, ErrInjected)
+	}
+	return nil
+}
+
+// Attempt is the maintenance-path fault site: async refresh attempts call
+// it once per attempt and retry on the injected (transient) error. It never
+// panics or sleeps. A nil injector is a no-op.
+func (i *Injector) Attempt(site string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.Decisions++
+	if i.rng.Float64() < i.cfg.ReadErrProb {
+		i.stats.ReadErrors++
+		return fmt.Errorf("fault: refresh attempt at %s: %w", site, ErrInjected)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the injector's activity.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// SetSleep overrides the slow-page sleep function (tests).
+func (i *Injector) SetSleep(f func(time.Duration)) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.sleep = f
+}

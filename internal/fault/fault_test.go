@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// drive takes n PageRead decisions, converting injected panics back into
+// counts so the caller can compare full outcome sequences.
+func drive(inj *Injector, n int) (outcomes []string) {
+	for i := 0; i < n; i++ {
+		outcomes = append(outcomes, func() (o string) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(*InjectedPanic); !ok {
+						panic(r)
+					}
+					o = "panic"
+				}
+			}()
+			if err := New(Config{}).PageRead("warmup"); err != nil {
+				panic("no-fault injector returned an error")
+			}
+			if err := inj.PageRead("test-site"); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					panic("injected error does not wrap ErrInjected")
+				}
+				return "error"
+			}
+			return "ok"
+		}())
+	}
+	return outcomes
+}
+
+// TestDeterminism: the same seed must yield the identical outcome sequence
+// and stats, run over run — the property the differential suite's
+// reproducibility rests on.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, ReadErrProb: 0.2, PanicProb: 0.1, SlowProb: 0.05}
+	a, b := New(cfg), New(cfg)
+	a.SetSleep(func(time.Duration) {})
+	b.SetSleep(func(time.Duration) {})
+	oa, ob := drive(a, 500), drive(b, 500)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("decision %d diverged between same-seed injectors: %s vs %s", i, oa[i], ob[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	c := New(Config{Seed: 43, ReadErrProb: 0.2, PanicProb: 0.1, SlowProb: 0.05})
+	c.SetSleep(func(time.Duration) {})
+	oc := drive(c, 500)
+	same := 0
+	for i := range oa {
+		if oa[i] == oc[i] {
+			same++
+		}
+	}
+	if same == len(oa) {
+		t.Fatal("different seeds produced the identical 500-decision sequence")
+	}
+}
+
+// TestBands: each decision picks at most one flavor, counts add up, and
+// observed frequencies land near the configured probabilities.
+func TestBands(t *testing.T) {
+	const n = 20000
+	inj := New(Config{Seed: 7, ReadErrProb: 0.3, PanicProb: 0.2, SlowProb: 0.1})
+	inj.SetSleep(func(time.Duration) {})
+	counts := map[string]int64{}
+	for _, o := range drive(inj, n) {
+		counts[o]++
+	}
+	s := inj.Stats()
+	if s.Decisions != n {
+		t.Fatalf("decisions = %d, want %d", s.Decisions, n)
+	}
+	if s.ReadErrors != counts["error"] || s.Panics != counts["panic"] {
+		t.Fatalf("stats %+v disagree with observed outcomes %v", s, counts)
+	}
+	// Slow pages still return nil, so they land in "ok" here; errors and
+	// panics must account for everything else.
+	if s.ReadErrors+s.Panics+counts["ok"] != n {
+		t.Fatalf("flavors overlap or leak: %+v, ok=%d", s, counts["ok"])
+	}
+	if s.Slowdowns > counts["ok"] {
+		t.Fatalf("more slowdowns than successful reads: %+v, ok=%d", s, counts["ok"])
+	}
+	for _, chk := range []struct {
+		name string
+		got  int64
+		want float64
+	}{
+		{"read errors", s.ReadErrors, 0.3 * n},
+		{"panics", s.Panics, 0.2 * n},
+		{"slowdowns", s.Slowdowns, 0.1 * n},
+	} {
+		if f := float64(chk.got); f < chk.want*0.8 || f > chk.want*1.2 {
+			t.Errorf("%s: %d observed, want about %.0f", chk.name, chk.got, chk.want)
+		}
+	}
+}
+
+// TestSlowPagesSleep: with SlowProb=1 every decision must invoke the
+// (swapped) sleep with the configured delay, and nothing else fires.
+func TestSlowPagesSleep(t *testing.T) {
+	inj := New(Config{Seed: 1, SlowProb: 1, SlowDelay: 123 * time.Millisecond})
+	var slept []time.Duration
+	inj.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 10; i++ {
+		if err := inj.PageRead("slow-site"); err != nil {
+			t.Fatalf("slow page returned error: %v", err)
+		}
+	}
+	if len(slept) != 10 {
+		t.Fatalf("sleep called %d times, want 10", len(slept))
+	}
+	for _, d := range slept {
+		if d != 123*time.Millisecond {
+			t.Fatalf("slept %s, want 123ms", d)
+		}
+	}
+}
+
+// TestAttempt: the maintenance site only ever errors — no panics, no
+// sleeps — even with all flavors configured.
+func TestAttempt(t *testing.T) {
+	inj := New(Config{Seed: 3, ReadErrProb: 0.5, PanicProb: 0.5, SlowProb: 0})
+	inj.SetSleep(func(time.Duration) { t.Fatal("Attempt slept") })
+	errs := 0
+	for i := 0; i < 1000; i++ {
+		if err := inj.Attempt("maint-site"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("attempt error does not wrap ErrInjected: %v", err)
+			}
+			errs++
+		}
+	}
+	if errs == 0 || errs == 1000 {
+		t.Fatalf("attempt errors = %d of 1000 with p=0.5", errs)
+	}
+	if s := inj.Stats(); s.Panics != 0 || s.Slowdowns != 0 {
+		t.Fatalf("Attempt produced panics or slowdowns: %+v", s)
+	}
+}
+
+// TestNilInjector: a nil *Injector is a universal no-op, so call sites
+// need no guards.
+func TestNilInjector(t *testing.T) {
+	var inj *Injector
+	if err := inj.PageRead("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Attempt("x"); err != nil {
+		t.Fatal(err)
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector reported stats %+v", s)
+	}
+}
+
+// TestPanicValue: injected panics carry the site label and a 1-based
+// ordinal.
+func TestPanicValue(t *testing.T) {
+	inj := New(Config{Seed: 9, PanicProb: 1})
+	for want := int64(1); want <= 3; want++ {
+		func() {
+			defer func() {
+				p, ok := recover().(*InjectedPanic)
+				if !ok {
+					t.Fatalf("panic value is not *InjectedPanic")
+				}
+				if p.Site != "op-7" || p.N != want {
+					t.Fatalf("panic = %+v, want site op-7, n %d", p, want)
+				}
+			}()
+			_ = inj.PageRead("op-7")
+		}()
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 func pairTable(t *testing.T, n int, f func(i int) (a, b float64)) (*schema.Table, *storage.Heap) {
 	t.Helper()
-	def := schema.MustTable("t",
+	def := mustTable("t",
 		schema.Column{Name: "a", Type: types.KindFloat},
 		schema.Column{Name: "b", Type: types.KindFloat},
 	)
@@ -211,11 +211,11 @@ func TestExtractHolesIntKind(t *testing.T) {
 
 func TestMineJoinHolesEndToEnd(t *testing.T) {
 	cat := catalog.New()
-	oneDef := schema.MustTable("one",
+	oneDef := mustTable("one",
 		schema.Column{Name: "k", Type: types.KindInt},
 		schema.Column{Name: "a", Type: types.KindInt},
 	)
-	twoDef := schema.MustTable("two",
+	twoDef := mustTable("two",
 		schema.Column{Name: "k", Type: types.KindInt},
 		schema.Column{Name: "b", Type: types.KindInt},
 	)
@@ -259,7 +259,7 @@ func TestMineJoinHolesEndToEnd(t *testing.T) {
 // --- FD mining ---
 
 func TestMineFDsExact(t *testing.T) {
-	def := schema.MustTable("denorm",
+	def := mustTable("denorm",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "cust", Type: types.KindInt},
 		schema.Column{Name: "cust_name", Type: types.KindString},
@@ -294,7 +294,7 @@ func TestMineFDsExact(t *testing.T) {
 }
 
 func TestMineFDsApproximate(t *testing.T) {
-	def := schema.MustTable("t",
+	def := mustTable("t",
 		schema.Column{Name: "x", Type: types.KindInt},
 		schema.Column{Name: "y", Type: types.KindInt},
 	)
@@ -329,7 +329,7 @@ func TestMineFDsApproximate(t *testing.T) {
 }
 
 func TestVerifyFD(t *testing.T) {
-	def := schema.MustTable("t",
+	def := mustTable("t",
 		schema.Column{Name: "x", Type: types.KindInt},
 		schema.Column{Name: "y", Type: types.KindInt},
 	)
@@ -349,7 +349,7 @@ func TestVerifyFD(t *testing.T) {
 // --- range mining ---
 
 func TestMineRanges(t *testing.T) {
-	def := schema.MustTable("t",
+	def := mustTable("t",
 		schema.Column{Name: "v", Type: types.KindInt},
 		schema.Column{Name: "s", Type: types.KindString, Nullable: true},
 	)
@@ -376,4 +376,14 @@ func TestMineRanges(t *testing.T) {
 	if v.Bool() {
 		t.Error("51 out of range")
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

@@ -162,14 +162,17 @@ type Trace struct {
 	// PagesSkipped counts heap pages pruned via synopses query-wide.
 	PagesSkipped int64
 	Err          string
+	// State is the query's terminal lifecycle state: "ok", "canceled",
+	// "timeout", "oom", "panic", or "error".
+	State string
 }
 
 // Render formats the full trace as plan-style text lines.
 func (t *Trace) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", t.SQL)
-	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d skipped=%d degree=%d cache=%s\n",
-		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.PagesSkipped, t.Degree, cacheWord(t.CacheHit))
+	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d skipped=%d degree=%d cache=%s%s\n",
+		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.PagesSkipped, t.Degree, cacheWord(t.CacheHit), stateWord(t.State))
 	if t.Err != "" {
 		fmt.Fprintf(&b, "error: %s\n", t.Err)
 	}
@@ -190,4 +193,11 @@ func cacheWord(hit bool) string {
 		return "hit"
 	}
 	return "miss"
+}
+
+func stateWord(state string) string {
+	if state == "" {
+		return ""
+	}
+	return " state=" + state
 }

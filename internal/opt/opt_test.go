@@ -17,12 +17,12 @@ import (
 func setup(t *testing.T, rows int) (*catalog.Catalog, *catalog.TableEntry, *catalog.TableEntry) {
 	t.Helper()
 	cat := catalog.New()
-	big := schema.MustTable("big",
+	big := mustTable("big",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "k", Type: types.KindInt},
 		schema.Column{Name: "v", Type: types.KindInt},
 	)
-	small := schema.MustTable("small",
+	small := mustTable("small",
 		schema.Column{Name: "k", Type: types.KindInt},
 		schema.Column{Name: "label", Type: types.KindString},
 	)
@@ -155,7 +155,7 @@ func TestJoinLoweringProducesHashJoin(t *testing.T) {
 
 func TestJoinOrderingThreeTables(t *testing.T) {
 	cat, bt, st := setup(t, 3000)
-	tiny := schema.MustTable("tiny",
+	tiny := mustTable("tiny",
 		schema.Column{Name: "k", Type: types.KindInt},
 	)
 	tt, err := cat.CreateTable(tiny)
@@ -310,4 +310,14 @@ func TestLimitAndSortLowering(t *testing.T) {
 	if strings.Contains(exec.Format(res.Root), "Sort") {
 		t.Error("eliminated sort should not lower")
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

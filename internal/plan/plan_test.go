@@ -13,12 +13,12 @@ import (
 func testCatalog(t *testing.T) *catalog.Catalog {
 	t.Helper()
 	cat := catalog.New()
-	emp := schema.MustTable("emp",
+	emp := mustTable("emp",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "dept_id", Type: types.KindInt},
 		schema.Column{Name: "salary", Type: types.KindFloat, Nullable: true},
 	)
-	dept := schema.MustTable("dept",
+	dept := mustTable("dept",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "name", Type: types.KindString, Nullable: true},
 	)
@@ -284,4 +284,14 @@ func walk(n Node, fn func(Node)) {
 	for _, c := range n.Inputs() {
 		walk(c, fn)
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

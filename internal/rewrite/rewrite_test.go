@@ -143,7 +143,7 @@ func TestFloatToIntervalRounding(t *testing.T) {
 func setupCat(t *testing.T) (*catalog.Catalog, *catalog.TableEntry) {
 	t.Helper()
 	cat := catalog.New()
-	def := schema.MustTable("purchase",
+	def := mustTable("purchase",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "order_date", Type: types.KindDate},
 		schema.Column{Name: "ship_date", Type: types.KindDate, Nullable: true},
@@ -295,7 +295,7 @@ func TestBranchPruneSingleColumn(t *testing.T) {
 
 func TestHoleTrimRule(t *testing.T) {
 	cat, te := setupCat(t)
-	lineDef := schema.MustTable("lineitem",
+	lineDef := mustTable("lineitem",
 		schema.Column{Name: "okey", Type: types.KindInt},
 		schema.Column{Name: "shipdate", Type: types.KindDate},
 	)
@@ -400,4 +400,14 @@ func TestTraceMessages(t *testing.T) {
 	if len(r.Trace) == 0 || !strings.Contains(r.Trace[0], "predicate-introduction") {
 		t.Errorf("trace: %v", r.Trace)
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

@@ -45,15 +45,6 @@ func NewTable(name string, cols ...Column) (*Table, error) {
 	return &Table{Name: name, Columns: cols}, nil
 }
 
-// MustTable is NewTable that panics on error, for tests and generators.
-func MustTable(name string, cols ...Column) *Table {
-	t, err := NewTable(name, cols...)
-	if err != nil {
-		panic(err)
-	}
-	return t
-}
-
 // ColumnIndex returns the ordinal of the named column, or -1. Matching is
 // case-insensitive, following SQL identifier rules.
 func (t *Table) ColumnIndex(name string) int {

@@ -1,0 +1,115 @@
+package softc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"softdb/internal/fault"
+)
+
+// RetryPolicy governs retry-with-backoff for the asynchronous maintenance
+// paths (SSC refresh, hole remining). Only transient errors — injected
+// storage faults and whatever IsTransient recognizes — are retried; a
+// genuine failure (missing constraint, type error) returns immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; <= 0 means 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the sleep before the second attempt; each further
+	// attempt doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff; 0 means uncapped.
+	MaxDelay time.Duration
+	// Sleep is swappable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the refresh paths' standard policy: five attempts
+// with 10ms→1s exponential backoff.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 5,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    time.Second,
+}
+
+// IsTransient reports whether an error is worth retrying. Today that is
+// exactly the injected storage faults; a real storage backend would add
+// its I/O timeout classes here.
+func IsTransient(err error) bool {
+	return errors.Is(err, fault.ErrInjected)
+}
+
+// run executes f under the policy, consulting the manager's fault injector
+// once per attempt (the seam the fault-injection suite drives) and backing
+// off between transient failures. ctx cancellation is observed before
+// every attempt.
+func (p RetryPolicy) run(ctx context.Context, m *Manager, site string, f func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	delay := p.BaseDelay
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := m.Fault.Attempt(site)
+		if err == nil {
+			err = f()
+		}
+		if err == nil {
+			if a > 1 {
+				m.log(slog.LevelInfo, "maintenance retry succeeded",
+					fmt.Sprintf("%s: succeeded on attempt %d", site, a),
+					"site", site, "attempt", a)
+			}
+			return nil
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			return err
+		}
+		if a == attempts {
+			break
+		}
+		m.log(slog.LevelWarn, "maintenance attempt failed",
+			fmt.Sprintf("%s: attempt %d failed (%v), retrying in %s", site, a, err, delay),
+			"site", site, "attempt", a, "err", err.Error(), "backoff", delay)
+		sleep(delay)
+		delay *= 2
+		if p.MaxDelay > 0 && delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return fmt.Errorf("softc: %s failed after %d attempts: %w", site, attempts, lastErr)
+}
+
+// RefreshCorrelationWithRetry is RefreshCorrelation behind the retry
+// policy — the asynchronous maintenance entry point callers should use
+// when the refresh may hit transient storage faults.
+func (m *Manager) RefreshCorrelationWithRetry(ctx context.Context, name string, pol RetryPolicy) error {
+	return pol.run(ctx, m, "softc.refresh-correlation", func() error {
+		return m.RefreshCorrelation(name)
+	})
+}
+
+// RefreshCheckConfidenceWithRetry is RefreshCheckConfidence behind the
+// retry policy.
+func (m *Manager) RefreshCheckConfidenceWithRetry(ctx context.Context, table, constraint string, pol RetryPolicy) (float64, error) {
+	var conf float64
+	err := pol.run(ctx, m, "softc.refresh-check", func() error {
+		c, err := m.RefreshCheckConfidence(table, constraint)
+		if err == nil {
+			conf = c
+		}
+		return err
+	})
+	return conf, err
+}

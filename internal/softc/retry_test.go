@@ -1,0 +1,154 @@
+package softc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"softdb/internal/catalog"
+	"softdb/internal/expr"
+	"softdb/internal/fault"
+	"softdb/internal/types"
+)
+
+// shipCheck installs the ship3w SSC used by the refresh tests.
+func shipCheck(t *testing.T, cat *catalog.Catalog) *catalog.Constraint {
+	t.Helper()
+	check := expr.NewBinary(expr.OpLe,
+		expr.NewColumn("purchase", "ship_date", 2, types.KindDate),
+		expr.NewBinary(expr.OpAdd,
+			expr.NewColumn("purchase", "order_date", 1, types.KindDate),
+			expr.NewConst(types.NewInt(21))))
+	con := &catalog.Constraint{
+		Name: "ship3w", Kind: catalog.Check, Mode: catalog.ModeSoftStatistical,
+		Table: "purchase", CheckExpr: check, Confidence: 0.5,
+	}
+	if err := cat.AddConstraint(con); err != nil {
+		t.Fatal(err)
+	}
+	return con
+}
+
+// noSleep is a retry policy that backs off instantly, recording delays.
+func noSleep(p RetryPolicy, slept *[]time.Duration) RetryPolicy {
+	p.Sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return p
+}
+
+// TestRetryRecoversFromTransientFaults: with attempt-site faults injected
+// at 50%, the retry wrapper still lands the refresh and the confidence is
+// the one the data supports.
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	cat, _ := setupPurchase(t, 1000, 100) // 1% late
+	shipCheck(t, cat)
+	m := NewManager(cat)
+	m.Fault = fault.New(fault.Config{Seed: 11, ReadErrProb: 0.5})
+	var slept []time.Duration
+	pol := noSleep(DefaultRetryPolicy, &slept)
+	recovered := false
+	for i := 0; i < 20; i++ {
+		conf, err := m.RefreshCheckConfidenceWithRetry(context.Background(), "purchase", "ship3w", pol)
+		if err != nil {
+			// With p=0.5 and 5 attempts a full strikeout happens ~3% of the
+			// time per call; it must still be the typed transient error.
+			if !IsTransient(err) {
+				t.Fatalf("refresh failed with a non-transient error: %v", err)
+			}
+			continue
+		}
+		if math.Abs(conf-0.99) > 0.001 {
+			t.Fatalf("refresh under faults returned wrong confidence %g", conf)
+		}
+		recovered = true
+	}
+	if !recovered {
+		t.Fatal("no refresh succeeded in 20 tries at 50% fault rate")
+	}
+	if len(slept) == 0 {
+		t.Fatal("retries happened without backing off")
+	}
+}
+
+// TestRetryBackoffDoublesAndCaps: delays follow Base, 2*Base, ... capped
+// at MaxDelay, and the final error wraps the last attempt's cause.
+func TestRetryBackoffDoublesAndCaps(t *testing.T) {
+	cat, _ := setupPurchase(t, 100, 0)
+	shipCheck(t, cat)
+	m := NewManager(cat)
+	m.Fault = fault.New(fault.Config{Seed: 1, ReadErrProb: 1}) // every attempt fails
+	var slept []time.Duration
+	pol := noSleep(RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}, &slept)
+	_, err := m.RefreshCheckConfidenceWithRetry(context.Background(), "purchase", "ship3w", pol)
+	if err == nil {
+		t.Fatal("refresh succeeded with a 100% fault rate")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("exhausted-retries error does not wrap the cause: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond, 35 * time.Millisecond}
+	if fmt.Sprint(slept) != fmt.Sprint(want) {
+		t.Fatalf("backoff sequence = %v, want %v", slept, want)
+	}
+}
+
+// TestRetryDoesNotRetryRealErrors: a genuine failure (unknown constraint)
+// returns immediately, with no backoff.
+func TestRetryDoesNotRetryRealErrors(t *testing.T) {
+	cat, _ := setupPurchase(t, 100, 0)
+	m := NewManager(cat)
+	var slept []time.Duration
+	pol := noSleep(DefaultRetryPolicy, &slept)
+	_, err := m.RefreshCheckConfidenceWithRetry(context.Background(), "purchase", "no_such_constraint", pol)
+	if err == nil {
+		t.Fatal("refresh of a missing constraint succeeded")
+	}
+	if IsTransient(err) {
+		t.Fatalf("real error classified transient: %v", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("real error was retried: %v", slept)
+	}
+}
+
+// TestRetryObservesContext: cancellation between attempts stops the loop.
+func TestRetryObservesContext(t *testing.T) {
+	cat, _ := setupPurchase(t, 100, 0)
+	shipCheck(t, cat)
+	m := NewManager(cat)
+	m.Fault = fault.New(fault.Config{Seed: 1, ReadErrProb: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	pol := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond,
+		Sleep: func(time.Duration) { attempts++; cancel() }}
+	_, err := m.RefreshCheckConfidenceWithRetry(ctx, "purchase", "ship3w", pol)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled retry loop returned %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("loop kept going after cancel: %d backoffs", attempts)
+	}
+}
+
+// TestRetryCorrelationPath smokes the correlation refresh wrapper.
+func TestRetryCorrelationPath(t *testing.T) {
+	cat, _ := setupPurchase(t, 500, 0)
+	m := NewManager(cat)
+	c, err := m.DiscoverTable("purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCorrelations(m.SelectCorrelations(c.Correlations, 1)); err != nil {
+		t.Fatal(err)
+	}
+	name := cat.Correlations("purchase")[0].Name
+	m.Fault = fault.New(fault.Config{Seed: 5, ReadErrProb: 0.5})
+	var slept []time.Duration
+	if err := m.RefreshCorrelationWithRetry(context.Background(), name, noSleep(DefaultRetryPolicy, &slept)); err != nil {
+		if !IsTransient(err) {
+			t.Fatalf("correlation refresh failed hard: %v", err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
+	"softdb/internal/fault"
 	"softdb/internal/mining"
 	"softdb/internal/obs"
 	"softdb/internal/storage"
@@ -36,6 +37,10 @@ type Manager struct {
 	// Metrics, when set, counts lifecycle actions (discovery runs, SSC
 	// refreshes, probation promotions). A nil registry disables counting.
 	Metrics *obs.Registry
+	// Fault, when set, injects transient errors into maintenance attempts
+	// (one decision per refresh attempt); the retry wrappers in retry.go
+	// absorb them. Nil disables injection.
+	Fault *fault.Injector
 }
 
 // NewManager returns a manager with default miner configurations.
@@ -271,7 +276,15 @@ func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, err
 			evalErr = err
 			return false
 		}
-		if v.IsNull() || v.Bool() {
+		switch {
+		case v.IsNull():
+			ok++ // SQL check semantics: NULL passes
+		case v.Kind() != types.KindBool:
+			// A mistyped check expression is a type error, not a Bool()
+			// accessor panic.
+			evalErr = fmt.Errorf("softc: check %s evaluated to %s, not BOOL", constraint, v.Kind())
+			return false
+		case v.Bool():
 			ok++
 		}
 		return true

@@ -15,7 +15,7 @@ import (
 func setupPurchase(t *testing.T, n int, latEvery int) (*catalog.Catalog, *catalog.TableEntry) {
 	t.Helper()
 	cat := catalog.New()
-	def := schema.MustTable("purchase",
+	def := mustTable("purchase",
 		schema.Column{Name: "id", Type: types.KindInt},
 		schema.Column{Name: "order_date", Type: types.KindDate},
 		schema.Column{Name: "ship_date", Type: types.KindDate},
@@ -221,4 +221,14 @@ func TestBuildExceptionPredicate(t *testing.T) {
 	if BuildExceptionPredicate(&catalog.Constraint{}) != nil {
 		t.Error("nil check yields nil")
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

@@ -12,7 +12,7 @@ import (
 )
 
 func intHeap(vals []int64, nulls int) *storage.Heap {
-	def := schema.MustTable("t", schema.Column{Name: "v", Type: types.KindInt, Nullable: true})
+	def := mustTable("t", schema.Column{Name: "v", Type: types.KindInt, Nullable: true})
 	h := storage.NewHeap(def)
 	for _, v := range vals {
 		h.Insert(types.Row{types.NewInt(v)})
@@ -280,4 +280,14 @@ func TestSelectivityAccuracyProperty(t *testing.T) {
 			t.Fatalf("interval [%d,%d]: est %.4f actual %.4f", lo, hi, est, af)
 		}
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func testDef() *schema.Table {
-	return schema.MustTable("t",
+	return mustTable("t",
 		schema.Column{Name: "a", Type: types.KindInt},
 		schema.Column{Name: "b", Type: types.KindString, Nullable: true},
 	)
@@ -183,4 +183,14 @@ func TestRandomizedLiveSet(t *testing.T) {
 			t.Fatalf("row %v: got %d want %d", id, seen[id], v)
 		}
 	}
+}
+
+// mustTable is a test-local NewTable that panics on error; the schema
+// package itself no longer exports a panicking constructor.
+func mustTable(name string, cols ...schema.Column) *schema.Table {
+	def, err := schema.NewTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return def
 }

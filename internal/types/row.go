@@ -59,6 +59,21 @@ func (r Row) Hash() uint64 {
 	return h
 }
 
+// MemSize estimates the bytes a materialized copy of the row retains: the
+// slice header plus each datum's inline struct and string payload. It is
+// the unit the executor's per-query memory budget accounts in.
+func (r Row) MemSize() int64 {
+	// 24 = slice header; 40 ≈ unsafe.Sizeof(Datum{}) (kind + pad + i + f +
+	// string header), kept as a constant so types stays unsafe-free.
+	size := int64(24) + int64(len(r))*40
+	for _, d := range r {
+		if d.kind == KindString {
+			size += int64(len(d.s))
+		}
+	}
+	return size
+}
+
 // Project returns the sub-row at the given positions.
 func (r Row) Project(cols []int) Row {
 	out := make(Row, len(cols))
