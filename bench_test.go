@@ -7,12 +7,14 @@ package softdb_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
 	"softdb/internal/bench"
 	"softdb/internal/engine"
 	"softdb/internal/mining"
+	"softdb/internal/server"
 	"softdb/internal/softc"
 	"softdb/internal/types"
 	"softdb/internal/workload"
@@ -555,6 +557,72 @@ func BenchmarkR1LifecycleOverhead(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkS1Server measures wire-protocol query throughput: concurrent
+// clients driving mixed read/DML traffic through a TCP server backed by
+// one engine instance (experiment S1). Each op is one full driver run;
+// qps and the accepted-statement latency percentiles are reported as
+// custom metrics, accumulated across iterations like pages/op.
+func BenchmarkS1Server(b *testing.B) {
+	const rows, clients, ops = 8000, 16, 10
+	db := engine.Open()
+	db.NoIndexes = true
+	db.MustExec("CREATE TABLE t (a INT NOT NULL, b INT, c INT)")
+	te, err := db.Catalog().Table("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := db.InsertRow(te, types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i + i%4)), types.NewInt(int64(i % 10)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.MustExec("ANALYZE t")
+	srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	addr, err := srv.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	var qps, p50, p95, p99 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := workload.RunDriver(workload.DriverConfig{
+			Addr: addr.String(), Clients: clients, OpsPerClient: ops, Seed: int64(100 + i),
+			Statement: func(c, op int, r *rand.Rand) string {
+				if op%10 == 9 {
+					a := rows*10 + i*1000000 + c*10000 + op
+					return fmt.Sprintf("INSERT INTO t VALUES (%d, %d, 0)", a, a+1)
+				}
+				lo := r.Intn(rows - 50)
+				return fmt.Sprintf("SELECT a, b, c FROM t WHERE a >= %d AND a <= %d", lo, lo+40)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.ErrKinds) > 0 || rep.Shed > 0 {
+			b.Fatalf("driver saw failures: %+v", rep)
+		}
+		qps += rep.Throughput
+		p50 += float64(rep.Accepted.P50.Microseconds())
+		p95 += float64(rep.Accepted.P95.Microseconds())
+		p99 += float64(rep.Accepted.P99.Microseconds())
+	}
+	n := float64(b.N)
+	b.ReportMetric(qps/n, "qps")
+	b.ReportMetric(p50/n, "p50_us")
+	b.ReportMetric(p95/n, "p95_us")
+	b.ReportMetric(p99/n, "p99_us")
 }
 
 // runPruneBench reports per-op page reads and skips alongside wall time —

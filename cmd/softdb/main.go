@@ -28,18 +28,23 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"softdb/internal/client"
 	"softdb/internal/engine"
 	"softdb/internal/sql"
 	"softdb/internal/types"
+	"softdb/internal/wire"
 )
 
 // interruptState routes SIGINT: while a statement runs it holds that
@@ -88,7 +93,15 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query budget in bytes for buffered rows (0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: maximum concurrently executing statements (0 = unlimited)")
+	connect := flag.String("connect", "", "connect to a softdbd server at this address instead of running an embedded engine")
 	flag.Parse()
+
+	if *connect != "" {
+		is := &interruptState{}
+		is.watch()
+		remoteMain(*connect, is, flag.Args())
+		return
+	}
 
 	db := engine.Open()
 	db.Parallel = *parallel
@@ -100,13 +113,26 @@ func main() {
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))
 	if *debugAddr != "" {
-		srv := &http.Server{Addr: *debugAddr, Handler: db.DebugHandler()}
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug listener:", err)
+			os.Exit(1)
+		}
+		// Timeouts so a stalled or slow-loris peer cannot pin the listener's
+		// goroutines forever; the handler only serves small GET responses.
+		srv := &http.Server{
+			Handler:           db.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "debug listener:", err)
 			}
 		}()
-		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", *debugAddr)
+		// lis.Addr, not *debugAddr: with ":0" this is the real port.
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", lis.Addr())
 	}
 	is := &interruptState{}
 	is.watch()
@@ -301,6 +327,120 @@ func command(db *engine.Database, cmd string) bool {
 		fmt.Println("unknown command; try \\d, \\sc, \\discover, \\metrics, \\trace, \\q")
 	}
 	return true
+}
+
+// remoteMain is the -connect mode: the same statement loop as the
+// embedded REPL, but every statement travels the wire protocol to a
+// softdbd server. Supported backslash commands are \set NAME VALUE
+// (session settings; VALUE "default" clears an override) and \q. A broken
+// connection (Ctrl-C mid-statement, server restart) reconnects
+// automatically into a fresh session.
+func remoteMain(addr string, is *interruptState, args []string) {
+	c, err := client.Connect(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("connected to %s (session %s)\n", addr, c.Session())
+
+	// runOne executes one statement, reconnecting once if the connection
+	// broke. It reports whether to keep the REPL alive.
+	runOne := func(stmt string) bool {
+		ctx, done := is.begin()
+		res, err := c.Query(ctx, stmt)
+		done()
+		if err != nil {
+			var we *wire.Error
+			if errors.As(err, &we) {
+				fmt.Println("error:", we)
+				return true
+			}
+			// Transport-level failure: the stream is gone; reconnect.
+			fmt.Fprintln(os.Stderr, "connection lost:", err)
+			c.Close()
+			if c, err = client.Connect(addr); err != nil {
+				fmt.Fprintln(os.Stderr, "reconnect:", err)
+				return false
+			}
+			fmt.Printf("reconnected (session %s; session settings reset)\n", c.Session())
+			return true
+		}
+		for _, n := range res.Notices {
+			fmt.Println("notice:", n)
+		}
+		if len(res.Columns) > 0 {
+			printRows(res.Columns, res.Rows)
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else {
+			fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+		}
+		return true
+	}
+
+	if len(args) > 0 {
+		script, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stmts, err := sql.ParseAll(string(script))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, s := range stmts {
+			if !runOne(sql.Print(s)) {
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("loaded %s\n", args[0])
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Printf("softdb(%s)> ", addr)
+		} else {
+			fmt.Print("      ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			fields := strings.Fields(trimmed)
+			switch fields[0] {
+			case "\\q":
+				c.Close()
+				return
+			case "\\set":
+				if len(fields) != 3 {
+					fmt.Println("usage: \\set NAME VALUE   (VALUE \"default\" clears the override)")
+					break
+				}
+				if err := c.Set(fields[1], fields[2]); err != nil {
+					fmt.Println("error:", err)
+				}
+			default:
+				fmt.Println("remote commands: \\set NAME VALUE, \\q")
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if !runOne(stmt) {
+				return
+			}
+		}
+		prompt()
+	}
 }
 
 func describe(db *engine.Database, table string) {

@@ -1,0 +1,134 @@
+// Command softdbd runs a softdb network server: one engine instance
+// serving the wire protocol to many concurrent clients (see
+// internal/server for the protocol and session model).
+//
+// An optional file argument is executed as a SQL script against the
+// engine before the listener opens, so the daemon starts with schema and
+// data loaded. -addr ":0" picks an ephemeral port; the actual bound
+// address is printed on stdout (first line, "listening on ADDR") so
+// scripts and CI can scrape it. -debug-addr serves /metrics and
+// /debug/queries the same way.
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
+// statements are canceled through the engine's context path (clients
+// receive typed canceled errors), and the process exits once every
+// connection is done or -drain-timeout lapses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softdb/internal/engine"
+	"softdb/internal/server"
+	"softdb/internal/sql"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "TCP listen address for the wire protocol (:0 = ephemeral)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/queries on this address")
+	parallel := flag.Int("parallel", 1, "default maximum intra-query degree of parallelism (1 = serial)")
+	noPrune := flag.Bool("no-prune", false, "disable synopsis-based page pruning by default")
+	timeout := flag.Duration("timeout", 0, "default per-statement deadline (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "default per-query budget in bytes for buffered rows (0 = unlimited)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: maximum concurrently executing statements (0 = unlimited)")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
+	shedQueue := flag.Int("shed-queue", -1, "load shedding: reject statements once more than max-concurrent plus this many are pending (-1 = queue instead)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle this long (0 = never)")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
+	trace := flag.Bool("trace", false, "start with per-operator query tracing on")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight work on shutdown")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	db := engine.Open()
+	db.Parallel = *parallel
+	db.NoPrune = *noPrune
+	db.StmtTimeout = *timeout
+	db.MemBudget = *memBudget
+	db.MaxConcurrent = *maxConcurrent
+	db.SetTracing(*trace)
+	db.SetSlowQueryThreshold(*slowQuery)
+	db.SetLogger(logger)
+
+	if args := flag.Args(); len(args) > 0 {
+		script, err := os.ReadFile(args[0])
+		if err != nil {
+			fail(err)
+		}
+		stmts, err := sql.ParseAll(string(script))
+		if err != nil {
+			fail(err)
+		}
+		for _, s := range stmts {
+			if _, err := db.ExecStmtCtx(context.Background(), s, sql.Print(s)); err != nil {
+				fail(fmt.Errorf("%s: %w", args[0], err))
+			}
+		}
+		logger.Info("preload complete", "script", args[0], "statements", len(stmts))
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:           *addr,
+		MaxConns:       *maxConns,
+		Shed:           *shedQueue >= 0,
+		ShedQueueDepth: max(*shedQueue, 0),
+		IdleTimeout:    *idleTimeout,
+		Logger:         logger,
+	})
+	bound, err := srv.Listen()
+	if err != nil {
+		fail(err)
+	}
+	// First line on stdout so wrappers can scrape the ephemeral port.
+	fmt.Printf("listening on %s\n", bound)
+
+	if *debugAddr != "" {
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		dsrv := &http.Server{
+			Handler:           db.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		go func() {
+			if err := dsrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", lis.Addr())
+	}
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		logger.Info("draining", "timeout", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete; connections force-closed", "err", err)
+		}
+	}()
+
+	if err := srv.Serve(); err != nil {
+		fail(err)
+	}
+	logger.Info("server stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "softdbd:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -287,6 +288,57 @@ func TestR1Shape(t *testing.T) {
 	if took := lastFloat(t, rows["deadline/stmt-timeout 5ms"][2]); took > 500 {
 		t.Errorf("deadline run took %.1fms against a 5ms timeout", took)
 	}
+}
+
+func TestS1Shape(t *testing.T) {
+	cfg := S1Config{
+		Rows: 4000, Clients: 8, ParityOps: 4, MixedOps: 10,
+		OverloadOps: 2, BaselineOps: 4, SlowPageUs: 1000, ShedDepth: 0, MaxConc: 2,
+	}
+	// The latency criterion in the shed row compares two measured timings;
+	// one retry absorbs a scheduler hiccup on a loaded CI machine. The
+	// semantic criteria (parity, invalidation, shed counts) must hold on
+	// the first run.
+	rep := runS1(t, cfg)
+	find := func(phase, configPrefix string) []string {
+		t.Helper()
+		for _, row := range rep.Rows {
+			if row[0] == phase && strings.HasPrefix(row[1], configPrefix) {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s* in %v", phase, configPrefix, rep.Rows)
+		return nil
+	}
+	if got := find("parity", "")[2]; got != "match=true" {
+		t.Errorf("remote result streams must hash identically to in-process: %s", got)
+	}
+	if got := find("asc-invalidation", "")[2]; got != "before=true notice=true after=true" {
+		t.Errorf("cross-session invalidation must propagate: %s", got)
+	}
+	var shedN, total int
+	if _, err := fmt.Sscanf(find("overload", "shed rejections")[2], "%d of %d", &shedN, &total); err != nil {
+		t.Fatalf("shed rejections cell: %v", err)
+	}
+	if shedN <= 0 {
+		t.Errorf("overload against the shed server must reject statements: %d of %d", shedN, total)
+	}
+	shedRow := find("overload", "shed (")
+	if !strings.Contains(shedRow[3], "within 2x unloaded p99: true") {
+		rep = runS1(t, cfg) // timing-only retry
+		if shedRow = find("overload", "shed ("); !strings.Contains(shedRow[3], "within 2x unloaded p99: true") {
+			t.Errorf("shed-mode accepted latency missed the 2x bar twice: %v", shedRow)
+		}
+	}
+}
+
+func runS1(t *testing.T, cfg S1Config) *Report {
+	t.Helper()
+	rep, err := S1Server(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 func TestReportRendering(t *testing.T) {

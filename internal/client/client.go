@@ -1,0 +1,259 @@
+// Package client is the Go client for softdb's wire protocol. It powers
+// the softdb shell's -connect mode and the internal/workload concurrent
+// driver.
+//
+// A Conn runs one request at a time (concurrent callers serialize on an
+// internal lock — open more connections for parallelism, like the server
+// itself expects). Errors the server classified keep their classification:
+// Query returns a *wire.Error whose Kind is the same exec.ErrKind a local
+// engine caller would see on *exec.QueryError, so remote and in-process
+// callers share one error-handling idiom (see Kind).
+//
+// Cancellation: when the Query context carries a deadline, the remaining
+// time is shipped in the request so the server aborts the statement and
+// the connection stays usable — the client then receives a typed timeout
+// frame. Context cancellation without a deadline (or a server that stops
+// responding) trips a watchdog that unblocks the read and breaks the
+// connection, since the stream position is no longer trustworthy.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"softdb/internal/exec"
+	"softdb/internal/types"
+	"softdb/internal/wire"
+)
+
+// ErrConnBroken reports a connection abandoned mid-stream (watchdog fired
+// or a framing error); the caller must reconnect.
+var ErrConnBroken = errors.New("client: connection broken")
+
+// Result is one statement's response.
+type Result struct {
+	Columns      []string
+	Rows         []types.Row
+	Notices      []string
+	RowsAffected int64
+}
+
+// Conn is one wire-protocol connection. Safe for concurrent use; requests
+// serialize.
+type Conn struct {
+	mu      sync.Mutex
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	session string
+	broken  bool
+}
+
+// Connect dials addr and performs the welcome handshake.
+func Connect(addr string) (*Conn, error) {
+	return ConnectTimeout(addr, 10*time.Second)
+}
+
+// ConnectTimeout dials addr with a dial-and-handshake timeout.
+func ConnectTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		_ = nc.SetReadDeadline(time.Now().Add(timeout))
+	}
+	c := &Conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	t, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if t != wire.FrameWelcome {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected frame 0x%02x", byte(t))
+	}
+	w, err := wire.ParseWelcome(payload)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	if w.Proto != wire.ProtoVersion {
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: protocol version mismatch: server %d, client %d", w.Proto, wire.ProtoVersion)
+	}
+	if w.Session == "" {
+		// The server welcomes then rejects connections beyond its cap; the
+		// empty session label marks the rejection, the error frame explains.
+		defer nc.Close()
+		if t, payload, err = wire.ReadFrame(c.br); err == nil && t == wire.FrameError {
+			if e, perr := wire.ParseError(payload); perr == nil {
+				return nil, e
+			}
+		}
+		return nil, errors.New("client: server rejected connection")
+	}
+	_ = nc.SetReadDeadline(time.Time{})
+	c.session = w.Session
+	return c, nil
+}
+
+// Session returns the server-assigned session label (e.g. "conn-3").
+func (c *Conn) Session() string { return c.session }
+
+// Close closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.c.Close()
+}
+
+// Query executes one statement and collects the full response. A context
+// deadline travels to the server as the statement timeout; see the
+// package comment for cancellation semantics.
+func (c *Conn) Query(ctx context.Context, sql string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrConnBroken
+	}
+	q := wire.Query{SQL: sql}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		q.TimeoutMillis = uint64(ms)
+	}
+	// The watchdog unblocks a read stuck past cancellation (or past a
+	// server that missed the deadline) by stamping an immediate deadline.
+	// Grace beyond the context deadline lets the server's own typed
+	// timeout frame arrive first, keeping the connection usable.
+	watchdog := context.AfterFunc(ctx, func() {
+		grace := time.Duration(0)
+		if _, ok := ctx.Deadline(); ok {
+			grace = 2 * time.Second
+		}
+		_ = c.c.SetReadDeadline(time.Now().Add(grace))
+	})
+	defer func() {
+		if watchdog() { // not fired: clear any deadline for the next call
+			_ = c.c.SetReadDeadline(time.Time{})
+		}
+	}()
+	if err := wire.WriteFrame(c.bw, wire.FrameQuery, wire.AppendQuery(nil, q)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	res, err := c.readResult()
+	if err != nil {
+		var we *wire.Error
+		if errors.As(err, &we) {
+			return nil, err // server-reported; stream is still in sync
+		}
+		if ctx.Err() != nil {
+			err = fmt.Errorf("%w: %w", ctx.Err(), ErrConnBroken)
+		}
+		return nil, c.fail(err)
+	}
+	return res, nil
+}
+
+// Set assigns one session setting on the server (see engine.Session.Set
+// for names and values).
+func (c *Conn) Set(name, value string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return ErrConnBroken
+	}
+	if err := wire.WriteFrame(c.bw, wire.FrameSet, wire.AppendSet(nil, wire.Set{Name: name, Value: value})); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	t, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return c.fail(err)
+	}
+	switch t {
+	case wire.FrameOK:
+		return nil
+	case wire.FrameError:
+		e, perr := wire.ParseError(payload)
+		if perr != nil {
+			return c.fail(perr)
+		}
+		return e
+	}
+	return c.fail(fmt.Errorf("client: unexpected frame 0x%02x to SET", byte(t)))
+}
+
+// fail marks the connection unusable and closes it.
+func (c *Conn) fail(err error) error {
+	c.broken = true
+	_ = c.c.Close()
+	return err
+}
+
+// readResult consumes one response sequence:
+// FrameRowDesc? FrameRowBatch* FrameNotice* (FrameDone | FrameError).
+func (c *Conn) readResult() (*Result, error) {
+	res := &Result{}
+	for {
+		t, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.FrameRowDesc:
+			if res.Columns, err = wire.ParseColumns(payload); err != nil {
+				return nil, err
+			}
+		case wire.FrameRowBatch:
+			if res.Rows, err = wire.ParseRows(res.Rows, payload); err != nil {
+				return nil, err
+			}
+		case wire.FrameNotice:
+			res.Notices = append(res.Notices, string(payload))
+		case wire.FrameDone:
+			d, err := wire.ParseDone(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.RowsAffected = d.RowsAffected
+			return res, nil
+		case wire.FrameError:
+			e, perr := wire.ParseError(payload)
+			if perr != nil {
+				return nil, perr
+			}
+			return nil, e
+		default:
+			return nil, fmt.Errorf("client: unexpected frame 0x%02x in response", byte(t))
+		}
+	}
+}
+
+// Kind classifies an error from Query/Set — or from a local engine call —
+// into the shared exec.ErrKind space. Non-query errors (parse failures,
+// broken connections, ...) report exec.KindError.
+func Kind(err error) exec.ErrKind {
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Kind
+	}
+	if qe, ok := exec.AsQueryError(err); ok {
+		return qe.Kind
+	}
+	return exec.KindError
+}

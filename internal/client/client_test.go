@@ -1,0 +1,111 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/engine"
+	"softdb/internal/exec"
+	"softdb/internal/fault"
+	"softdb/internal/server"
+	"softdb/internal/types"
+)
+
+// slowDB builds a table wide enough that the injected per-page stall
+// keeps a full scan running for hundreds of milliseconds.
+func slowDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.Open()
+	db.NoIndexes = true
+	db.MustExec("CREATE TABLE x (a INT NOT NULL)")
+	te, err := db.Catalog().Table("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if err := db.InsertRow(te, types.Row{types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Fault = fault.New(fault.Config{SlowProb: 1, SlowDelay: 5 * time.Millisecond})
+	return db
+}
+
+func startServer(t *testing.T, db *engine.Database) string {
+	t.Helper()
+	s := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return addr.String()
+}
+
+// TestClientDeadlineKeepsConn: a context deadline travels to the server,
+// comes back as a typed timeout, and the connection stays usable.
+func TestClientDeadlineKeepsConn(t *testing.T) {
+	db := slowDB(t)
+	addr := startServer(t, db)
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = c.Query(ctx, "SELECT COUNT(*) AS n FROM x WHERE a >= 0")
+	if client.Kind(err) != exec.KindTimeout {
+		t.Fatalf("deadline should come back as a typed timeout, got %v", err)
+	}
+	db.Fault = nil
+	if _, err := c.Query(context.Background(), "SELECT COUNT(*) AS n FROM x WHERE a >= 0"); err != nil {
+		t.Fatalf("connection should survive a server-side timeout: %v", err)
+	}
+}
+
+// TestClientCancelBreaksConn: plain cancellation (no deadline) trips the
+// watchdog; the connection is reported broken and later calls fail fast.
+func TestClientCancelBreaksConn(t *testing.T) {
+	db := slowDB(t)
+	addr := startServer(t, db)
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = c.Query(ctx, "SELECT COUNT(*) AS n FROM x WHERE a >= 0")
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, client.ErrConnBroken) {
+		t.Fatalf("canceled query should report the broken conn: %v", err)
+	}
+	if _, err := c.Query(context.Background(), "SELECT 1 AS one FROM x WHERE a >= 0"); !errors.Is(err, client.ErrConnBroken) {
+		t.Fatalf("later calls must fail fast on a broken conn: %v", err)
+	}
+}
+
+// TestClientKind covers the error classifier over local and remote error
+// shapes.
+func TestClientKind(t *testing.T) {
+	if client.Kind(errors.New("plain")) != exec.KindError {
+		t.Fatal("plain errors classify as error")
+	}
+	qe := &exec.QueryError{Op: "scan", Kind: exec.KindMemBudget, Err: errors.New("over budget")}
+	if client.Kind(qe) != exec.KindMemBudget {
+		t.Fatal("local QueryError kinds pass through")
+	}
+}

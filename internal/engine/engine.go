@@ -348,13 +348,20 @@ func (db *Database) admit(ctx context.Context) (release func(), err error) {
 // applied; the admission gate (MaxConcurrent) is crossed before any lock
 // is taken.
 func (db *Database) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string) (*Result, error) {
+	return db.execStmtCtx(ctx, stmt, cacheKey, db.defaultSettings(), "")
+}
+
+// execStmtCtx is the settings-aware core of ExecStmtCtx: direct Database
+// calls pass the database defaults, Session calls pass the session's
+// effective settings plus its trace/log label.
+func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string, st Settings, sess string) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if db.StmtTimeout > 0 {
+	if st.StmtTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, db.StmtTimeout)
+			ctx, cancel = context.WithTimeout(ctx, st.StmtTimeout)
 			defer cancel()
 		}
 	}
@@ -368,7 +375,7 @@ func (db *Database) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 	case *sql.Select:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(ctx, s, cacheKey, modeRun)
+		return db.query(ctx, s, cacheKey, modeRun, st, sess)
 	case *sql.Explain:
 		inner, ok := s.Stmt.(*sql.Select)
 		if !ok {
@@ -380,7 +387,7 @@ func (db *Database) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode)
+		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode, st, sess)
 	}
 
 	db.mu.Lock()
@@ -444,25 +451,26 @@ func (db *Database) builder() *plan.Builder {
 	return &plan.Builder{Catalog: db.cat, Views: db.views}
 }
 
-// optimizer builds the per-query optimizer from the database toggles.
-func (db *Database) optimizer() *opt.Optimizer {
+// optimizer builds the per-query optimizer from the database toggles and
+// the statement's effective settings.
+func (db *Database) optimizer(st Settings) *opt.Optimizer {
 	return &opt.Optimizer{
 		Cat:             db.cat,
 		NoIndexes:       db.NoIndexes,
 		NoSSCEstimation: db.NoSSCEstimation,
 		NoASTEstimation: db.NoASTEstimation,
-		NoPrune:         db.NoPrune,
-		Parallel:        db.Parallel,
-		ParallelMinRows: db.ParallelMinRows,
+		NoPrune:         st.NoPrune,
+		Parallel:        st.Parallel,
+		ParallelMinRows: st.ParallelMinRows,
 	}
 }
 
 // rewriteOpts derives the per-query rewrite options from the database
-// toggles: NoPrune also stops the rewriter from planting prune-only
-// predicates.
-func (db *Database) rewriteOpts() rewrite.Options {
+// toggles and the statement's effective settings: NoPrune also stops the
+// rewriter from planting prune-only predicates.
+func (db *Database) rewriteOpts(st Settings) rewrite.Options {
 	o := db.RewriteOpts
-	if db.NoPrune {
+	if st.NoPrune {
 		o.NoPruneIntro = true
 	}
 	return o
@@ -472,13 +480,14 @@ func (db *Database) rewriteOpts() rewrite.Options {
 func (db *Database) Plan(sel *sql.Select) (*opt.Result, *rewrite.Rewriter, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	st := db.defaultSettings()
 	logical, err := db.builder().BuildSelect(sel)
 	if err != nil {
 		return nil, nil, err
 	}
-	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts()}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts(st)}
 	logical = rw.Rewrite(logical)
-	result, err := db.optimizer().Optimize(logical)
+	result, err := db.optimizer(st).Optimize(logical)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -525,11 +534,11 @@ func (db *Database) cacheLookup(cacheKey string) (*cachedPlan, bool) {
 // without disturbing the §4.1 lifecycle or the stats — used by EXPLAIN to
 // annotate its output with the plan-cache status the equivalent SELECT
 // would see.
-func (db *Database) cachePeek(selKey string) string {
+func (db *Database) cachePeek(selKey string, st Settings) string {
 	if selKey == "" || db.DisablePlanCache {
 		return "miss"
 	}
-	key := db.planCacheKey(selKey)
+	key := planCacheKey(selKey, st)
 	db.cacheMu.Lock()
 	defer db.cacheMu.Unlock()
 	if e, ok := db.planCache[key]; ok && e.catVersion == db.cat.Version() {
@@ -538,14 +547,16 @@ func (db *Database) cachePeek(selKey string) string {
 	return "miss"
 }
 
-// planCacheKey builds the plan-cache identity for a select's text. Only
-// knobs that shape the compiled physical plan participate: the degree of
-// parallelism and the prune toggle. The lifecycle knobs (MemBudget,
-// StmtTimeout, MaxConcurrent, Fault) are deliberately excluded — they act
-// at run time on any compiled plan, so keying on them would only fragment
-// the cache without changing what is compiled.
-func (db *Database) planCacheKey(selKey string) string {
-	return fmt.Sprintf("%s\x00parallel=%d\x00prune=%t", selKey, db.Parallel, db.NoPrune)
+// planCacheKey builds the plan-cache identity for a select's text under
+// the statement's effective settings. Only knobs that shape the compiled
+// physical plan or its delivery participate: the degree of parallelism and
+// the prune and batch toggles — so concurrent sessions with different knob
+// sets never share an entry. The lifecycle knobs (MemBudget, StmtTimeout,
+// MaxConcurrent, Fault) are deliberately excluded — they act at run time
+// on any compiled plan, so keying on them would only fragment the cache
+// without changing what is compiled.
+func planCacheKey(selKey string, st Settings) string {
+	return fmt.Sprintf("%s\x00parallel=%d\x00prune=%t\x00batch=%t", selKey, st.Parallel, st.NoPrune, st.NoBatch)
 }
 
 // stripExplainPrefix reduces an EXPLAIN [ANALYZE] statement's text to the
@@ -571,16 +582,16 @@ const (
 	modeAnalyze
 )
 
-func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string, mode queryMode) (*Result, error) {
+func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string, mode queryMode, st Settings, sess string) (*Result, error) {
 	sqlText := cacheKey
 	if sqlText == "" {
 		sqlText = sql.Print(sel)
 	}
 	useCache := cacheKey != "" && !db.DisablePlanCache && mode == modeRun
 	if useCache {
-		cacheKey = db.planCacheKey(cacheKey)
+		cacheKey = planCacheKey(cacheKey, st)
 		if entry, ok := db.cacheLookup(cacheKey); ok {
-			return db.execute(ctx, entry, sqlText, true)
+			return db.execute(ctx, entry, sqlText, true, st, sess)
 		}
 	}
 
@@ -594,9 +605,9 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 	for i, c := range cols {
 		names[i] = c.Name
 	}
-	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts()}
+	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts(st)}
 	logical = rw.Rewrite(logical)
-	result, err := db.optimizer().Optimize(logical)
+	result, err := db.optimizer(st).Optimize(logical)
 	if err != nil {
 		return nil, err
 	}
@@ -616,7 +627,7 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 		degree:      exec.MaxDegree(result.Root),
 	}
 	if mode == modeAnalyze {
-		return db.explainAnalyze(ctx, entry, sqlText, db.cachePeek(cacheKey))
+		return db.explainAnalyze(ctx, entry, sqlText, db.cachePeek(cacheKey, st), st, sess)
 	}
 	if mode == modeExplain {
 		var rows []types.Row
@@ -632,7 +643,7 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 		}
 		line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))
 		line(fmt.Sprintf("parallel degree: %d", entry.degree))
-		line("plan cache: " + db.cachePeek(cacheKey))
+		line("plan cache: " + db.cachePeek(cacheKey, st))
 		return &Result{
 			Columns: []string{"plan"},
 			Rows:    rows,
@@ -649,13 +660,13 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 			// §4.1: "restrict the use of ASCs in rewrite just to dynamic
 			// queries and never for precompilation" — run the rewritten
 			// plan once, cache nothing.
-			return db.execute(ctx, entry, sqlText, false)
+			return db.execute(ctx, entry, sqlText, false, st, sess)
 		}
 		// §4.1 backup plan: when soft rules shaped the primary plan,
 		// compile the SQO-free alternative alongside so an overturned ASC
 		// reverts instead of recompiling.
 		if len(rw.Trace) > 0 {
-			if backup, err := db.compileBackup(sel, names); err == nil {
+			if backup, err := db.compileBackup(sel, names, st); err == nil {
 				entry.backup = backup
 			}
 		}
@@ -664,15 +675,16 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 		db.obs.cacheEntries.Set(int64(len(db.planCache)))
 		db.cacheMu.Unlock()
 	}
-	return db.execute(ctx, entry, sqlText, false)
+	return db.execute(ctx, entry, sqlText, false, st, sess)
 }
 
 // execCtx builds the exec context carrying the query's lifecycle: the
-// caller's cancellation signal, the configured memory budget and fault
-// injector, and the panic-recovery hook feeding the metrics registry.
-func (db *Database) execCtx(ctx context.Context) *exec.Ctx {
+// caller's cancellation signal, the statement's memory budget, the
+// database fault injector, and the panic-recovery hook feeding the
+// metrics registry.
+func (db *Database) execCtx(ctx context.Context, st Settings) *exec.Ctx {
 	return exec.NewCtx(ctx, exec.CtxOptions{
-		MemBudget: db.MemBudget,
+		MemBudget: st.MemBudget,
 		OnPanic:   func(string) { db.obs.workerPanics.Inc() },
 		Fault:     db.Fault,
 	})
@@ -696,14 +708,14 @@ func terminalState(err error) string {
 // panic guard: a panic anywhere on the serial execution path (worker
 // goroutines have their own recovery) surfaces as a KindPanic QueryError
 // instead of crashing the process.
-func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.Ctx) ([]types.Row, error) {
+func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.Ctx, noBatch bool) ([]types.Row, error) {
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, exec.CancelError("engine.execute", cerr)
 	}
 	var rows []types.Row
 	err := exec.Guard(ectx, "engine.execute", func() error {
 		var cerr error
-		if db.NoBatch {
+		if noBatch {
 			rows, cerr = exec.Collect(root, ectx)
 		} else {
 			rows, cerr = exec.CollectBatched(root, ectx)
@@ -718,21 +730,22 @@ func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.
 
 // execute runs a compiled plan, instrumenting it with a span tree when
 // tracing is on, and records the execution in metrics and the query log.
-func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText string, cacheHit bool) (*Result, error) {
+func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText string, cacheHit bool, st Settings, sess string) (*Result, error) {
 	start := time.Now()
 	root := entry.root
 	var span *obs.SpanNode
 	if db.obs.tracing.Load() {
 		root, span = exec.Instrument(entry.root, estLookup(entry.nodeRows))
 	}
-	ectx := db.execCtx(ctx)
-	rows, err := db.runPlan(ctx, root, ectx)
+	ectx := db.execCtx(ctx, st)
+	rows, err := db.runPlan(ctx, root, ectx, st.NoBatch)
 	dur := time.Since(start)
 	io := ectx.IO.Load()
 	t := &obs.Trace{
 		SQL: sqlText, Start: start, Duration: dur,
 		Degree: entry.degree, CacheHit: cacheHit,
-		Root: span, Events: entry.events,
+		Session: sess,
+		Root:    span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(rows)), PagesRead: io.PagesRead,
 		PagesSkipped: io.PagesSkipped,
@@ -762,18 +775,19 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 // explainAnalyze executes the plan under full instrumentation and renders
 // per-node estimated vs. actual figures plus every soft-constraint
 // consultation made while planning.
-func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string) (*Result, error) {
+func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string, st Settings, sess string) (*Result, error) {
 	start := time.Now()
 	iroot, span := exec.Instrument(entry.root, estLookup(entry.nodeRows))
-	ectx := db.execCtx(ctx)
-	resRows, err := db.runPlan(ctx, iroot, ectx)
+	ectx := db.execCtx(ctx, st)
+	resRows, err := db.runPlan(ctx, iroot, ectx, st.NoBatch)
 	dur := time.Since(start)
 	io := ectx.IO.Load()
 	state := terminalState(err)
 	t := &obs.Trace{
 		SQL: sqlText, Start: start, Duration: dur,
 		Degree: entry.degree, CacheHit: cacheStatus == "hit",
-		Root: span, Events: entry.events,
+		Session: sess,
+		Root:    span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(resRows)), PagesRead: io.PagesRead,
 		PagesSkipped: io.PagesSkipped,
@@ -817,7 +831,7 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 }
 
 // compileBackup builds the soft-rule-free alternative plan for a select.
-func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan, error) {
+func (db *Database) compileBackup(sel *sql.Select, names []string, st Settings) (*cachedPlan, error) {
 	logical, err := db.builder().BuildSelect(sel)
 	if err != nil {
 		return nil, err
@@ -828,7 +842,7 @@ func (db *Database) compileBackup(sel *sql.Select, names []string) (*cachedPlan,
 		NoSSCTwins: true, NoASTRouting: true, NoPruneIntro: true,
 	}}
 	logical = rw.Rewrite(logical)
-	o := db.optimizer()
+	o := db.optimizer(st)
 	o.NoSSCEstimation = true
 	o.NoASTEstimation = true
 	result, err := o.Optimize(logical)

@@ -179,6 +179,11 @@ func (db *Database) observeQuery(t *obs.Trace) {
 		attrs := []any{
 			"sql", t.SQL,
 			"duration", t.Duration,
+		}
+		if t.Session != "" {
+			attrs = append(attrs, "session", t.Session)
+		}
+		attrs = append(attrs,
 			"rows", t.ActualRows,
 			"pages", t.PagesRead,
 			"pages_skipped", t.PagesSkipped,
@@ -186,7 +191,7 @@ func (db *Database) observeQuery(t *obs.Trace) {
 			"cache_hit", t.CacheHit,
 			"slow", t.Slow,
 			"state", t.State,
-		}
+		)
 		if t.Err != "" {
 			attrs = append(attrs, "err", t.Err)
 			level = slog.LevelError

@@ -26,6 +26,11 @@ const (
 	// KindError: an ordinary runtime error (type error, injected storage
 	// fault, ...).
 	KindError ErrKind = "error"
+	// KindBusy: the statement was rejected by the network server's load
+	// shedder before reaching the engine. Defined here so local and remote
+	// callers classify outcomes from one kind space; the engine itself
+	// never produces it (admission-gate waits surface as canceled/timeout).
+	KindBusy ErrKind = "busy"
 )
 
 // ErrMemBudget is wrapped by every budget-exceeded QueryError so callers

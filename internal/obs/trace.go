@@ -147,6 +147,9 @@ type Trace struct {
 	Degree int
 	// CacheHit reports whether the plan came from the plan cache.
 	CacheHit bool
+	// Session tags the executing session (e.g. the server's "conn-3");
+	// empty for direct in-process calls.
+	Session string
 	// Slow marks the query as exceeding the engine's slow-query threshold.
 	Slow bool
 	// Root is the instrumented span tree; nil when per-operator tracing
@@ -171,8 +174,8 @@ type Trace struct {
 func (t *Trace) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", t.SQL)
-	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d skipped=%d degree=%d cache=%s%s\n",
-		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.PagesSkipped, t.Degree, cacheWord(t.CacheHit), stateWord(t.State))
+	fmt.Fprintf(&b, "elapsed=%s rows=%d pages=%d skipped=%d degree=%d cache=%s%s%s\n",
+		formatDur(t.Duration), t.ActualRows, t.PagesRead, t.PagesSkipped, t.Degree, cacheWord(t.CacheHit), stateWord(t.State), sessionWord(t.Session))
 	if t.Err != "" {
 		fmt.Fprintf(&b, "error: %s\n", t.Err)
 	}
@@ -200,4 +203,11 @@ func stateWord(state string) string {
 		return ""
 	}
 	return " state=" + state
+}
+
+func sessionWord(sess string) string {
+	if sess == "" {
+		return ""
+	}
+	return " session=" + sess
 }

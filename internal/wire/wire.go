@@ -1,0 +1,448 @@
+// Package wire defines softdb's client/server wire protocol: a
+// length-prefixed binary framing shared by internal/server and
+// internal/client.
+//
+// Every frame is a 5-byte header — one type byte plus a big-endian uint32
+// payload length — followed by the payload. Payloads are built from three
+// primitives: unsigned varints, zigzag varints, and uvarint-length-prefixed
+// byte strings. Row data uses a compact datum codec (kind byte + value)
+// covering every types.Kind.
+//
+// A request is one FrameQuery (SQL text, flags, an optional server-side
+// timeout) or FrameSet (session-setting name/value). The response to a
+// query is a sequence of frames terminated by FrameDone or FrameError:
+//
+//	FrameRowDesc?  FrameRowBatch*  FrameNotice*  (FrameDone | FrameError)
+//
+// FrameError carries the structured kind+op of an exec.QueryError, so a
+// remote caller can classify canceled/timeout/oom/busy outcomes exactly
+// like a local engine caller instead of parsing message strings.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"softdb/internal/exec"
+	"softdb/internal/types"
+)
+
+// ProtoVersion is bumped whenever the frame layout changes incompatibly.
+// The server sends it in FrameWelcome; clients refuse a mismatch.
+const ProtoVersion = 1
+
+// MaxFrame bounds a single frame's payload (64 MiB) so a corrupt or
+// hostile length prefix cannot force an arbitrary allocation.
+const MaxFrame = 64 << 20
+
+// RowBatchSize is how many rows the server packs per FrameRowBatch.
+const RowBatchSize = 256
+
+// FrameType tags a frame. Client→server types live below 0x10,
+// server→client types at 0x10 and above.
+type FrameType byte
+
+const (
+	// FrameQuery carries one statement to execute (client → server).
+	FrameQuery FrameType = 0x01
+	// FrameSet carries a session-setting assignment (client → server).
+	FrameSet FrameType = 0x02
+
+	// FrameWelcome opens every connection (server → client): protocol
+	// version and the session's label.
+	FrameWelcome FrameType = 0x10
+	// FrameRowDesc announces a result's column names.
+	FrameRowDesc FrameType = 0x11
+	// FrameRowBatch carries up to RowBatchSize result rows.
+	FrameRowBatch FrameType = 0x12
+	// FrameNotice carries one engine notice line.
+	FrameNotice FrameType = 0x13
+	// FrameError terminates a request with a structured error.
+	FrameError FrameType = 0x14
+	// FrameDone terminates a successful request.
+	FrameDone FrameType = 0x15
+	// FrameOK acknowledges a FrameSet.
+	FrameOK FrameType = 0x16
+)
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one frame. The caller owns buffering and flushing.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads beyond MaxFrame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame payload: %w", err)
+	}
+	return FrameType(hdr[0]), payload, nil
+}
+
+// --- payload primitives ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader decodes a payload sequentially; the first malformed field latches
+// an error and every later read returns zero values.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s", what)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) string(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.fail(what)
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *reader) uint64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// --- datum codec ---
+
+func appendDatum(b []byte, d types.Datum) ([]byte, error) {
+	b = append(b, byte(d.Kind()))
+	switch d.Kind() {
+	case types.KindNull:
+	case types.KindInt:
+		b = binary.AppendVarint(b, d.Int())
+	case types.KindDate:
+		b = binary.AppendVarint(b, d.Date())
+	case types.KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Float()))
+	case types.KindBool:
+		if d.Bool() {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case types.KindString:
+		b = appendString(b, d.Str())
+	default:
+		return nil, fmt.Errorf("wire: cannot encode datum kind %s", d.Kind())
+	}
+	return b, nil
+}
+
+func (r *reader) datum() types.Datum {
+	switch types.Kind(r.byte("datum kind")) {
+	case types.KindNull:
+		return types.Null
+	case types.KindInt:
+		return types.NewInt(r.varint("int datum"))
+	case types.KindDate:
+		return types.NewDate(r.varint("date datum"))
+	case types.KindFloat:
+		return types.NewFloat(math.Float64frombits(r.uint64("float datum")))
+	case types.KindBool:
+		return types.NewBool(r.byte("bool datum") != 0)
+	case types.KindString:
+		return types.NewString(r.string("string datum"))
+	default:
+		if r.err == nil {
+			r.err = errors.New("wire: unknown datum kind")
+		}
+		return types.Null
+	}
+}
+
+// --- typed payloads ---
+
+// Query is the FrameQuery payload: one statement plus per-request options.
+type Query struct {
+	// SQL is the statement text; it doubles as the server's plan-cache key.
+	SQL string
+	// TimeoutMillis, when nonzero, asks the server to apply a deadline of
+	// this many milliseconds to the statement.
+	TimeoutMillis uint64
+	// Flags is reserved for future request options; the server ignores
+	// unknown bits.
+	Flags uint64
+}
+
+// AppendQuery encodes q onto b.
+func AppendQuery(b []byte, q Query) []byte {
+	b = binary.AppendUvarint(b, q.Flags)
+	b = binary.AppendUvarint(b, q.TimeoutMillis)
+	return appendString(b, q.SQL)
+}
+
+// ParseQuery decodes a FrameQuery payload.
+func ParseQuery(payload []byte) (Query, error) {
+	r := &reader{buf: payload}
+	q := Query{}
+	q.Flags = r.uvarint("query flags")
+	q.TimeoutMillis = r.uvarint("query timeout")
+	q.SQL = r.string("query sql")
+	return q, r.err
+}
+
+// Set is the FrameSet payload: a session-setting assignment.
+type Set struct {
+	Name  string
+	Value string
+}
+
+// AppendSet encodes s onto b.
+func AppendSet(b []byte, s Set) []byte {
+	b = appendString(b, s.Name)
+	return appendString(b, s.Value)
+}
+
+// ParseSet decodes a FrameSet payload.
+func ParseSet(payload []byte) (Set, error) {
+	r := &reader{buf: payload}
+	s := Set{Name: r.string("set name")}
+	s.Value = r.string("set value")
+	return s, r.err
+}
+
+// Welcome is the FrameWelcome payload.
+type Welcome struct {
+	// Proto is the server's ProtoVersion.
+	Proto uint64
+	// Session is the server-assigned session label (e.g. "conn-3"); it
+	// tags the session's traces and log lines on the server.
+	Session string
+}
+
+// AppendWelcome encodes w onto b.
+func AppendWelcome(b []byte, w Welcome) []byte {
+	b = binary.AppendUvarint(b, w.Proto)
+	return appendString(b, w.Session)
+}
+
+// ParseWelcome decodes a FrameWelcome payload.
+func ParseWelcome(payload []byte) (Welcome, error) {
+	r := &reader{buf: payload}
+	w := Welcome{Proto: r.uvarint("welcome proto")}
+	w.Session = r.string("welcome session")
+	return w, r.err
+}
+
+// AppendColumns encodes a FrameRowDesc payload.
+func AppendColumns(b []byte, cols []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(cols)))
+	for _, c := range cols {
+		b = appendString(b, c)
+	}
+	return b
+}
+
+// ParseColumns decodes a FrameRowDesc payload.
+func ParseColumns(payload []byte) ([]string, error) {
+	r := &reader{buf: payload}
+	n := r.uvarint("column count")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > uint64(len(payload)) { // each column costs >= 1 byte
+		return nil, errors.New("wire: column count exceeds payload")
+	}
+	cols := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cols = append(cols, r.string("column name"))
+	}
+	return cols, r.err
+}
+
+// AppendRows encodes a FrameRowBatch payload.
+func AppendRows(b []byte, rows []types.Row) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	var err error
+	for _, row := range rows {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, d := range row {
+			if b, err = appendDatum(b, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// ParseRows decodes a FrameRowBatch payload, appending onto dst.
+func ParseRows(dst []types.Row, payload []byte) ([]types.Row, error) {
+	r := &reader{buf: payload}
+	n := r.uvarint("row count")
+	if r.err != nil {
+		return dst, r.err
+	}
+	if n > uint64(len(payload)) { // each row costs >= 1 byte
+		return dst, errors.New("wire: row count exceeds payload")
+	}
+	for i := uint64(0); i < n; i++ {
+		nc := r.uvarint("row width")
+		if r.err != nil {
+			return dst, r.err
+		}
+		if nc > uint64(len(payload)) {
+			return dst, errors.New("wire: row width exceeds payload")
+		}
+		row := make(types.Row, 0, nc)
+		for c := uint64(0); c < nc; c++ {
+			row = append(row, r.datum())
+		}
+		if r.err != nil {
+			return dst, r.err
+		}
+		dst = append(dst, row)
+	}
+	return dst, nil
+}
+
+// Done is the FrameDone payload: the successful tail of a request.
+type Done struct {
+	// RowsAffected mirrors engine.Result.RowsAffected for DML.
+	RowsAffected int64
+}
+
+// AppendDone encodes d onto b.
+func AppendDone(b []byte, d Done) []byte {
+	return binary.AppendVarint(b, d.RowsAffected)
+}
+
+// ParseDone decodes a FrameDone payload.
+func ParseDone(payload []byte) (Done, error) {
+	r := &reader{buf: payload}
+	d := Done{RowsAffected: r.varint("done rows-affected")}
+	return d, r.err
+}
+
+// Error is the structured error a FrameError carries — and the error value
+// the client library returns, so remote callers switch on Kind exactly
+// like local callers switch on exec.QueryError.Kind.
+type Error struct {
+	// Kind is the terminal state (the exec.ErrKind values, including
+	// "busy" for load-shed rejections).
+	Kind exec.ErrKind
+	// Op is the operator or server boundary the error is attributed to.
+	Op string
+	// Msg is the rendered underlying error.
+	Msg string
+}
+
+// Error implements error in the same shape exec.QueryError renders.
+func (e *Error) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("query %s in [%s]: %s", e.Kind, e.Op, e.Msg)
+	}
+	return fmt.Sprintf("query %s: %s", e.Kind, e.Msg)
+}
+
+// ErrorFrom flattens any server-side error into its wire form: a
+// *exec.QueryError keeps its kind and op; everything else (parse errors,
+// constraint violations, ...) travels as KindError.
+func ErrorFrom(err error) *Error {
+	if qe, ok := exec.AsQueryError(err); ok {
+		return &Error{Kind: qe.Kind, Op: qe.Op, Msg: qe.Err.Error()}
+	}
+	return &Error{Kind: exec.KindError, Msg: err.Error()}
+}
+
+// AppendError encodes e onto b.
+func AppendError(b []byte, e *Error) []byte {
+	b = appendString(b, string(e.Kind))
+	b = appendString(b, e.Op)
+	return appendString(b, e.Msg)
+}
+
+// ParseError decodes a FrameError payload.
+func ParseError(payload []byte) (*Error, error) {
+	r := &reader{buf: payload}
+	e := &Error{Kind: exec.ErrKind(r.string("error kind"))}
+	e.Op = r.string("error op")
+	e.Msg = r.string("error msg")
+	return e, r.err
+}

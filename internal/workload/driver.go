@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/exec"
+)
+
+// DriverConfig parameterizes a concurrent-client run against a softdb
+// server: N clients, each executing a deterministic per-client statement
+// stream over its own wire connection.
+type DriverConfig struct {
+	// Addr is the server's wire-protocol address.
+	Addr string
+	// Clients is the number of concurrent connections.
+	Clients int
+	// OpsPerClient is how many statements each client executes.
+	OpsPerClient int
+	// Seed makes every client's statement stream deterministic (client i
+	// derives its own rng from Seed+i).
+	Seed int64
+	// Timeout, when nonzero, is the per-statement context deadline.
+	Timeout time.Duration
+	// Statement produces client c's op'th statement; r is that client's
+	// seeded rng. Required.
+	Statement func(c, op int, r *rand.Rand) string
+	// SetupConn, when non-nil, runs once per connection before the
+	// stream starts (session settings and the like).
+	SetupConn func(c *client.Conn) error
+}
+
+// LatencySummary condenses one latency population.
+type LatencySummary struct {
+	N             int
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+func summarize(lats []time.Duration) LatencySummary {
+	s := LatencySummary{N: len(lats)}
+	if len(lats) == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	s.P50, s.P95, s.P99 = pick(0.50), pick(0.95), pick(0.99)
+	s.Max = lats[len(lats)-1]
+	return s
+}
+
+// String renders the summary for reports.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s (n=%d)",
+		s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond),
+		s.P99.Round(10*time.Microsecond), s.Max.Round(10*time.Microsecond), s.N)
+}
+
+// DriverReport is one driver run's outcome. Accepted statements (those
+// the server executed, successfully or not) and shed statements keep
+// separate latency populations: the point of load shedding is that the
+// shed ones fail much faster than the accepted ones complete.
+type DriverReport struct {
+	Requests int
+	Rows     int64
+	Shed     int
+	// ErrKinds counts non-busy failures by exec.ErrKind.
+	ErrKinds map[string]int
+	Elapsed  time.Duration
+	// Throughput is accepted-and-succeeded statements per second.
+	Throughput float64
+	Accepted   LatencySummary
+	ShedLat    LatencySummary
+}
+
+// RunDriver connects cfg.Clients connections and runs the statement
+// streams concurrently. Connection-level failures (dial errors, broken
+// streams) abort the run; statement-level errors are tallied.
+func RunDriver(cfg DriverConfig) (*DriverReport, error) {
+	if cfg.Statement == nil {
+		return nil, errors.New("workload: DriverConfig.Statement is required")
+	}
+	conns := make([]*client.Conn, cfg.Clients)
+	for i := range conns {
+		c, err := client.Connect(cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("workload: client %d: %w", i, err)
+		}
+		defer c.Close()
+		if cfg.SetupConn != nil {
+			if err := cfg.SetupConn(c); err != nil {
+				return nil, fmt.Errorf("workload: client %d setup: %w", i, err)
+			}
+		}
+		conns[i] = c
+	}
+
+	type tally struct {
+		rows         int64
+		ok, shed     int
+		errKinds     map[string]int
+		acceptedLats []time.Duration
+		shedLats     []time.Duration
+		transportErr error
+	}
+	tallies := make([]tally, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tl := &tallies[i]
+			tl.errKinds = map[string]int{}
+			r := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				stmt := cfg.Statement(i, op, r)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if cfg.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				}
+				t0 := time.Now()
+				res, err := conns[i].Query(ctx, stmt)
+				lat := time.Since(t0)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					tl.ok++
+					tl.rows += int64(len(res.Rows))
+					tl.acceptedLats = append(tl.acceptedLats, lat)
+				case errors.Is(err, client.ErrConnBroken):
+					tl.transportErr = err
+					return
+				case client.Kind(err) == exec.KindBusy:
+					tl.shed++
+					tl.shedLats = append(tl.shedLats, lat)
+				default:
+					// Executed-and-failed still measures server latency.
+					tl.errKinds[string(client.Kind(err))]++
+					tl.acceptedLats = append(tl.acceptedLats, lat)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &DriverReport{ErrKinds: map[string]int{}, Elapsed: elapsed}
+	var accepted, shed []time.Duration
+	var ok int
+	for i := range tallies {
+		tl := &tallies[i]
+		if tl.transportErr != nil {
+			return nil, fmt.Errorf("workload: client %d: %w", i, tl.transportErr)
+		}
+		ok += tl.ok
+		rep.Rows += tl.rows
+		rep.Shed += tl.shed
+		for k, n := range tl.errKinds {
+			rep.ErrKinds[k] += n
+		}
+		accepted = append(accepted, tl.acceptedLats...)
+		shed = append(shed, tl.shedLats...)
+	}
+	rep.Requests = cfg.Clients * cfg.OpsPerClient
+	rep.Throughput = float64(ok) / elapsed.Seconds()
+	rep.Accepted = summarize(accepted)
+	rep.ShedLat = summarize(shed)
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package workload_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/engine"
+	"softdb/internal/server"
+	"softdb/internal/workload"
+)
+
+// mixStatement is a small read-mostly mix over the kv table the tests
+// (and the CI smoke script) seed.
+func mixStatement(c, op int, r *rand.Rand) string {
+	if op%10 == 9 {
+		return fmt.Sprintf("INSERT INTO kv VALUES (%d, 'w')", 1000000+c*10000+op)
+	}
+	lo := r.Intn(500)
+	return fmt.Sprintf("SELECT k, v FROM kv WHERE k >= %d AND k <= %d", lo, lo+20)
+}
+
+func seedKV(t *testing.T, db *engine.Database) {
+	t.Helper()
+	db.MustExec("CREATE TABLE kv (k INT NOT NULL, v STRING)")
+	for i := 0; i < 600; i += 3 {
+		db.MustExec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'a'), (%d, 'b'), (%d, 'c')", i, i+1, i+2))
+	}
+	db.MustExec("ANALYZE kv")
+}
+
+// TestDriverAgainstServer runs the concurrent driver against an
+// in-process server and sanity-checks the report.
+func TestDriverAgainstServer(t *testing.T) {
+	db := engine.Open()
+	seedKV(t, db)
+	s := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	rep, err := workload.RunDriver(workload.DriverConfig{
+		Addr:         addr.String(),
+		Clients:      8,
+		OpsPerClient: 20,
+		Seed:         42,
+		Timeout:      10 * time.Second,
+		Statement:    mixStatement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 160 {
+		t.Fatalf("requests: %d", rep.Requests)
+	}
+	if len(rep.ErrKinds) > 0 || rep.Shed != 0 {
+		t.Fatalf("clean run should not error or shed: %+v", rep)
+	}
+	if rep.Accepted.N != 160 || rep.Rows == 0 || rep.Throughput <= 0 {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	if rep.Accepted.P50 > rep.Accepted.P99 || rep.Accepted.P99 > rep.Accepted.Max {
+		t.Fatalf("latency summary out of order: %v", rep.Accepted)
+	}
+	// Determinism of the statement streams: same seed, same rows back.
+	rep2, err := workload.RunDriver(workload.DriverConfig{
+		Addr:         addr.String(),
+		Clients:      8,
+		OpsPerClient: 20,
+		Seed:         42,
+		Statement: func(c, op int, r *rand.Rand) string {
+			lo := r.Intn(500)
+			return fmt.Sprintf("SELECT k, v FROM kv WHERE k >= %d AND k <= %d", lo, lo+20)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, err := workload.RunDriver(workload.DriverConfig{
+		Addr:         addr.String(),
+		Clients:      8,
+		OpsPerClient: 20,
+		Seed:         42,
+		Statement: func(c, op int, r *rand.Rand) string {
+			lo := r.Intn(500)
+			return fmt.Sprintf("SELECT k, v FROM kv WHERE k >= %d AND k <= %d", lo, lo+20)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Rows != rep3.Rows {
+		t.Fatalf("seeded read-only runs should return identical row counts: %d vs %d", rep2.Rows, rep3.Rows)
+	}
+}
+
+// TestDriverSessionSetup: SetupConn applies per-connection session
+// settings before the stream starts.
+func TestDriverSessionSetup(t *testing.T) {
+	db := engine.Open()
+	seedKV(t, db)
+	s := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+	addr, err := s.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	_, err = workload.RunDriver(workload.DriverConfig{
+		Addr:         addr.String(),
+		Clients:      2,
+		OpsPerClient: 4,
+		Seed:         1,
+		Statement:    mixStatement,
+		SetupConn:    func(c *client.Conn) error { return c.Set("prune", "off") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failing setup aborts the run.
+	_, err = workload.RunDriver(workload.DriverConfig{
+		Addr:         addr.String(),
+		Clients:      1,
+		OpsPerClient: 1,
+		Statement:    mixStatement,
+		SetupConn:    func(c *client.Conn) error { return c.Set("bogus", "1") },
+	})
+	if err == nil {
+		t.Fatal("bad SetupConn should abort the run")
+	}
+}
+
+// TestDriverEnvServer drives an externally started softdbd (the CI
+// server-smoke job): SOFTDB_ADDR points at a server whose preload script
+// created the kv table.
+func TestDriverEnvServer(t *testing.T) {
+	addr := os.Getenv("SOFTDB_ADDR")
+	if addr == "" {
+		t.Skip("SOFTDB_ADDR not set; external-server smoke only runs in CI")
+	}
+	rep, err := workload.RunDriver(workload.DriverConfig{
+		Addr:         addr,
+		Clients:      8,
+		OpsPerClient: 25,
+		Seed:         7,
+		Timeout:      30 * time.Second,
+		Statement:    mixStatement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted.N+rep.Shed != rep.Requests {
+		t.Fatalf("request accounting: %+v", rep)
+	}
+	if rep.Rows == 0 {
+		t.Fatalf("external server returned no rows: %+v", rep)
+	}
+	t.Logf("external server: %.0f stmt/s, accepted %s", rep.Throughput, rep.Accepted)
+}
