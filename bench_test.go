@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"softdb/internal/server"
 	"softdb/internal/softc"
 	"softdb/internal/types"
+	"softdb/internal/wal"
 	"softdb/internal/workload"
 )
 
@@ -735,5 +738,82 @@ func BenchmarkP2PruneOverhead(b *testing.B) {
 			db.NoPrune = prune == "off"
 			runPruneBench(b, db, q)
 		})
+	}
+}
+
+// BenchmarkD1Recovery measures crash recovery: each iteration recovers a
+// fresh copy of a crash image (a data directory with an uncheckpointed
+// 4000-statement log, copied before the shutdown checkpoint) and reports
+// records replayed per op. The /checkpointed variant recovers the same
+// workload written under the default checkpoint cadence, so only the tail
+// past the last snapshot replays.
+func BenchmarkD1Recovery(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		every int
+	}{{"uncheckpointed", -1}, {"checkpointed", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			src := b.TempDir()
+			db, _, err := engine.OpenDurable(src, engine.DurableOptions{
+				SyncPolicy: wal.SyncNone, CheckpointEvery: mode.every,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.ExecScript(
+				"CREATE TABLE d1 (k INT PRIMARY KEY, v INT NOT NULL, CONSTRAINT d1_v_pos CHECK (v >= 0) SOFT); CREATE INDEX idx_d1_v ON d1 (v);"); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 4000; i++ {
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO d1 VALUES (%d, %d)", i, i%1000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Snapshot the crash image before Close writes its checkpoint.
+			image := b.TempDir()
+			copyBenchDir(b, src, image)
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			var replayed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				copyBenchDir(b, image, dir)
+				b.StartTimer()
+				rdb, rs, err := engine.OpenDurable(dir, engine.DurableOptions{SyncPolicy: wal.SyncNone})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				replayed += rs.RecordsReplayed
+				rdb.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(replayed)/float64(b.N), "records/op")
+		})
+	}
+}
+
+// copyBenchDir copies every regular file in src into dst.
+func copyBenchDir(b *testing.B, src, dst string) {
+	b.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

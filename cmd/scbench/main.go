@@ -223,6 +223,20 @@ func checkTrajectory(results []benchResult) error {
 	} else {
 		fmt.Printf("trajectory S1: server throughput %.0f stmt/s, accepted p99 %.0fµs (informational)\n", qps, p99)
 	}
+	// D1: both recovery variants must report so the durability path stays
+	// tracked, and the checkpointed image must replay a bounded tail —
+	// checkpoints silently not truncating replay is the regression this
+	// guards. Wall times are host-bound and stay informational.
+	unRec, okU := metric("D1Recovery/uncheckpointed", "records/op")
+	ckRec, okC := metric("D1Recovery/checkpointed", "records/op")
+	switch {
+	case !okU || !okC:
+		failures = append(failures, "D1: missing D1Recovery benchmark (uncheckpointed and checkpointed must both report records/op)")
+	case ckRec >= unRec:
+		failures = append(failures, fmt.Sprintf("D1: checkpointed recovery no longer replays a bounded tail: %.0f >= %.0f records/op", ckRec, unRec))
+	default:
+		fmt.Printf("trajectory D1: recovery replays %.0f records uncheckpointed vs %.0f past the last snapshot (wall time informational)\n", unRec, ckRec)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench trajectory regressions:\n  %s", strings.Join(failures, "\n  "))
 	}

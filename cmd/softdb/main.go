@@ -44,6 +44,7 @@ import (
 	"softdb/internal/engine"
 	"softdb/internal/sql"
 	"softdb/internal/types"
+	"softdb/internal/wal"
 	"softdb/internal/wire"
 )
 
@@ -94,6 +95,9 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "per-query budget in bytes for buffered rows (0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: maximum concurrently executing statements (0 = unlimited)")
 	connect := flag.String("connect", "", "connect to a softdbd server at this address instead of running an embedded engine")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "statements between automatic checkpoints (0 = default, <0 = disabled)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
 	flag.Parse()
 
 	if *connect != "" {
@@ -103,7 +107,29 @@ func main() {
 		return
 	}
 
-	db := engine.Open()
+	var db *engine.Database
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var rs *engine.RecoveryStats
+		db, rs, err = engine.OpenDurable(*dataDir, engine.DurableOptions{
+			SyncPolicy: policy, CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recovery-error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recovered %s (snapshot lsn %d, %d records replayed)\n",
+			*dataDir, rs.SnapshotLSN, rs.RecordsReplayed)
+		if rs.TailErr != nil {
+			fmt.Fprintln(os.Stderr, "warning: torn log tail truncated:", rs.TailErr)
+		}
+	} else {
+		db = engine.Open()
+	}
 	db.Parallel = *parallel
 	db.NoPrune = *noPrune
 	db.StmtTimeout = *timeout
@@ -161,6 +187,12 @@ func main() {
 		fmt.Printf("loaded %s\n", args[0])
 	}
 	repl(db, is)
+	if db.Durable() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown checkpoint:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func repl(db *engine.Database, is *interruptState) {

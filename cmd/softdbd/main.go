@@ -30,6 +30,7 @@ import (
 	"softdb/internal/engine"
 	"softdb/internal/server"
 	"softdb/internal/sql"
+	"softdb/internal/wal"
 )
 
 func main() {
@@ -46,10 +47,55 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this duration (0 = off)")
 	trace := flag.Bool("trace", false, "start with per-operator query tracing on")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight work on shutdown")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "statements between automatic checkpoints (0 = default, <0 = disabled)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "minimum gap between fsyncs under -wal-sync=interval")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
-	db := engine.Open()
+	var db *engine.Database
+	// preloaded is true when the data directory already held state; the
+	// script argument is skipped then, so a restart against the same
+	// directory recovers instead of double-loading.
+	preloaded := false
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := os.Stat(wal.SnapshotPath(*dataDir)); err == nil {
+			preloaded = true
+		}
+		if fi, err := os.Stat(wal.LogPath(*dataDir)); err == nil && fi.Size() > 0 {
+			preloaded = true
+		}
+		var rs *engine.RecoveryStats
+		db, rs, err = engine.OpenDurable(*dataDir, engine.DurableOptions{
+			SyncPolicy:      policy,
+			SyncInterval:    *walSyncInterval,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			// "recovery-error:" is the reserved stderr marker for a fatal
+			// recovery divergence — CI greps for it.
+			fmt.Fprintf(os.Stderr, "recovery-error: %v\n", err)
+			os.Exit(1)
+		}
+		if rs.TailErr != nil {
+			logger.Warn("recovery truncated torn log tail", "err", rs.TailErr)
+		}
+		logger.Info("recovery complete",
+			"dir", *dataDir,
+			"snapshot_lsn", rs.SnapshotLSN,
+			"records_replayed", rs.RecordsReplayed,
+			"statements_replayed", rs.StatementsReplayed,
+			"tail_truncated", rs.TailTruncated,
+			"soft_revalidated", rs.Revalidated,
+			"soft_invalidated", rs.Invalidated)
+	} else {
+		db = engine.Open()
+	}
 	db.Parallel = *parallel
 	db.NoPrune = *noPrune
 	db.StmtTimeout = *timeout
@@ -59,7 +105,9 @@ func main() {
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(logger)
 
-	if args := flag.Args(); len(args) > 0 {
+	if args := flag.Args(); len(args) > 0 && preloaded {
+		logger.Info("skipping preload script; data directory already holds state", "script", args[0])
+	} else if len(args) > 0 {
 		script, err := os.ReadFile(args[0])
 		if err != nil {
 			fail(err)
@@ -124,6 +172,15 @@ func main() {
 
 	if err := srv.Serve(); err != nil {
 		fail(err)
+	}
+	// Clean shutdown: checkpoint so the next start recovers from the
+	// snapshot alone, then release the log.
+	if db.Durable() {
+		if err := db.Close(); err != nil {
+			logger.Error("shutdown checkpoint failed", "err", err)
+		} else {
+			logger.Info("shutdown checkpoint written", "dir", *dataDir)
+		}
 	}
 	logger.Info("server stopped")
 }

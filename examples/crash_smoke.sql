@@ -1,0 +1,13 @@
+-- Preload for the CI crash-recovery job (.github/workflows/ci.yml).
+--
+-- Schema only: the write phase of internal/workload/crash_test.go drives
+-- every row over the wire so the verify phase can replay the identical
+-- stream against an in-process engine and compare FNV-64 result hashes
+-- after the server is kill -9'd and recovered from its data directory.
+CREATE TABLE crashkv (
+    k INT PRIMARY KEY,
+    v INT NOT NULL,
+    s STRING,
+    CONSTRAINT v_pos CHECK (v >= 0) SOFT
+);
+CREATE INDEX idx_crashkv_v ON crashkv (v);

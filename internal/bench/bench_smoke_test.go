@@ -407,3 +407,40 @@ func TestE13Shape(t *testing.T) {
 		}
 	}
 }
+
+func TestD1Shape(t *testing.T) {
+	rep, err := D1Recovery(300, []int{200, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for _, row := range rep.Rows {
+		if row[0] == "recovery" {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("recovery rows: %v", rows)
+	}
+	// Replay work scales with the uncheckpointed log; the checkpointed run
+	// replays a bounded tail. Wall times on a shared host are too noisy to
+	// gate, so the shape assertions are on the replayed-record counts.
+	if !strings.Contains(rows[0][3], "replayed 202 ") {
+		t.Errorf("log=200 should replay 202 records: %s", rows[0][3])
+	}
+	if !strings.Contains(rows[1][3], "replayed 802 ") {
+		t.Errorf("log=800 should replay 802 records: %s", rows[1][3])
+	}
+	var ckptReplayed int
+	if _, err := fmt.Sscanf(rows[2][3], "replayed %d records", &ckptReplayed); err != nil {
+		t.Fatalf("checkpoint row detail %q: %v", rows[2][3], err)
+	}
+	if ckptReplayed >= 802 || ckptReplayed > 256+2 {
+		t.Errorf("checkpoint cadence should bound the replayed suffix: %d", ckptReplayed)
+	}
+	for _, row := range rep.Rows {
+		if row[0] == "commit" && lastFloat(t, row[2]) <= 0 {
+			t.Errorf("commit row has no timing: %v", row)
+		}
+	}
+}

@@ -7,10 +7,19 @@ package btree
 
 import (
 	"fmt"
+	"sort"
 
 	"softdb/internal/storage"
 	"softdb/internal/types"
 )
+
+// ridLess orders row IDs by (page, slot) — the physical heap order.
+func ridLess(a, b storage.RowID) bool {
+	if a.Page != b.Page {
+		return a.Page < b.Page
+	}
+	return a.Slot < b.Slot
+}
 
 // degree is the maximum number of children of an interior node. Leaves hold
 // up to degree-1 entries. Sized so a node is roughly one simulated page of
@@ -91,7 +100,16 @@ func (t *Tree) insertNonFull(n *node, key types.Row, rid storage.RowID) {
 		i, exact := search(n, key)
 		if n.leaf() {
 			if exact {
-				n.entries[i].rids = append(n.entries[i].rids, rid)
+				// Duplicate-key rids stay in RowID order: enumeration order
+				// is then a function of the tree's logical contents rather
+				// than its insertion history, so an index rebuilt from a
+				// heap scan (crash recovery, snapshot load) visits rows in
+				// exactly the order the live tree did.
+				e := &n.entries[i]
+				j := sort.Search(len(e.rids), func(j int) bool { return !ridLess(e.rids[j], rid) })
+				e.rids = append(e.rids, storage.RowID{})
+				copy(e.rids[j+1:], e.rids[j:])
+				e.rids[j] = rid
 				t.size++
 				return
 			}

@@ -314,3 +314,32 @@ func TestQuickBuildMatchesReference(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Duplicate-key rids enumerate in RowID order regardless of insertion
+// order, so an index rebuilt from a heap scan (crash recovery) visits rows
+// exactly as the live tree did.
+func TestDuplicateKeyRIDOrderCanonical(t *testing.T) {
+	shuffled, sorted := New(), New()
+	r := rand.New(rand.NewSource(5))
+	perm := r.Perm(40)
+	for _, p := range perm {
+		shuffled.Insert(intKey(7), rid(p))
+	}
+	for i := 0; i < 40; i++ {
+		sorted.Insert(intKey(7), rid(i))
+	}
+	var a, b []storage.RowID
+	shuffled.Ascend(nil, func(_ types.Row, id storage.RowID) bool { a = append(a, id); return true })
+	sorted.Ascend(nil, func(_ types.Row, id storage.RowID) bool { b = append(b, id); return true })
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %v vs %v — duplicate order must not depend on insertion history", i, a[i], b[i])
+		}
+		if i > 0 && !ridLess(a[i-1], a[i]) {
+			t.Fatalf("entry %d out of rid order: %v then %v", i, a[i-1], a[i])
+		}
+	}
+}

@@ -244,7 +244,16 @@ func (db *Database) createSummary(cs *sql.CreateSummary) (*Result, error) {
 func (db *Database) LinkException(constraintName, summaryName string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.cat.LinkException(constraintName, summaryName)
+	if err := db.cat.LinkException(constraintName, summaryName); err != nil {
+		return err
+	}
+	if db.dur != nil {
+		if err := db.walSoftLocked(); err != nil {
+			return err
+		}
+		return db.commitWALLocked()
+	}
+	return nil
 }
 
 func (db *Database) alterAdd(at *sql.AlterTableAdd) (*Result, error) {

@@ -77,7 +77,10 @@ func (db *Database) insert(ins *sql.Insert) (*Result, error) {
 func (db *Database) InsertRow(te *catalog.TableEntry, row types.Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.insertRowLocked(te, row)
+	if err := db.insertRowLocked(te, row); err != nil {
+		return err
+	}
+	return db.commitWALLocked()
 }
 
 func (db *Database) insertRowLocked(te *catalog.TableEntry, row types.Row) error {
@@ -91,6 +94,7 @@ func (db *Database) insertRowLocked(te *catalog.TableEntry, row types.Row) error
 	}
 	db.maintainSummaries(te, row, true)
 	db.bumpCurrency(te)
+	db.walInsert(te.Def.Name, row)
 	return nil
 }
 
@@ -439,6 +443,7 @@ func (db *Database) update(upd *sql.Update) (*Result, error) {
 		db.maintainSummaries(te, m.row, false)
 		db.maintainSummaries(te, validated, true)
 		db.bumpCurrency(te)
+		db.walUpdate(te.Def.Name, m.rid, validated)
 		n++
 	}
 	return &Result{RowsAffected: n}, nil
@@ -487,6 +492,7 @@ func (db *Database) delete(del *sql.Delete) (*Result, error) {
 		}
 		db.maintainSummaries(te, m.row, false)
 		db.bumpCurrency(te)
+		db.walDelete(te.Def.Name, m.rid)
 	}
 	return &Result{RowsAffected: int64(len(matches))}, nil
 }

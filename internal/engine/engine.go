@@ -168,6 +168,10 @@ type Database struct {
 	// logger and tracing toggles (see observe.go).
 	obs obsState
 
+	// dur is the write-ahead-log state for durable databases (OpenDurable);
+	// nil for in-memory databases. Guarded by mu like the catalog.
+	dur *walState
+
 	// notices accumulated during the current statement.
 	notices []string
 }
@@ -419,6 +423,19 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		res, err = db.analyze(s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if db.dur != nil {
+		switch stmt.(type) {
+		case *sql.Insert, *sql.Update, *sql.Delete:
+			// Row records were staged by the DML paths; a failed statement
+			// still commits the rows it applied before failing (the engine
+			// has no rollback), matching the in-memory outcome.
+		default:
+			db.walDDL(sql.Print(stmt), err == nil)
+		}
+		if werr := db.commitWALLocked(); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if res != nil {
 		res.Notices = append(res.Notices, db.notices...)
@@ -956,8 +973,19 @@ func (db *Database) AddVirtualColumn(table, name, exprSQL string) error {
 	if _, err := db.cat.AddVirtualColumn(table, name, bound); err != nil {
 		return err
 	}
-	_, err = db.analyze(&sql.Analyze{Table: table})
-	return err
+	if _, err = db.analyze(&sql.Analyze{Table: table}); err != nil {
+		return err
+	}
+	if db.dur != nil {
+		// Durability: a registry image carries the new column; the ANALYZE
+		// replay re-collects its statistics the same way the live call did.
+		if err := db.walSoftLocked(); err != nil {
+			return err
+		}
+		db.walDDL("ANALYZE "+te.Def.Name, true)
+		return db.commitWALLocked()
+	}
+	return nil
 }
 
 // parseExpression parses a bare scalar expression by wrapping it in a

@@ -41,6 +41,11 @@ const (
 	mQueriesTimedOut   = "softdb_queries_timed_out_total"
 	mMemBudgetRejected = "softdb_mem_budget_rejected_total"
 	mWorkerPanics      = "softdb_worker_panics_recovered_total"
+	// Durability counters (durable databases only).
+	mWALBytes         = "softdb_wal_bytes_total"
+	mWALFsyncs        = "softdb_wal_fsyncs_total"
+	mCheckpoints      = "softdb_checkpoints_total"
+	mRecoveryReplayed = "softdb_recovery_records_replayed_total"
 )
 
 // obsState bundles the database's observability surfaces. The hot-path
@@ -95,6 +100,10 @@ func (db *Database) initObs() {
 	r.Describe(mQueriesTimedOut, "counter", "Queries terminated by deadline expiry.")
 	r.Describe(mMemBudgetRejected, "counter", "Queries aborted for exceeding the per-query memory budget.")
 	r.Describe(mWorkerPanics, "counter", "Operator or worker panics recovered into query errors.")
+	r.Describe(mWALBytes, "counter", "Bytes appended to the write-ahead log.")
+	r.Describe(mWALFsyncs, "counter", "Fsyncs the write-ahead log performed.")
+	r.Describe(mCheckpoints, "counter", "Checkpoint snapshots written.")
+	r.Describe(mRecoveryReplayed, "counter", "Redo records applied by crash recovery at open.")
 
 	o.queries = r.Counter(mQueries)
 	o.queryErrors = r.Counter(mQueryErrors)
@@ -140,6 +149,9 @@ func (db *Database) SoftcManager() *softc.Manager {
 	m := softc.NewManager(db.cat)
 	m.Logger = db.obs.logger.Load()
 	m.Metrics = db.obs.metrics
+	// Durable databases log a registry image after every softc mutation so
+	// mined/advisory state survives a crash.
+	m.OnChange = db.SyncSoftRegistry
 	return m
 }
 

@@ -31,6 +31,11 @@ const (
 	// callers classify outcomes from one kind space; the engine itself
 	// never produces it (admission-gate waits surface as canceled/timeout).
 	KindBusy ErrKind = "busy"
+	// KindRecovery: crash recovery could not reconstruct committed state —
+	// a corrupt snapshot, a torn WAL tail, or replay divergence. Fatal
+	// recovery errors abort OpenDurable; a truncated-but-consistent tail is
+	// reported non-fatally in RecoveryStats with this kind.
+	KindRecovery ErrKind = "recovery"
 )
 
 // ErrMemBudget is wrapped by every budget-exceeded QueryError so callers

@@ -62,6 +62,26 @@ type Config struct {
 	SlowProb float64
 	// SlowDelay is how long a slow page stalls.
 	SlowDelay time.Duration
+
+	// The WAL sites below are deterministic (byte/ordinal triggers, not
+	// probabilities) so every durability failure mode is reachable at an
+	// exact point, run over run.
+
+	// WALTornAfter, when > 0, tears the WAL: once the injector has allowed
+	// this many cumulative log bytes, the write that crosses the boundary
+	// persists only the bytes up to it and fails — simulating a crash
+	// mid-append. Later writes fail with zero bytes allowed.
+	WALTornAfter int64
+	// WALSyncFailAt, when > 0, fails the Nth WAL fsync (1-based) and every
+	// fsync after it, simulating a dying device.
+	WALSyncFailAt int64
+	// WALSnapTornAfter, when > 0, tears the checkpoint snapshot temp file
+	// after this many cumulative snapshot bytes — simulating a crash
+	// mid-checkpoint.
+	WALSnapTornAfter int64
+	// WALReadLimit, when > 0, caps how many bytes of the log recovery may
+	// read, simulating a short read of the tail.
+	WALReadLimit int64
 }
 
 // Stats counts what the injector did.
@@ -70,6 +90,11 @@ type Stats struct {
 	ReadErrors int64 // injected read errors
 	Panics     int64 // injected panics
 	Slowdowns  int64 // injected slow pages
+
+	WALTornWrites   int64 // torn WAL appends
+	WALSyncFailures int64 // failed WAL fsyncs
+	WALSnapTorn     int64 // torn checkpoint snapshot writes
+	WALShortReads   int64 // recovery reads capped short
 }
 
 // Injector draws deterministic fault decisions. Safe for concurrent use.
@@ -80,6 +105,10 @@ type Injector struct {
 	stats Stats
 	// sleep is swappable for tests.
 	sleep func(time.Duration)
+
+	walBytes  int64 // cumulative WAL bytes allowed through WALWriteAllow
+	walSyncs  int64 // WAL fsyncs attempted
+	snapBytes int64 // cumulative snapshot bytes allowed through WALSnapAllow
 }
 
 // New returns an injector for the given config.
@@ -153,6 +182,92 @@ func (i *Injector) Attempt(site string) error {
 		return fmt.Errorf("fault: refresh attempt at %s: %w", site, ErrInjected)
 	}
 	return nil
+}
+
+// WALWriteAllow is the WAL-append fault site: the log writer asks how many
+// of the next n bytes may reach the file. Without a configured tear it
+// returns (n, nil). When the cumulative allowance crosses WALTornAfter it
+// returns the partial count up to the boundary plus an error wrapping
+// ErrInjected — the writer persists exactly that prefix, simulating a torn
+// write. A nil injector allows everything.
+func (i *Injector) WALWriteAllow(n int) (int, error) {
+	if i == nil {
+		return n, nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cfg.WALTornAfter <= 0 {
+		i.walBytes += int64(n)
+		return n, nil
+	}
+	remaining := i.cfg.WALTornAfter - i.walBytes
+	if remaining >= int64(n) {
+		i.walBytes += int64(n)
+		return n, nil
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	i.walBytes += remaining
+	i.stats.WALTornWrites++
+	return int(remaining), fmt.Errorf("fault: torn WAL write after %d bytes: %w", i.cfg.WALTornAfter, ErrInjected)
+}
+
+// WALSync is the WAL-fsync fault site: the Nth fsync (and every one after)
+// fails when WALSyncFailAt is set. A nil injector is a no-op.
+func (i *Injector) WALSync() error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.walSyncs++
+	if i.cfg.WALSyncFailAt > 0 && i.walSyncs >= i.cfg.WALSyncFailAt {
+		i.stats.WALSyncFailures++
+		return fmt.Errorf("fault: WAL fsync #%d failed: %w", i.walSyncs, ErrInjected)
+	}
+	return nil
+}
+
+// WALSnapAllow is the checkpoint-snapshot fault site, mirroring
+// WALWriteAllow for the snapshot temp file.
+func (i *Injector) WALSnapAllow(n int) (int, error) {
+	if i == nil {
+		return n, nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cfg.WALSnapTornAfter <= 0 {
+		i.snapBytes += int64(n)
+		return n, nil
+	}
+	remaining := i.cfg.WALSnapTornAfter - i.snapBytes
+	if remaining >= int64(n) {
+		i.snapBytes += int64(n)
+		return n, nil
+	}
+	if remaining < 0 {
+		remaining = 0
+	}
+	i.snapBytes += remaining
+	i.stats.WALSnapTorn++
+	return int(remaining), fmt.Errorf("fault: torn snapshot write after %d bytes: %w", i.cfg.WALSnapTornAfter, ErrInjected)
+}
+
+// WALReadCap is the short-read fault site: recovery asks how much of a
+// size-byte log it may read and gets min(size, WALReadLimit). A nil
+// injector (or an unset limit) allows the full size.
+func (i *Injector) WALReadCap(size int64) int64 {
+	if i == nil {
+		return size
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cfg.WALReadLimit <= 0 || size <= i.cfg.WALReadLimit {
+		return size
+	}
+	i.stats.WALShortReads++
+	return i.cfg.WALReadLimit
 }
 
 // Stats returns a snapshot of the injector's activity.

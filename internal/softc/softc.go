@@ -41,6 +41,11 @@ type Manager struct {
 	// (one decision per refresh attempt); the retry wrappers in retry.go
 	// absorb them. Nil disables injection.
 	Fault *fault.Injector
+	// OnChange, when set, fires after every successful registry mutation
+	// (install, refresh, remine, probation change). The durable engine
+	// wires it to log a soft-registry image to the WAL, so mined state
+	// survives a crash without being re-mined.
+	OnChange func()
 }
 
 // NewManager returns a manager with default miner configurations.
@@ -57,6 +62,13 @@ func (m *Manager) log(level slog.Level, msg string, line string, attrs ...any) {
 
 func (m *Manager) count(name string) {
 	m.Metrics.Counter(name).Inc()
+}
+
+// changed fires the OnChange hook after a successful registry mutation.
+func (m *Manager) changed() {
+	if m.OnChange != nil {
+		m.OnChange()
+	}
 }
 
 // Candidates is the output of a discovery pass over one table.
@@ -159,6 +171,7 @@ func (m *Manager) InstallCorrelations(sel []ScoredCorrelation) error {
 			fmt.Sprintf("install correlation %s (score %.2f: %s)", sc.Corr.Name, sc.Score, sc.Why),
 			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
+	m.changed()
 	return nil
 }
 
@@ -173,6 +186,7 @@ func (m *Manager) InstallFDs(table string, fds []mining.FD) error {
 			fmt.Sprintf("install FD %s: %s -> %s @%.3f", con.Name, strings.Join(fd.Det, ","), fd.Dep, fd.Confidence),
 			"constraint", con.Name, "table", table, "confidence", fd.Confidence)
 	}
+	m.changed()
 	return nil
 }
 
@@ -186,6 +200,7 @@ func (m *Manager) InstallRanges(ranges []*catalog.Constraint) error {
 			fmt.Sprintf("install range %s", con.Name),
 			"constraint", con.Name, "table", con.Table)
 	}
+	m.changed()
 	return nil
 }
 
@@ -228,6 +243,7 @@ func (m *Manager) RefreshCorrelation(name string) error {
 			"constraint", name, "table", lc.Table, "prev", prev, "confidence", conf)
 	}
 	m.Cat.Touch()
+	m.changed()
 	return nil
 }
 
@@ -311,6 +327,7 @@ func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, err
 	m.log(slog.LevelInfo, "check confidence refreshed",
 		fmt.Sprintf("refresh %s: confidence %.4f -> %.4f over %d rows", constraint, prev, conf, total),
 		"constraint", constraint, "table", table, "prev", prev, "confidence", conf, "rows", total)
+	m.changed()
 	return conf, nil
 }
 
@@ -347,6 +364,7 @@ func (m *Manager) RemineJoinHoles(name string, cfg mining.HoleMinerConfig) (int,
 	m.log(slog.LevelInfo, "join holes remined",
 		fmt.Sprintf("remine %s: %d holes", name, len(jh.Holes)),
 		"constraint", name, "holes", len(jh.Holes))
+	m.changed()
 	return len(jh.Holes), nil
 }
 
@@ -429,6 +447,7 @@ func (m *Manager) InstallOnProbation(sel []ScoredCorrelation) error {
 			fmt.Sprintf("probation: installed %s (score %.2f)", sc.Corr.Name, sc.Score),
 			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
+	m.changed()
 	return nil
 }
 
@@ -458,6 +477,7 @@ func (m *Manager) Promote(name string) error {
 	m.log(slog.LevelInfo, "probation promoted",
 		fmt.Sprintf("probation: promoted %s", name),
 		"constraint", name, "table", lc.Table)
+	m.changed()
 	return nil
 }
 

@@ -137,6 +137,14 @@ func (h *Heap) PageCount() int64 { return int64(len(h.pages)) }
 // Version returns a counter that increases on every mutation.
 func (h *Heap) Version() int64 { return h.version }
 
+// bump is the single place the mutation counter advances: exactly +1 per
+// successful Insert/Update/Delete/Truncate, and never on a failed mutation
+// (bad RowID, dead slot). The WAL relies on this invariant — replaying N
+// logged mutations onto a snapshot at version V must land the heap at
+// exactly V+N, so recovered VerifiedVersion/ModsSince bookkeeping in the
+// soft-constraint registry stays meaningful.
+func (h *Heap) bump() { h.version++ }
+
 // RowsPerPage reports how many rows of this table fit a page.
 func (h *Heap) RowsPerPage() int {
 	n := (PageSize - pageOverhead) / h.rowSize
@@ -149,7 +157,7 @@ func (h *Heap) RowsPerPage() int {
 // Insert appends a row (already schema-validated by the caller) and returns
 // its RowID.
 func (h *Heap) Insert(row types.Row) RowID {
-	h.version++
+	h.bump()
 	h.live++
 	capacity := h.RowsPerPage()
 	var p *page
@@ -204,7 +212,7 @@ func (h *Heap) Delete(id RowID) bool {
 	p.slots[id.Slot].dead = true
 	p.live--
 	h.live--
-	h.version++
+	h.bump()
 	// Deletes can shrink min/max, so recompute the page synopsis from the
 	// surviving slots and republish.
 	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
@@ -222,7 +230,7 @@ func (h *Heap) Update(id RowID, row types.Row) bool {
 		return false
 	}
 	p.slots[id.Slot].row = row
-	h.version++
+	h.bump()
 	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
 	return true
 }
@@ -271,9 +279,60 @@ func (h *Heap) ScanAll() []types.Row {
 	return out
 }
 
-// Truncate removes all rows and pages.
+// Truncate removes all rows and pages. Like every other mutation it bumps
+// the version exactly once, even when the heap was already empty, so a
+// logged truncate replays to the same version.
 func (h *Heap) Truncate() {
 	h.pages = nil
 	h.live = 0
-	h.version++
+	h.bump()
+}
+
+// SlotData is one slot of a page dump: the row and its tombstone flag.
+// Dead slots are part of the physical layout — they keep later RowIDs
+// stable — so snapshots must carry them.
+type SlotData struct {
+	Row  types.Row
+	Dead bool
+}
+
+// DumpPages returns the heap's exact physical layout: one []SlotData per
+// page, in page order, including dead slots. Rows are aliased, not copied;
+// the caller must treat them as immutable (engine rows are copy-on-write).
+// Checkpoint snapshots and the crash-differential tests use this to compare
+// and reconstruct heaps byte-for-byte rather than just live-row-for-row.
+func (h *Heap) DumpPages() [][]SlotData {
+	out := make([][]SlotData, len(h.pages))
+	for pi, p := range h.pages {
+		ps := make([]SlotData, len(p.slots))
+		for si, s := range p.slots {
+			ps[si] = SlotData{Row: s.row, Dead: s.dead}
+		}
+		out[pi] = ps
+	}
+	return out
+}
+
+// RebuildHeap reconstructs a heap from a DumpPages layout and a version
+// counter: pages and slots land exactly where the dump says (preserving
+// RowID stability across dead slots), per-page byte/live accounting is
+// recomputed, and every page synopsis is rebuilt and published — the
+// "re-arm zone maps" step of crash recovery.
+func RebuildHeap(def *schema.Table, pages [][]SlotData, version int64) *Heap {
+	h := NewHeap(def)
+	h.version = version
+	for _, ps := range pages {
+		p := &page{slots: make([]slot, len(ps))}
+		for si, s := range ps {
+			p.slots[si] = slot{row: s.Row, dead: s.Dead}
+			p.bytes += h.rowSize
+			if !s.Dead {
+				p.live++
+				h.live++
+			}
+		}
+		p.syn.Store(computeSynopsis(p, len(def.Columns)))
+		h.pages = append(h.pages, p)
+	}
+	return h
 }

@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"softdb/internal/exec"
+	"softdb/internal/fault"
+)
+
+// ScanResult summarizes a log scan.
+type ScanResult struct {
+	// Records is how many well-formed records were decoded (commit records
+	// included).
+	Records int64
+	// LastLSN is the highest LSN seen; 0 when the log held no records.
+	LastLSN uint64
+	// ValidBytes is the length of the longest well-formed prefix.
+	ValidBytes int64
+	// CommittedBytes is the length of the prefix ending at the last commit
+	// record — the last consistent statement boundary. Recovery truncates
+	// the file here before reopening the writer, so a leftover uncommitted
+	// group can never be extended into a decodable-but-wrong group by later
+	// appends.
+	CommittedBytes int64
+	// Tail is non-nil when the log ends in a torn or corrupt record: a
+	// KindRecovery QueryError describing where and why the scan stopped.
+	// A torn tail is not fatal — the valid prefix is still consistent —
+	// so it is reported here rather than as ScanLog's error.
+	Tail *exec.QueryError
+}
+
+// tailError classifies a framing/CRC failure as a non-fatal torn tail.
+func tailError(off int64, why string) *exec.QueryError {
+	return &exec.QueryError{
+		Op:   "wal.scan",
+		Kind: exec.KindRecovery,
+		Err:  fmt.Errorf("torn log tail at byte %d: %s", off, why),
+	}
+}
+
+// ScanLog reads the log at path and calls fn for every well-formed record
+// in order. A missing file is an empty log. Framing, CRC, and decode
+// failures end the scan and are reported in ScanResult.Tail; an error from
+// fn is fatal and returned as is (wrapped callers classify it). The fault
+// injector's WALReadCap site may shorten the visible log, simulating a
+// short read.
+func ScanLog(path string, inj *fault.Injector, fn func(*Record) error) (*ScanResult, error) {
+	res := &ScanResult{}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return res, &exec.QueryError{Op: "wal.scan", Kind: exec.KindRecovery,
+			Err: fmt.Errorf("read log: %w", err)}
+	}
+	if capped := inj.WALReadCap(int64(len(buf))); capped < int64(len(buf)) {
+		buf = buf[:capped]
+	}
+
+	off := int64(0)
+	for off < int64(len(buf)) {
+		rest := buf[off:]
+		n, vn := binary.Uvarint(rest)
+		if vn <= 0 {
+			res.Tail = tailError(off, "truncated length prefix")
+			break
+		}
+		// Frame = length prefix + 4-byte CRC + payload.
+		if uint64(len(rest)-vn) < 4+n {
+			res.Tail = tailError(off, "short record body")
+			break
+		}
+		crcBytes := rest[vn : vn+4]
+		payload := rest[vn+4 : vn+4+int(n)]
+		want := uint32(crcBytes[0])<<24 | uint32(crcBytes[1])<<16 | uint32(crcBytes[2])<<8 | uint32(crcBytes[3])
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			res.Tail = tailError(off, fmt.Sprintf("CRC mismatch (want %08x, got %08x)", want, got))
+			break
+		}
+		rec, derr := DecodeRecord(payload)
+		if derr != nil {
+			res.Tail = tailError(off, derr.Error())
+			break
+		}
+		off += int64(vn) + 4 + int64(n)
+		res.Records++
+		if rec.LSN > res.LastLSN {
+			res.LastLSN = rec.LSN
+		}
+		res.ValidBytes = off
+		if rec.Type == TypeCommit {
+			res.CommittedBytes = off
+		}
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// TruncateLog cuts the log at path back to size bytes — recovery's "drop
+// the torn tail" step, run before the writer reopens the file.
+func TruncateLog(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"softdb/internal/exec"
+	"softdb/internal/fault"
+)
+
+// snapMagic opens every snapshot file; the trailing digit versions the
+// layout.
+const snapMagic = "SDBSNAP1"
+
+// SnapshotPath returns the checkpoint snapshot path inside a data
+// directory.
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.db") }
+
+// WriteSnapshot atomically replaces the checkpoint snapshot:
+//
+//	magic(8) | uvarint lastLSN | 4-byte CRC-32C of payload | uvarint len | payload
+//
+// written to a temp file, fsync'd, then renamed over the live name — so a
+// crash at any byte leaves either the old snapshot or the new one, never a
+// mix. lastLSN records the log position the snapshot captures; recovery
+// skips replaying records at or below it, which also covers a crash
+// between the rename and the log truncation that follows. The fault
+// injector's WALSnapAllow site can tear the temp-file write; the torn temp
+// file is removed and the old snapshot survives.
+func WriteSnapshot(dir string, lastLSN uint64, payload []byte, inj *fault.Injector) error {
+	buf := make([]byte, 0, len(snapMagic)+16+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, lastLSN)
+	crc := crc32.Checksum(payload, castagnoli)
+	buf = append(buf, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp := SnapshotPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot temp: %w", err)
+	}
+	allowed, ferr := inj.WALSnapAllow(len(buf))
+	if allowed > 0 {
+		if _, werr := f.Write(buf[:allowed]); werr != nil && ferr == nil {
+			ferr = werr
+		}
+	}
+	if ferr == nil {
+		ferr = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && ferr == nil {
+		ferr = cerr
+	}
+	if ferr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", ferr)
+	}
+	if err := os.Rename(tmp, SnapshotPath(dir)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadSnapshot loads the checkpoint snapshot. found is false when no
+// snapshot exists (a fresh data directory). Unlike a torn log tail, a
+// corrupt snapshot is fatal: it is the recovery base, so there is no valid
+// prefix to fall back to, and the error is a KindRecovery QueryError.
+func ReadSnapshot(dir string) (payload []byte, lastLSN uint64, found bool, err error) {
+	buf, rerr := os.ReadFile(SnapshotPath(dir))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, snapError(fmt.Errorf("read: %w", rerr))
+	}
+	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, 0, false, snapError(fmt.Errorf("bad magic"))
+	}
+	rest := buf[len(snapMagic):]
+	lsn, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, 0, false, snapError(fmt.Errorf("truncated lastLSN"))
+	}
+	rest = rest[n:]
+	if len(rest) < 4 {
+		return nil, 0, false, snapError(fmt.Errorf("truncated CRC"))
+	}
+	want := uint32(rest[0])<<24 | uint32(rest[1])<<16 | uint32(rest[2])<<8 | uint32(rest[3])
+	rest = rest[4:]
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < plen {
+		return nil, 0, false, snapError(fmt.Errorf("truncated payload"))
+	}
+	p := rest[n : n+int(plen)]
+	if got := crc32.Checksum(p, castagnoli); got != want {
+		return nil, 0, false, snapError(fmt.Errorf("CRC mismatch (want %08x, got %08x)", want, got))
+	}
+	return p, lsn, true, nil
+}
+
+func snapError(cause error) error {
+	return &exec.QueryError{Op: "wal.snapshot", Kind: exec.KindRecovery,
+		Err: fmt.Errorf("corrupt snapshot: %w", cause)}
+}

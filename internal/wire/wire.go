@@ -3,10 +3,12 @@
 // internal/client.
 //
 // Every frame is a 5-byte header — one type byte plus a big-endian uint32
-// payload length — followed by the payload. Payloads are built from three
-// primitives: unsigned varints, zigzag varints, and uvarint-length-prefixed
-// byte strings. Row data uses a compact datum codec (kind byte + value)
-// covering every types.Kind.
+// payload length — followed by the payload. Payloads are built from the
+// primitives in internal/wire/codec: unsigned varints, zigzag varints, and
+// uvarint-length-prefixed byte strings. Row data uses the codec's compact
+// datum encoding (kind byte + value) covering every types.Kind; the same
+// codec backs the write-ahead log and catalog snapshots so on-disk and
+// on-the-wire row images are byte-identical.
 //
 // A request is one FrameQuery (SQL text, flags, an optional server-side
 // timeout) or FrameSet (session-setting name/value). The response to a
@@ -24,10 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"softdb/internal/exec"
 	"softdb/internal/types"
+	"softdb/internal/wire/codec"
 )
 
 // ProtoVersion is bumped whenever the frame layout changes incompatibly.
@@ -103,140 +105,6 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	return FrameType(hdr[0]), payload, nil
 }
 
-// --- payload primitives ---
-
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-// reader decodes a payload sequentially; the first malformed field latches
-// an error and every later read returns zero values.
-type reader struct {
-	buf []byte
-	err error
-}
-
-func (r *reader) fail(what string) {
-	if r.err == nil {
-		r.err = fmt.Errorf("wire: truncated %s", what)
-	}
-}
-
-func (r *reader) uvarint(what string) uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.buf)
-	if n <= 0 {
-		r.fail(what)
-		return 0
-	}
-	r.buf = r.buf[n:]
-	return v
-}
-
-func (r *reader) varint(what string) int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.buf)
-	if n <= 0 {
-		r.fail(what)
-		return 0
-	}
-	r.buf = r.buf[n:]
-	return v
-}
-
-func (r *reader) string(what string) string {
-	n := r.uvarint(what)
-	if r.err != nil {
-		return ""
-	}
-	if uint64(len(r.buf)) < n {
-		r.fail(what)
-		return ""
-	}
-	s := string(r.buf[:n])
-	r.buf = r.buf[n:]
-	return s
-}
-
-func (r *reader) byte(what string) byte {
-	if r.err != nil {
-		return 0
-	}
-	if len(r.buf) == 0 {
-		r.fail(what)
-		return 0
-	}
-	b := r.buf[0]
-	r.buf = r.buf[1:]
-	return b
-}
-
-func (r *reader) uint64(what string) uint64 {
-	if r.err != nil {
-		return 0
-	}
-	if len(r.buf) < 8 {
-		r.fail(what)
-		return 0
-	}
-	v := binary.BigEndian.Uint64(r.buf)
-	r.buf = r.buf[8:]
-	return v
-}
-
-// --- datum codec ---
-
-func appendDatum(b []byte, d types.Datum) ([]byte, error) {
-	b = append(b, byte(d.Kind()))
-	switch d.Kind() {
-	case types.KindNull:
-	case types.KindInt:
-		b = binary.AppendVarint(b, d.Int())
-	case types.KindDate:
-		b = binary.AppendVarint(b, d.Date())
-	case types.KindFloat:
-		b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Float()))
-	case types.KindBool:
-		if d.Bool() {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0)
-		}
-	case types.KindString:
-		b = appendString(b, d.Str())
-	default:
-		return nil, fmt.Errorf("wire: cannot encode datum kind %s", d.Kind())
-	}
-	return b, nil
-}
-
-func (r *reader) datum() types.Datum {
-	switch types.Kind(r.byte("datum kind")) {
-	case types.KindNull:
-		return types.Null
-	case types.KindInt:
-		return types.NewInt(r.varint("int datum"))
-	case types.KindDate:
-		return types.NewDate(r.varint("date datum"))
-	case types.KindFloat:
-		return types.NewFloat(math.Float64frombits(r.uint64("float datum")))
-	case types.KindBool:
-		return types.NewBool(r.byte("bool datum") != 0)
-	case types.KindString:
-		return types.NewString(r.string("string datum"))
-	default:
-		if r.err == nil {
-			r.err = errors.New("wire: unknown datum kind")
-		}
-		return types.Null
-	}
-}
-
 // --- typed payloads ---
 
 // Query is the FrameQuery payload: one statement plus per-request options.
@@ -253,19 +121,19 @@ type Query struct {
 
 // AppendQuery encodes q onto b.
 func AppendQuery(b []byte, q Query) []byte {
-	b = binary.AppendUvarint(b, q.Flags)
-	b = binary.AppendUvarint(b, q.TimeoutMillis)
-	return appendString(b, q.SQL)
+	b = codec.AppendUvarint(b, q.Flags)
+	b = codec.AppendUvarint(b, q.TimeoutMillis)
+	return codec.AppendString(b, q.SQL)
 }
 
 // ParseQuery decodes a FrameQuery payload.
 func ParseQuery(payload []byte) (Query, error) {
-	r := &reader{buf: payload}
+	r := codec.NewDecoder(payload)
 	q := Query{}
-	q.Flags = r.uvarint("query flags")
-	q.TimeoutMillis = r.uvarint("query timeout")
-	q.SQL = r.string("query sql")
-	return q, r.err
+	q.Flags = r.Uvarint("query flags")
+	q.TimeoutMillis = r.Uvarint("query timeout")
+	q.SQL = r.String("query sql")
+	return q, r.Err()
 }
 
 // Set is the FrameSet payload: a session-setting assignment.
@@ -276,16 +144,16 @@ type Set struct {
 
 // AppendSet encodes s onto b.
 func AppendSet(b []byte, s Set) []byte {
-	b = appendString(b, s.Name)
-	return appendString(b, s.Value)
+	b = codec.AppendString(b, s.Name)
+	return codec.AppendString(b, s.Value)
 }
 
 // ParseSet decodes a FrameSet payload.
 func ParseSet(payload []byte) (Set, error) {
-	r := &reader{buf: payload}
-	s := Set{Name: r.string("set name")}
-	s.Value = r.string("set value")
-	return s, r.err
+	r := codec.NewDecoder(payload)
+	s := Set{Name: r.String("set name")}
+	s.Value = r.String("set value")
+	return s, r.Err()
 }
 
 // Welcome is the FrameWelcome payload.
@@ -299,54 +167,51 @@ type Welcome struct {
 
 // AppendWelcome encodes w onto b.
 func AppendWelcome(b []byte, w Welcome) []byte {
-	b = binary.AppendUvarint(b, w.Proto)
-	return appendString(b, w.Session)
+	b = codec.AppendUvarint(b, w.Proto)
+	return codec.AppendString(b, w.Session)
 }
 
 // ParseWelcome decodes a FrameWelcome payload.
 func ParseWelcome(payload []byte) (Welcome, error) {
-	r := &reader{buf: payload}
-	w := Welcome{Proto: r.uvarint("welcome proto")}
-	w.Session = r.string("welcome session")
-	return w, r.err
+	r := codec.NewDecoder(payload)
+	w := Welcome{Proto: r.Uvarint("welcome proto")}
+	w.Session = r.String("welcome session")
+	return w, r.Err()
 }
 
 // AppendColumns encodes a FrameRowDesc payload.
 func AppendColumns(b []byte, cols []string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(cols)))
+	b = codec.AppendUvarint(b, uint64(len(cols)))
 	for _, c := range cols {
-		b = appendString(b, c)
+		b = codec.AppendString(b, c)
 	}
 	return b
 }
 
 // ParseColumns decodes a FrameRowDesc payload.
 func ParseColumns(payload []byte) ([]string, error) {
-	r := &reader{buf: payload}
-	n := r.uvarint("column count")
-	if r.err != nil {
-		return nil, r.err
+	r := codec.NewDecoder(payload)
+	n := r.Uvarint("column count")
+	if err := r.Err(); err != nil {
+		return nil, err
 	}
 	if n > uint64(len(payload)) { // each column costs >= 1 byte
 		return nil, errors.New("wire: column count exceeds payload")
 	}
 	cols := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
-		cols = append(cols, r.string("column name"))
+		cols = append(cols, r.String("column name"))
 	}
-	return cols, r.err
+	return cols, r.Err()
 }
 
 // AppendRows encodes a FrameRowBatch payload.
 func AppendRows(b []byte, rows []types.Row) ([]byte, error) {
-	b = binary.AppendUvarint(b, uint64(len(rows)))
+	b = codec.AppendUvarint(b, uint64(len(rows)))
 	var err error
 	for _, row := range rows {
-		b = binary.AppendUvarint(b, uint64(len(row)))
-		for _, d := range row {
-			if b, err = appendDatum(b, d); err != nil {
-				return nil, err
-			}
+		if b, err = codec.AppendRow(b, row); err != nil {
+			return nil, err
 		}
 	}
 	return b, nil
@@ -354,28 +219,18 @@ func AppendRows(b []byte, rows []types.Row) ([]byte, error) {
 
 // ParseRows decodes a FrameRowBatch payload, appending onto dst.
 func ParseRows(dst []types.Row, payload []byte) ([]types.Row, error) {
-	r := &reader{buf: payload}
-	n := r.uvarint("row count")
-	if r.err != nil {
-		return dst, r.err
+	r := codec.NewDecoder(payload)
+	n := r.Uvarint("row count")
+	if err := r.Err(); err != nil {
+		return dst, err
 	}
 	if n > uint64(len(payload)) { // each row costs >= 1 byte
 		return dst, errors.New("wire: row count exceeds payload")
 	}
 	for i := uint64(0); i < n; i++ {
-		nc := r.uvarint("row width")
-		if r.err != nil {
-			return dst, r.err
-		}
-		if nc > uint64(len(payload)) {
-			return dst, errors.New("wire: row width exceeds payload")
-		}
-		row := make(types.Row, 0, nc)
-		for c := uint64(0); c < nc; c++ {
-			row = append(row, r.datum())
-		}
-		if r.err != nil {
-			return dst, r.err
+		row := r.Row("row")
+		if err := r.Err(); err != nil {
+			return dst, err
 		}
 		dst = append(dst, row)
 	}
@@ -390,14 +245,14 @@ type Done struct {
 
 // AppendDone encodes d onto b.
 func AppendDone(b []byte, d Done) []byte {
-	return binary.AppendVarint(b, d.RowsAffected)
+	return codec.AppendVarint(b, d.RowsAffected)
 }
 
 // ParseDone decodes a FrameDone payload.
 func ParseDone(payload []byte) (Done, error) {
-	r := &reader{buf: payload}
-	d := Done{RowsAffected: r.varint("done rows-affected")}
-	return d, r.err
+	r := codec.NewDecoder(payload)
+	d := Done{RowsAffected: r.Varint("done rows-affected")}
+	return d, r.Err()
 }
 
 // Error is the structured error a FrameError carries — and the error value
@@ -433,16 +288,16 @@ func ErrorFrom(err error) *Error {
 
 // AppendError encodes e onto b.
 func AppendError(b []byte, e *Error) []byte {
-	b = appendString(b, string(e.Kind))
-	b = appendString(b, e.Op)
-	return appendString(b, e.Msg)
+	b = codec.AppendString(b, string(e.Kind))
+	b = codec.AppendString(b, e.Op)
+	return codec.AppendString(b, e.Msg)
 }
 
 // ParseError decodes a FrameError payload.
 func ParseError(payload []byte) (*Error, error) {
-	r := &reader{buf: payload}
-	e := &Error{Kind: exec.ErrKind(r.string("error kind"))}
-	e.Op = r.string("error op")
-	e.Msg = r.string("error msg")
-	return e, r.err
+	r := codec.NewDecoder(payload)
+	e := &Error{Kind: exec.ErrKind(r.String("error kind"))}
+	e.Op = r.String("error op")
+	e.Msg = r.String("error msg")
+	return e, r.Err()
 }

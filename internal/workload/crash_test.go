@@ -1,0 +1,180 @@
+package workload_test
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/engine"
+	"softdb/internal/types"
+)
+
+// The CI crash-recovery job (.github/workflows/ci.yml) runs these phases
+// against an externally started durable softdbd:
+//
+//	write  — stream crashStatements over the wire; every statement is
+//	         acknowledged before the next is sent.
+//	noise  — stream extra inserts (keys >= noiseBase) until the server is
+//	         kill -9'd out from under the connection, so the crash lands
+//	         with a statement in flight.
+//	verify — after the server restarts from the same data directory,
+//	         replay the preload script plus crashStatements on an
+//	         in-process engine and require the FNV-64 hash of a
+//	         deterministic read stream to match over the wire.
+//
+// Acknowledged statements ran under -wal-sync=always, so recovery must
+// reproduce them exactly; noise rows may or may not have survived and the
+// verify reads exclude their key range.
+
+const noiseBase = 2000000
+
+func crashPhase(t *testing.T, phase string) string {
+	t.Helper()
+	addr := os.Getenv("SOFTDB_ADDR")
+	if addr == "" || os.Getenv("SOFTDB_CRASH_PHASE") != phase {
+		t.Skipf("SOFTDB_ADDR/SOFTDB_CRASH_PHASE=%s not set; crash phases only run in CI", phase)
+	}
+	return addr
+}
+
+// crashStatements is the deterministic acknowledged DML stream: inserts,
+// soft-constraint-checked updates, deletes (leaving dead slots the
+// recovered heap must reproduce), and a final ANALYZE.
+func crashStatements() []string {
+	var out []string
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 400; i++ {
+		out = append(out, fmt.Sprintf("INSERT INTO crashkv VALUES (%d, %d, 'r%d')", i, r.Intn(1000), i))
+	}
+	for i := 0; i < 400; i += 7 {
+		out = append(out, fmt.Sprintf("UPDATE crashkv SET v = v + 1 WHERE k = %d", i))
+	}
+	for i := 3; i < 400; i += 13 {
+		out = append(out, fmt.Sprintf("DELETE FROM crashkv WHERE k = %d", i))
+	}
+	out = append(out, "ANALYZE crashkv")
+	return out
+}
+
+// crashReads is the deterministic verification stream. Every statement
+// filters to k <= 1000 so surviving noise rows cannot affect the hash.
+func crashReads() []string {
+	var out []string
+	r := rand.New(rand.NewSource(1234))
+	for i := 0; i < 40; i++ {
+		lo := r.Intn(380)
+		out = append(out, fmt.Sprintf("SELECT k, v, s FROM crashkv WHERE k >= %d AND k <= %d", lo, lo+25))
+		v := r.Intn(900)
+		out = append(out, fmt.Sprintf("SELECT k FROM crashkv WHERE v >= %d AND v <= %d AND k <= 1000", v, v+50))
+	}
+	out = append(out, "SELECT k, v, s FROM crashkv WHERE k <= 1000")
+	return out
+}
+
+// hashRows folds a result into a running FNV-64 hash; row order matters,
+// which is the point — the recovered heap must reproduce physical order.
+func hashRows(h interface{ Write([]byte) (int, error) }, cols []string, rows []types.Row) {
+	for _, c := range cols {
+		h.Write([]byte(c))
+	}
+	for _, row := range rows {
+		for _, d := range row {
+			h.Write([]byte(d.String()))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+}
+
+func TestCrashServerWritePhase(t *testing.T) {
+	addr := crashPhase(t, "write")
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i, s := range crashStatements() {
+		if _, err := c.Query(ctx, s); err != nil {
+			t.Fatalf("statement %d (%s): %v", i, s, err)
+		}
+	}
+}
+
+func TestCrashServerNoisePhase(t *testing.T) {
+	addr := crashPhase(t, "noise")
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Logf("server already gone at connect: %v", err)
+		return
+	}
+	defer c.Close()
+	ctx := context.Background()
+	deadline := time.Now().Add(60 * time.Second)
+	for i := 0; i < 200000 && time.Now().Before(deadline); i++ {
+		_, err := c.Query(ctx, fmt.Sprintf(
+			"INSERT INTO crashkv VALUES (%d, %d, 'noise')", noiseBase+i, i%1000))
+		if err != nil {
+			t.Logf("server went away after %d noise inserts: %v", i, err)
+			return
+		}
+	}
+	t.Log("noise phase hit its cap with the server still alive")
+}
+
+func TestCrashServerVerifyPhase(t *testing.T) {
+	addr := crashPhase(t, "verify")
+	script := os.Getenv("SOFTDB_CRASH_SCRIPT")
+	if script == "" {
+		t.Fatal("SOFTDB_CRASH_SCRIPT must point at the server's preload script")
+	}
+	src, err := os.ReadFile(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The never-crashed twin: preload plus the acknowledged write stream.
+	db := engine.Open()
+	if _, err := db.ExecScript(string(src)); err != nil {
+		t.Fatalf("twin preload: %v", err)
+	}
+	for i, s := range crashStatements() {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("twin statement %d (%s): %v", i, s, err)
+		}
+	}
+	local := fnv.New64a()
+	reads := crashReads()
+	for _, q := range reads {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("twin read %q: %v", q, err)
+		}
+		hashRows(local, res.Columns, res.Rows)
+	}
+
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote := fnv.New64a()
+	ctx := context.Background()
+	for _, q := range reads {
+		res, err := c.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("remote read %q: %v", q, err)
+		}
+		hashRows(remote, res.Columns, res.Rows)
+	}
+	if local.Sum64() != remote.Sum64() {
+		t.Fatalf("result-stream divergence after crash recovery: local fnv64=%016x remote fnv64=%016x over %d reads",
+			local.Sum64(), remote.Sum64(), len(reads))
+	}
+	t.Logf("parity: fnv64=%016x over %d reads", local.Sum64(), len(reads))
+}
