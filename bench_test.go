@@ -817,3 +817,63 @@ func copyBenchDir(b *testing.B, src, dst string) {
 		}
 	}
 }
+
+// BenchmarkO2EconomyOverhead bounds what the constraint-economy ledger
+// costs a steady-state query that exercises its crediting hot path: a
+// join-hole-trimmed range join whose pruned scans attribute skipped pages
+// to the hole characterization and whose finished executions flush a
+// q-error observation (experiment O2). The ledger-off variant runs the
+// identical cached plan with db.NoEconomy set, so the delta isolates the
+// atomic-add crediting; the acceptance bar is <=5% wall time.
+func BenchmarkO2EconomyOverhead(b *testing.B) {
+	n := 20000
+	db := engine.Open()
+	if err := workload.LoadOrdersLineitem(db, workload.HolesConfig{
+		Orders: n, LinesPer: 2, Seed: 5, BandLo: n / 4, BandHi: n / 2,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	left, err := db.Catalog().Table("orders")
+	if err != nil {
+		b.Fatal(err)
+	}
+	right, err := db.Catalog().Table("lineitem")
+	if err != nil {
+		b.Fatal(err)
+	}
+	jh, _, err := mining.MineJoinHoles(mining.JoinHoleRequest{
+		Left: left, Right: right,
+		JoinLeft: "okey", JoinRight: "okey",
+		AttrLeft: "odate", AttrRight: "shipdate",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jh.Name = "holes_orders_lineitem"
+	if err := db.Catalog().AddJoinHoles(jh); err != nil {
+		b.Fatal(err)
+	}
+	// The ranges straddle the planted hole band, so the rewriter plants an
+	// interior exclusion prune predicate and every iteration attributes
+	// skipped pages to the hole — the ledger's hottest crediting path.
+	lo, hi := n/8, 3*n/4
+	q := fmt.Sprintf(`SELECT COUNT(*) AS c FROM orders o, lineitem l
+		WHERE o.okey = l.okey
+		AND o.odate >= DATE '1999-01-01' + %d AND o.odate <= DATE '1999-01-01' + %d
+		AND l.shipdate >= DATE '1999-01-01' + %d AND l.shipdate <= DATE '1999-01-01' + %d`,
+		lo, hi, lo, hi+10)
+	if _, err := db.Exec(q); err != nil {
+		b.Fatal(err)
+	}
+	for _, ledger := range []bool{true, false} {
+		label := "ledger-on"
+		if !ledger {
+			label = "ledger-off"
+		}
+		b.Run(label, func(b *testing.B) {
+			db.NoEconomy = !ledger
+			runQueryBench(b, db, q)
+		})
+	}
+	db.NoEconomy = false
+}

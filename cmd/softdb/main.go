@@ -6,6 +6,7 @@
 //	\d             list tables and views
 //	\d NAME        describe a table (columns, constraints, indexes, stats)
 //	\sc            list soft characterizations (correlations, holes)
+//	\constraints   show the constraint economy ledger, net-benefit ranked
 //	\discover T    run the miners over table T and report candidates
 //	\metrics       dump the metrics registry in Prometheus text format
 //	\trace on|off  toggle per-operator query tracing
@@ -14,7 +15,9 @@
 //
 // The -parallel N flag enables intra-query parallelism with up to N
 // workers. -debug-addr HOST:PORT starts an HTTP listener serving /metrics
-// (Prometheus text format) and /debug/queries (recent query traces).
+// (Prometheus text format), /debug/queries (recent query traces),
+// /debug/constraints (the economy ledger as JSON), /debug/wal (durability
+// status) and /debug/pprof/* (live profiling).
 // -slow-query D logs queries slower than duration D; -trace starts with
 // per-operator tracing on. -no-prune disables synopsis-based page pruning
 // (useful for measuring what the zone maps buy). -timeout D applies a
@@ -158,7 +161,7 @@ func main() {
 			}
 		}()
 		// lis.Addr, not *debugAddr: with ":0" this is the real port.
-		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", lis.Addr())
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries, /debug/constraints, /debug/wal, /debug/pprof/)\n", lis.Addr())
 	}
 	is := &interruptState{}
 	is.watch()
@@ -311,6 +314,18 @@ func command(db *engine.Database, cmd string) bool {
 		for _, jh := range cat.AllJoinHoles() {
 			fmt.Println(jh.Describe())
 		}
+	case "\\constraints":
+		res, err := db.Exec("SHOW CONSTRAINTS ECONOMY")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if len(res.Rows) == 0 {
+			fmt.Println("no constraint economy recorded yet")
+			return true
+		}
+		printRows(res.Columns, res.Rows)
+		fmt.Printf("(%d constraints, net-benefit ranked)\n", len(res.Rows))
 	case "\\metrics":
 		if err := db.Metrics().WritePrometheus(os.Stdout); err != nil {
 			fmt.Println("error:", err)
@@ -356,7 +371,7 @@ func command(db *engine.Database, cmd string) bool {
 			fmt.Println("range:", rg.Describe())
 		}
 	default:
-		fmt.Println("unknown command; try \\d, \\sc, \\discover, \\metrics, \\trace, \\q")
+		fmt.Println("unknown command; try \\d, \\sc, \\constraints, \\discover, \\metrics, \\trace, \\q")
 	}
 	return true
 }
@@ -456,8 +471,14 @@ func remoteMain(addr string, is *interruptState, args []string) {
 				if err := c.Set(fields[1], fields[2]); err != nil {
 					fmt.Println("error:", err)
 				}
+			case "\\constraints":
+				// The ledger travels as an ordinary result set, so remote
+				// inspection needs no wire-protocol extension.
+				if !runOne("SHOW CONSTRAINTS ECONOMY") {
+					return
+				}
 			default:
-				fmt.Println("remote commands: \\set NAME VALUE, \\q")
+				fmt.Println("remote commands: \\set NAME VALUE, \\constraints, \\q")
 			}
 			prompt()
 			continue

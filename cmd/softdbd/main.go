@@ -6,8 +6,9 @@
 // engine before the listener opens, so the daemon starts with schema and
 // data loaded. -addr ":0" picks an ephemeral port; the actual bound
 // address is printed on stdout (first line, "listening on ADDR") so
-// scripts and CI can scrape it. -debug-addr serves /metrics and
-// /debug/queries the same way.
+// scripts and CI can scrape it. -debug-addr serves /metrics,
+// /debug/queries, /debug/constraints (the constraint-economy ledger as
+// JSON), /debug/wal (durability status) and /debug/pprof/* the same way.
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
 // statements are canceled through the engine's context path (clients
@@ -155,7 +156,7 @@ func main() {
 				logger.Error("debug listener", "err", err)
 			}
 		}()
-		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries)\n", lis.Addr())
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/queries, /debug/constraints, /debug/wal, /debug/pprof/)\n", lis.Addr())
 	}
 
 	go func() {

@@ -24,4 +24,7 @@ ANALYZE purchase;
 SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18';
 SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18';
 SELECT COUNT(*) AS n FROM purchase WHERE order_date >= DATE '1999-01-15';
-EXPLAIN ANALYZE SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18'
+EXPLAIN ANALYZE SELECT id FROM purchase WHERE ship_date = DATE '1999-02-18';
+-- Exercise the constraint-economy ledger surface so the smoke job can
+-- assert the SQL path works alongside the REPL \constraints command.
+SHOW CONSTRAINTS ECONOMY

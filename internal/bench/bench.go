@@ -128,6 +128,7 @@ func All() []Experiment {
 		{"R1", "query lifecycle: cancellation latency and context-check overhead", func() (*Report, error) { return R1Robustness(100000) }},
 		{"S1", "network server: concurrent clients, parity, load shedding", func() (*Report, error) { return S1Server(DefaultS1) }},
 		{"D1", "durability: fsync policy overhead and recovery-time scaling", func() (*Report, error) { return D1Recovery(2000, DefaultD1Sweep) }},
+		{"O2", "constraint-economy ledger: overhead and net-benefit ranking", func() (*Report, error) { return O2Economy(20000, 40) }},
 	}
 }
 

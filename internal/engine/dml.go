@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
@@ -218,12 +219,14 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		if !con.Active || con.Mode != catalog.ModeSoftAbsolute || con.Kind != catalog.Check {
 			continue
 		}
+		start := db.maintTimer()
 		v, err := con.CheckExpr.Eval(row)
 		if err == nil && v.Kind() == types.KindBool && !v.Bool() {
 			_ = db.cat.DeactivateConstraint(te.Def.Name, con.Name)
 			db.obs.metrics.Counter(mASCViolations).Inc()
 			db.notify("ASC %s on %s deactivated by violating write", con.Name, te.Def.Name)
 		}
+		db.chargeMaint(con.Name, start)
 	}
 	// Absolute linear correlations: drop on violation.
 	for _, lc := range db.cat.Correlations(te.Def.Name) {
@@ -234,16 +237,17 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		if aOrd < 0 || bOrd < 0 {
 			continue
 		}
+		start := db.maintTimer()
 		a, b := row[aOrd], row[bOrd]
-		if a.IsNull() || b.IsNull() {
-			continue
+		if !a.IsNull() && !b.IsNull() {
+			diff := a.Float() - lc.K*b.Float()
+			if diff < lc.B0-lc.Eps || diff > lc.B0+lc.Eps {
+				_ = db.cat.DeactivateCorrelation(lc.Name)
+				db.obs.metrics.Counter(mCorrDrops).Inc()
+				db.notify("linear correlation %s deactivated by violating write", lc.Name)
+			}
 		}
-		diff := a.Float() - lc.K*b.Float()
-		if diff < lc.B0-lc.Eps || diff > lc.B0+lc.Eps {
-			_ = db.cat.DeactivateCorrelation(lc.Name)
-			db.obs.metrics.Counter(mCorrDrops).Inc()
-			db.notify("linear correlation %s deactivated by violating write", lc.Name)
-		}
+		db.chargeMaint(lc.Name, start)
 	}
 	// Join holes: cheap synchronous repair (§4.3) — assume the new value
 	// violates any hole containing its attribute value and retire those
@@ -252,6 +256,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 		if !jh.Active {
 			continue
 		}
+		start := db.maintTimer()
 		var dropped int
 		if strings.EqualFold(jh.LeftTable, te.Def.Name) {
 			if ord := te.Def.ColumnIndex(jh.AttrLeft); ord >= 0 && !row[ord].IsNull() {
@@ -268,6 +273,7 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 			db.obs.metrics.Counter(mHolesRetired).Add(int64(dropped))
 			db.notify("join holes %s: %d holes retired by write to %s", jh.Name, dropped, te.Def.Name)
 		}
+		db.chargeMaint(jh.Name, start)
 	}
 }
 
@@ -275,43 +281,63 @@ func (db *Database) checkSoftOnWrite(te *catalog.TableEntry, row types.Row) {
 // informational AST estimates.
 func (db *Database) maintainSummaries(te *catalog.TableEntry, row types.Row, insert bool) {
 	for _, st := range db.cat.SummariesOn(te.Def.Name) {
-		match := true
-		if st.Where != nil {
-			ok, err := expr.EvalBool(st.Where, row)
-			if err != nil {
-				continue
-			}
-			match = ok
-		}
-		if !match {
-			continue
-		}
-		if st.Informational {
-			if insert {
-				st.RowCountEstimate++
-			} else if st.RowCountEstimate > 0 {
-				st.RowCountEstimate--
-			}
-			continue
-		}
-		if insert {
-			st.Heap.Insert(row.Clone())
-		} else {
-			// Remove one matching copy.
-			var target storage.RowID
-			found := false
-			st.Heap.Scan(nil, func(rid storage.RowID, r types.Row) bool {
-				if r.Equal(row) {
-					target, found = rid, true
-					return false
-				}
-				return true
-			})
-			if found {
-				st.Heap.Delete(target)
-			}
+		start := db.maintTimer()
+		db.maintainSummary(st, row, insert)
+		db.chargeMaint(st.Name, start)
+	}
+}
+
+// maintainSummary applies one row's effect to one AST.
+func (db *Database) maintainSummary(st *catalog.SummaryTable, row types.Row, insert bool) {
+	if st.Where != nil {
+		ok, err := expr.EvalBool(st.Where, row)
+		if err != nil || !ok {
+			return
 		}
 	}
+	if st.Informational {
+		if insert {
+			st.RowCountEstimate++
+		} else if st.RowCountEstimate > 0 {
+			st.RowCountEstimate--
+		}
+		return
+	}
+	if insert {
+		st.Heap.Insert(row.Clone())
+		return
+	}
+	// Remove one matching copy.
+	var target storage.RowID
+	found := false
+	st.Heap.Scan(nil, func(rid storage.RowID, r types.Row) bool {
+		if r.Equal(row) {
+			target, found = rid, true
+			return false
+		}
+		return true
+	})
+	if found {
+		st.Heap.Delete(target)
+	}
+}
+
+// maintTimer starts a DML write-hook timing segment; the zero time means
+// the economy ledger is off and chargeMaint will ignore the segment.
+func (db *Database) maintTimer() time.Time {
+	if db.NoEconomy {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// chargeMaint closes a maintTimer segment, charging the elapsed wall time
+// to the named characterization's maintenance cost.
+func (db *Database) chargeMaint(name string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	db.obs.econ.AddMaintenance(name, time.Since(start))
 }
 
 // bumpCurrency advances §3.3's staleness counters on statistical soft

@@ -80,8 +80,92 @@ type walState struct {
 
 	// Resolved metric counters; lastBytes/lastFsyncs track the writer's
 	// lifetime totals already exported.
-	cBytes, cFsyncs, cCheckpoints *obs.Counter
-	lastBytes, lastFsyncs         int64
+	cBytes, cFsyncs, cCheckpoints, cFrames *obs.Counter
+	lastBytes, lastFsyncs                  int64
+	hBatch, hCkptDur                       *obs.Histogram
+
+	// recovery is what OpenDurable's recovery pass found, kept for
+	// /debug/wal.
+	recovery RecoverySummary
+}
+
+// RecoverySummary is the JSON-friendly form of RecoveryStats served by
+// /debug/wal (the error rendered as text).
+type RecoverySummary struct {
+	SnapshotLSN        uint64 `json:"snapshot_lsn"`
+	RecordsReplayed    int64  `json:"records_replayed"`
+	StatementsReplayed int64  `json:"statements_replayed"`
+	TailTruncated      bool   `json:"tail_truncated"`
+	TailErr            string `json:"tail_err,omitempty"`
+	Revalidated        int    `json:"revalidated"`
+	Invalidated        int    `json:"invalidated"`
+	WALBytes           int64  `json:"wal_bytes"`
+}
+
+// summary converts the recovery outcome for the debug endpoint.
+func (rs *RecoveryStats) summary() RecoverySummary {
+	s := RecoverySummary{
+		SnapshotLSN:        rs.SnapshotLSN,
+		RecordsReplayed:    rs.RecordsReplayed,
+		StatementsReplayed: rs.StatementsReplayed,
+		TailTruncated:      rs.TailTruncated,
+		Revalidated:        rs.Revalidated,
+		Invalidated:        rs.Invalidated,
+		WALBytes:           rs.WALBytes,
+	}
+	if rs.TailErr != nil {
+		s.TailErr = rs.TailErr.Error()
+	}
+	return s
+}
+
+// WALStatus is the durability snapshot served at /debug/wal. A zero value
+// (Durable false) marks an in-memory database.
+type WALStatus struct {
+	Durable bool   `json:"durable"`
+	Dir     string `json:"dir,omitempty"`
+	// Writer lifetime totals.
+	WALBytes  int64  `json:"wal_bytes,omitempty"`
+	WALFsyncs int64  `json:"wal_fsyncs,omitempty"`
+	Frames    int64  `json:"frames,omitempty"`
+	NextLSN   uint64 `json:"next_lsn,omitempty"`
+	// Checkpoint cadence.
+	Checkpoints               int64 `json:"checkpoints,omitempty"`
+	StmtsSinceCheckpoint      int   `json:"stmts_since_checkpoint,omitempty"`
+	CheckpointEveryStatements int   `json:"checkpoint_every_statements,omitempty"`
+	// Failed reports a latched writer error (mutations fail until restart).
+	Failed string `json:"failed,omitempty"`
+	// Recovery is the outcome of the open-time recovery pass.
+	Recovery *RecoverySummary `json:"recovery,omitempty"`
+}
+
+// WALStatusSnapshot reports the database's durability state; for an
+// in-memory database it returns the zero value, marshaling to
+// {"durable": false}.
+func (db *Database) WALStatusSnapshot() WALStatus {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d := db.dur
+	if d == nil {
+		return WALStatus{}
+	}
+	st := WALStatus{
+		Durable:                   true,
+		Dir:                       d.dir,
+		WALBytes:                  d.w.Bytes(),
+		WALFsyncs:                 d.w.Fsyncs(),
+		Frames:                    d.cFrames.Value(),
+		NextLSN:                   d.w.NextLSN(),
+		Checkpoints:               d.cCheckpoints.Value(),
+		StmtsSinceCheckpoint:      d.stmts,
+		CheckpointEveryStatements: d.checkpointEvery,
+	}
+	if err := d.w.Err(); err != nil {
+		st.Failed = err.Error()
+	}
+	rec := d.recovery
+	st.Recovery = &rec
+	return st
 }
 
 // syncMetrics exports the writer's byte/fsync deltas since the last call.
@@ -174,6 +258,10 @@ func (db *Database) commitWALLocked() error {
 	if err != nil {
 		return &exec.QueryError{Op: "wal.commit", Kind: exec.KindRecovery, Err: err}
 	}
+	// One group commit = the statement's records plus the commit terminator.
+	batch := int64(len(recs)) + 1
+	d.cFrames.Add(batch)
+	d.hBatch.Observe(float64(batch))
 	d.stmts++
 	if d.checkpointEvery > 0 && d.stmts >= d.checkpointEvery {
 		if cerr := db.checkpointLocked(); cerr != nil {
@@ -259,6 +347,7 @@ func (db *Database) checkpointLocked() error {
 	if err := d.w.Err(); err != nil {
 		return err
 	}
+	ckptStart := time.Now()
 	// Make the log durable first so the snapshot never claims coverage of
 	// bytes an fsync hadn't confirmed.
 	if err := d.w.Sync(); err != nil {
@@ -281,6 +370,7 @@ func (db *Database) checkpointLocked() error {
 	d.syncMetrics()
 	d.stmts = 0
 	d.cCheckpoints.Inc()
+	d.hCkptDur.Observe(time.Since(ckptStart).Seconds())
 	return nil
 }
 
@@ -463,8 +553,21 @@ func OpenDurable(dir string, opts DurableOptions) (*Database, *RecoveryStats, er
 		cBytes:          db.obs.metrics.Counter(mWALBytes),
 		cFsyncs:         db.obs.metrics.Counter(mWALFsyncs),
 		cCheckpoints:    db.obs.metrics.Counter(mCheckpoints),
+		cFrames:         db.obs.metrics.Counter(mWALFrames),
+		hBatch:          db.obs.metrics.Histogram(mWALBatchSize, walBatchBuckets),
+		hCkptDur:        db.obs.metrics.Histogram(mCheckpointSeconds, obs.DefLatencyBuckets),
+		recovery:        rs.summary(),
 	}
-	db.obs.metrics.Counter(mRecoveryReplayed).Add(rs.RecordsReplayed)
+	m := db.obs.metrics
+	m.Counter(mRecoveryReplayed).Add(rs.RecordsReplayed)
+	m.Counter(mRecoveryStmts).Add(rs.StatementsReplayed)
+	m.Gauge(mRecoveryWALBytes).Set(rs.WALBytes)
+	m.Gauge(mRecoverySnapLSN).Set(int64(rs.SnapshotLSN))
+	m.Counter(mRecoveryRevalid).Add(int64(rs.Revalidated))
+	m.Counter(mRecoveryInvalid).Add(int64(rs.Invalidated))
+	if rs.TailTruncated {
+		m.Counter(mRecoveryTailTrunc).Inc()
+	}
 	return db, rs, nil
 }
 

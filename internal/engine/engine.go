@@ -74,6 +74,14 @@ type cachedPlan struct {
 	// nodeRows are the optimizer's per-operator cardinality estimates,
 	// consulted when the plan is instrumented for tracing/EXPLAIN ANALYZE.
 	nodeRows map[exec.Operator]float64
+	// nodeInformed names, per operator, the constraints whose information
+	// sharpened that operator's cardinality estimate — the economy ledger's
+	// q-error split key.
+	nodeInformed map[exec.Operator][]string
+	// shadowDeltas is the plan-time shadow-costing outcome: per constraint
+	// consulted while planning, the estimated-cost increase the optimizer
+	// would have paid had that constraint been masked.
+	shadowDeltas map[string]float64
 	// events are the plan-time soft-constraint consultations.
 	events []obs.Event
 	// degree is the plan's maximum degree of parallelism.
@@ -128,6 +136,11 @@ type Database struct {
 	// NoBatch disables page-batched row emission; scans fall back to
 	// row-at-a-time delivery (differential baseline for the batch kernel).
 	NoBatch bool
+	// NoEconomy disables the per-constraint benefit/cost ledger: no skip
+	// attribution, no shadow costing, no q-error split, no DML hook timing
+	// (the O2 overhead baseline). The ledger's existing counters keep their
+	// values; they just stop moving.
+	NoEconomy bool
 	// Parallel is the maximum intra-query degree of parallelism; <= 1
 	// (the default) plans serial operators only.
 	Parallel int
@@ -392,6 +405,10 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode, st, sess)
+	case *sql.Show:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.showConstraintsEconomy(), nil
 	}
 
 	db.mu.Lock()
@@ -631,17 +648,21 @@ func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string,
 	db.countRewriteFires(rw.Events)
 	planText := exec.Format(result.Root)
 	entry := &cachedPlan{
-		catVersion:  db.cat.Version(),
-		hardVersion: db.cat.HardVersion(),
-		root:        result.Root,
-		cols:        names,
-		estRows:     result.EstRows,
-		estCost:     result.EstCost,
-		planText:    planText,
-		trace:       rw.Trace,
-		nodeRows:    result.NodeRows,
-		events:      append(append([]obs.Event(nil), rw.Events...), result.Events...),
-		degree:      exec.MaxDegree(result.Root),
+		catVersion:   db.cat.Version(),
+		hardVersion:  db.cat.HardVersion(),
+		root:         result.Root,
+		cols:         names,
+		estRows:      result.EstRows,
+		estCost:      result.EstCost,
+		planText:     planText,
+		trace:        rw.Trace,
+		nodeRows:     result.NodeRows,
+		nodeInformed: result.NodeInformed,
+		events:       append(append([]obs.Event(nil), rw.Events...), result.Events...),
+		degree:       exec.MaxDegree(result.Root),
+	}
+	if !db.NoEconomy {
+		entry.shadowDeltas = db.shadowCostDeltas(sel, result.EstCost, entry.events, st)
 	}
 	if mode == modeAnalyze {
 		return db.explainAnalyze(ctx, entry, sqlText, db.cachePeek(cacheKey, st), st, sess)
@@ -752,9 +773,12 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 	root := entry.root
 	var span *obs.SpanNode
 	if db.obs.tracing.Load() {
-		root, span = exec.Instrument(entry.root, estLookup(entry.nodeRows))
+		root, span = exec.InstrumentInformed(entry.root, estLookup(entry.nodeRows), informedLookup(entry.nodeInformed))
 	}
 	ectx := db.execCtx(ctx, st)
+	if !db.NoEconomy {
+		ectx.Skips = exec.NewSkipRecorder()
+	}
 	rows, err := db.runPlan(ctx, root, ectx, st.NoBatch)
 	dur := time.Since(start)
 	io := ectx.IO.Load()
@@ -772,6 +796,7 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 		t.Err = err.Error()
 	}
 	db.observeQuery(t)
+	db.creditEconomy(entry, span, ectx.Skips, int64(len(rows)), err)
 	if err != nil {
 		return nil, err
 	}
@@ -794,8 +819,11 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 // consultation made while planning.
 func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string, st Settings, sess string) (*Result, error) {
 	start := time.Now()
-	iroot, span := exec.Instrument(entry.root, estLookup(entry.nodeRows))
+	iroot, span := exec.InstrumentInformed(entry.root, estLookup(entry.nodeRows), informedLookup(entry.nodeInformed))
 	ectx := db.execCtx(ctx, st)
+	if !db.NoEconomy {
+		ectx.Skips = exec.NewSkipRecorder()
+	}
 	resRows, err := db.runPlan(ctx, iroot, ectx, st.NoBatch)
 	dur := time.Since(start)
 	io := ectx.IO.Load()
@@ -814,6 +842,7 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 		t.Err = err.Error()
 	}
 	db.observeQuery(t)
+	db.creditEconomy(entry, span, ectx.Skips, int64(len(resRows)), err)
 	if err != nil {
 		return nil, err
 	}
@@ -827,6 +856,9 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 	}
 	for _, e := range entry.events {
 		line("event: " + e.String())
+	}
+	for _, l := range economyLines(entry, ectx.Skips) {
+		line(l)
 	}
 	line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", entry.estRows, entry.estCost))
 	line(fmt.Sprintf("actual rows: %d, elapsed: %s, pages: %d, skipped: %d", len(resRows), dur, io.PagesRead, io.PagesSkipped))

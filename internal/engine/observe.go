@@ -46,7 +46,23 @@ const (
 	mWALFsyncs        = "softdb_wal_fsyncs_total"
 	mCheckpoints      = "softdb_checkpoints_total"
 	mRecoveryReplayed = "softdb_recovery_records_replayed_total"
+	// Durability telemetry: WAL activity and the recovery outcome of the
+	// most recent OpenDurable.
+	mWALFrames         = "softdb_wal_frames_total"
+	mWALBatchSize      = "softdb_wal_group_commit_batch_size"
+	mCheckpointSeconds = "softdb_checkpoint_duration_seconds"
+	mRecoveryStmts     = "softdb_recovery_statements_replayed_total"
+	mRecoveryWALBytes  = "softdb_recovery_wal_bytes"
+	mRecoverySnapLSN   = "softdb_recovery_snapshot_lsn"
+	mRecoveryRevalid   = "softdb_recovery_revalidated_total"
+	mRecoveryInvalid   = "softdb_recovery_invalidated_total"
+	mRecoveryTailTrunc = "softdb_recovery_tail_truncated_total"
 )
+
+// walBatchBuckets are the group-commit batch-size histogram bounds: a batch
+// is the records of one statement plus its commit terminator, so powers of
+// two up to 128 cover single-row DML through large multi-row inserts.
+var walBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // obsState bundles the database's observability surfaces. The hot-path
 // metric pointers are resolved once at Open so per-query updates are single
@@ -69,6 +85,12 @@ type obsState struct {
 	queriesTimedOut   *obs.Counter
 	memBudgetRejected *obs.Counter
 	workerPanics      *obs.Counter
+
+	// econ is the per-constraint benefit/cost ledger (see economy.go). It
+	// is always non-nil after initObs; the NoEconomy toggle gates the
+	// crediting call sites instead, so disabling the ledger removes the
+	// bookkeeping work, not just the numbers.
+	econ *obs.Economy
 }
 
 func (db *Database) initObs() {
@@ -104,6 +126,16 @@ func (db *Database) initObs() {
 	r.Describe(mWALFsyncs, "counter", "Fsyncs the write-ahead log performed.")
 	r.Describe(mCheckpoints, "counter", "Checkpoint snapshots written.")
 	r.Describe(mRecoveryReplayed, "counter", "Redo records applied by crash recovery at open.")
+	r.Describe(mWALFrames, "counter", "Records (frames) appended to the write-ahead log.")
+	r.Describe(mWALBatchSize, "histogram", "Records per group commit, commit terminator included.")
+	r.Describe(mCheckpointSeconds, "histogram", "Checkpoint snapshot duration in seconds.")
+	r.Describe(mRecoveryStmts, "counter", "DDL/registry statements replayed by crash recovery at open.")
+	r.Describe(mRecoveryWALBytes, "gauge", "WAL bytes scanned by the most recent crash recovery.")
+	r.Describe(mRecoverySnapLSN, "gauge", "Snapshot LSN the most recent crash recovery started from.")
+	r.Describe(mRecoveryRevalid, "counter", "Soft constraints revalidated and kept by crash recovery.")
+	r.Describe(mRecoveryInvalid, "counter", "Soft constraints invalidated by crash-recovery revalidation.")
+	r.Describe(mRecoveryTailTrunc, "counter", "Torn WAL tails truncated by crash recovery.")
+	o.econ = obs.NewEconomy(r)
 
 	o.queries = r.Counter(mQueries)
 	o.queryErrors = r.Counter(mQueryErrors)
@@ -137,10 +169,19 @@ func (db *Database) Tracing() bool { return db.obs.tracing.Load() }
 // (and logged) as slow; 0 disables slow-query accounting.
 func (db *Database) SetSlowQueryThreshold(d time.Duration) { db.obs.slowNs.Store(int64(d)) }
 
-// DebugHandler serves /metrics (Prometheus text format) and /debug/queries
-// (recent query traces) for a -debug-addr style listener.
+// Economy exposes the per-constraint benefit/cost ledger.
+func (db *Database) Economy() *obs.Economy { return db.obs.econ }
+
+// DebugHandler serves /metrics (Prometheus text format), /debug/queries
+// (recent query traces), /debug/constraints (the economy ledger as JSON),
+// /debug/wal (durability status) and /debug/pprof/* (live profiling) for a
+// -debug-addr style listener.
 func (db *Database) DebugHandler() http.Handler {
-	return obs.Handler(db.obs.metrics, db.obs.qlog)
+	return obs.HandlerWith(db.obs.metrics, db.obs.qlog, obs.HandlerOptions{
+		Economy: db.ConstraintEconomy,
+		WAL:     func() any { return db.WALStatusSnapshot() },
+		Pprof:   true,
+	})
 }
 
 // SoftcManager returns a soft-constraint manager over this database's
@@ -149,9 +190,21 @@ func (db *Database) SoftcManager() *softc.Manager {
 	m := softc.NewManager(db.cat)
 	m.Logger = db.obs.logger.Load()
 	m.Metrics = db.obs.metrics
+	if !db.NoEconomy {
+		m.Econ = db.obs.econ
+	}
 	// Durable databases log a registry image after every softc mutation so
-	// mined/advisory state survives a crash.
-	m.OnChange = db.SyncSoftRegistry
+	// mined/advisory state survives a crash. The named hook also charges
+	// the registry-maintenance WAL records to the constraints that caused
+	// the image to be rewritten.
+	m.OnChangeNamed = func(names []string) {
+		db.SyncSoftRegistry()
+		if db.dur != nil && !db.NoEconomy {
+			for _, name := range names {
+				db.obs.econ.AddWALRecords(name, 1)
+			}
+		}
+	}
 	return m
 }
 
@@ -215,12 +268,16 @@ func (db *Database) observeQuery(t *obs.Trace) {
 // countRewriteFires bumps the per-kind rewrite counter for every rule that
 // actually fired while planning a query, and the per-reason rejection
 // counter for prune introductions turned down (probation, below-floor,
-// no-index). Counted at plan time, so cached re-executions do not inflate
-// the figures.
+// no-index). Rewrites that eliminated rows credit the saving to the
+// driving constraint's economy ledger. Counted at plan time, so cached
+// re-executions do not inflate the figures.
 func (db *Database) countRewriteFires(events []obs.Event) {
 	for _, e := range events {
 		if e.Applied {
 			db.obs.metrics.Counter(mRewriteFires, "kind", e.Rule).Inc()
+			if !db.NoEconomy && e.Constraint != "" && e.RowsSaved > 0 {
+				db.obs.econ.CreditRewriteRows(e.Constraint, e.RowsSaved)
+			}
 		} else if e.Reason != "" {
 			db.obs.metrics.Counter(mPruneRejected, "reason", e.Reason).Inc()
 		}

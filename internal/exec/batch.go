@@ -58,8 +58,10 @@ func CollectBatched(op Operator, ctx *Ctx) ([]types.Row, error) {
 // violated, on probation, or decayed below the confidence floor) are
 // dropped for this execution — the scan falls back toward a full read.
 // Returns nil when nothing can prune, which disables synopsis loads
-// entirely.
-func makeSkipper(preds []plan.PrunePred) func(*storage.PageSynopsis) bool {
+// entirely. A non-nil rec is credited with each skipped page under the
+// winning predicate's Source (dead-slot-only pages credit nothing — no
+// predicate proved them).
+func makeSkipper(preds []plan.PrunePred, rec *SkipRecorder) func(*storage.PageSynopsis) bool {
 	active := make([]plan.PrunePred, 0, len(preds))
 	for _, p := range preds {
 		if p.Check == nil || p.Check() {
@@ -87,6 +89,7 @@ func makeSkipper(preds []plan.PrunePred) func(*storage.PageSynopsis) bool {
 				// keeps the page.
 				if cs.Nulls == 0 && nonNull > 0 &&
 					expr.Between(cs.Min, cs.Max, true, true).CoveredBy(p.Interval) {
+					rec.Add(p.Source)
 					return true
 				}
 				continue
@@ -98,9 +101,11 @@ func makeSkipper(preds []plan.PrunePred) func(*storage.PageSynopsis) bool {
 				continue
 			}
 			if nonNull == 0 {
+				rec.Add(p.Source)
 				return true // all-NULL page, NULLs cannot qualify here
 			}
 			if expr.Between(cs.Min, cs.Max, true, true).Disjoint(p.Interval) {
+				rec.Add(p.Source)
 				return true
 			}
 		}
@@ -113,7 +118,7 @@ func makeSkipper(preds []plan.PrunePred) func(*storage.PageSynopsis) bool {
 // optimizer uses this for synopsis-aware page estimates; it touches no
 // counters.
 func CountSkippablePages(h *storage.Heap, preds []plan.PrunePred) int64 {
-	skip := makeSkipper(preds)
+	skip := makeSkipper(preds, nil)
 	if skip == nil {
 		return 0
 	}

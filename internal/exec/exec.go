@@ -34,6 +34,12 @@ type Ctx struct {
 	Comparisons int64 // sort and join comparisons
 	HashProbes  int64
 
+	// Skips, when set, attributes each pruned page to the prune predicate
+	// that proved the skip; the engine flushes it into the per-constraint
+	// economy ledger after the query. The pointer is shared down the
+	// Child() tree, so worker totals need no merge step.
+	Skips *SkipRecorder
+
 	// life holds the query's shared lifecycle (cancellation, memory
 	// budget, panic hook, fault injection); nil for legacy callers, which
 	// keeps every checkpoint a single pointer test. All lifecycle state
@@ -135,7 +141,7 @@ func (s *SeqScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 // RunBatch implements BatchOperator.
 func (s *SeqScan) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
 	var runErr error
-	skip := makeSkipper(s.Prune)
+	skip := makeSkipper(s.Prune, ctx.Skips)
 	var pass []types.Row
 	op := "SeqScan " + s.Table // precomputed so the per-page checkpoint allocates nothing
 	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row) bool {

@@ -165,11 +165,12 @@ func NewCtx(ctx context.Context, o CtxOptions) *Ctx {
 	return c
 }
 
-// Child returns a Ctx with fresh counters sharing c's lifecycle. Parallel
-// operators give each worker a Child so cancellation, the memory budget,
-// and fault injection stay query-global while counter merges stay exact.
+// Child returns a Ctx with fresh counters sharing c's lifecycle and skip
+// recorder. Parallel operators give each worker a Child so cancellation,
+// the memory budget, fault injection, and skip attribution stay
+// query-global while counter merges stay exact.
 func (c *Ctx) Child() *Ctx {
-	return &Ctx{life: c.life}
+	return &Ctx{life: c.life, Skips: c.Skips}
 }
 
 // checkpoint is the per-page (or per-batch) lifecycle check every data

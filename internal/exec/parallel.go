@@ -146,7 +146,7 @@ func (s *ParallelScan) Partitions() int {
 func (s *ParallelScan) RunPartition(part int, ctx *Ctx, emit func(types.Row) bool) error {
 	lo, hi := splitRange(int(s.Heap.PageCount()), s.Partitions(), part)
 	var runErr error
-	skip := makeSkipper(s.Prune)
+	skip := makeSkipper(s.Prune, ctx.Skips)
 	op := "ParallelScan " + s.Table
 	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row) bool {
 		if err := ctx.checkpoint(op); err != nil {

@@ -1,0 +1,62 @@
+package exec
+
+import "sync"
+
+// SkipRecorder attributes pruned pages to the prune-predicate source that
+// proved them skippable — "filter" for the query's own sargable conjuncts,
+// or a constraint/correlation/hole-set catalog name. One recorder serves a
+// whole query: serial scans, parallel partition workers, and nested-loop
+// re-runs all share it (the Ctx.Child tree propagates the pointer), so the
+// engine can flush exact per-constraint totals into the economy ledger
+// after the query quiesces.
+//
+// A nil *SkipRecorder ignores adds and reports nothing, matching the obs
+// package's disable-by-nil convention: scans outside an economy-tracked
+// query pay only a nil check per skipped page.
+type SkipRecorder struct {
+	mu       sync.Mutex
+	bySource map[string]int64
+}
+
+// NewSkipRecorder returns an empty recorder.
+func NewSkipRecorder() *SkipRecorder {
+	return &SkipRecorder{bySource: map[string]int64{}}
+}
+
+// Add credits one skipped page to the named source.
+func (r *SkipRecorder) Add(source string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.bySource[source]++
+	r.mu.Unlock()
+}
+
+// Counts returns a copy of the per-source skip totals.
+func (r *SkipRecorder) Counts() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.bySource))
+	for k, v := range r.bySource {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the sum over all sources.
+func (r *SkipRecorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, v := range r.bySource {
+		n += v
+	}
+	return n
+}

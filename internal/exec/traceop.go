@@ -20,6 +20,15 @@ import (
 // around shared (plan-cached) operators, so concurrent queries can
 // instrument the same plan independently.
 func Instrument(root Operator, est func(Operator) (float64, bool)) (Operator, *obs.SpanNode) {
+	return InstrumentInformed(root, est, nil)
+}
+
+// InstrumentInformed is Instrument with a second plan-node lookup:
+// informed, when non-nil, names the constraints whose information shaped a
+// node's cardinality estimate. The names land on the span tree so the
+// engine can split per-node q-error into constraint-informed and blind
+// populations for the economy ledger.
+func InstrumentInformed(root Operator, est func(Operator) (float64, bool), informed func(Operator) []string) (Operator, *obs.SpanNode) {
 	var wrap func(op Operator) (Operator, *obs.SpanNode)
 	wrap = func(op Operator) (Operator, *obs.SpanNode) {
 		node := &obs.SpanNode{Desc: op.Describe()}
@@ -27,6 +36,9 @@ func Instrument(root Operator, est func(Operator) (float64, bool)) (Operator, *o
 			if rows, ok := est(op); ok {
 				node.EstRows, node.HasEst = rows, true
 			}
+		}
+		if informed != nil {
+			node.Informed = informed(op)
 		}
 		if kids := op.Inputs(); len(kids) > 0 {
 			wrapped := make([]Operator, len(kids))

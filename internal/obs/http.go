@@ -1,12 +1,31 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
-// Handler serves the debug HTTP surface:
+// HandlerOptions extends the debug HTTP surface beyond metrics and the
+// query log. Every field is optional; nil fields leave their endpoint off
+// (or, for Pprof, serving 404s only under /debug/pprof/).
+type HandlerOptions struct {
+	// Economy, when set, serves the constraint-economy ledger as JSON at
+	// /debug/constraints. The callback returns the decorated, net-benefit
+	// ranked rows (the engine adds catalog facts the ledger doesn't know).
+	Economy func() []EconomyRow
+	// WAL, when set, serves durability status as JSON at /debug/wal. The
+	// callback returns any JSON-marshalable snapshot; an in-memory engine
+	// should return a value marshaling to {"durable": false}.
+	WAL func() any
+	// Pprof enables the stdlib net/http/pprof handlers under /debug/pprof/
+	// for live profiling.
+	Pprof bool
+}
+
+// Handler serves the basic debug HTTP surface:
 //
 //	GET /metrics        — Prometheus text exposition of reg
 //	GET /debug/queries  — recent query traces from qlog, newest first
@@ -15,6 +34,15 @@ import (
 // Either argument may be nil, in which case its endpoint serves an empty
 // body rather than failing.
 func Handler(reg *Registry, qlog *QueryLog) http.Handler {
+	return HandlerWith(reg, qlog, HandlerOptions{})
+}
+
+// HandlerWith is Handler plus the optional endpoints in opts:
+//
+//	GET /debug/constraints — economy ledger JSON, net-benefit ranked
+//	GET /debug/wal         — durability/WAL status JSON
+//	GET /debug/pprof/      — stdlib profiling handlers (when opts.Pprof)
+func HandlerWith(reg *Registry, qlog *QueryLog, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,5 +62,32 @@ func Handler(reg *Registry, qlog *QueryLog) http.Handler {
 			fmt.Fprintf(w, "\n--- [%d] ---\n%s", i, t.Render())
 		}
 	})
+	if opts.Economy != nil {
+		mux.HandleFunc("/debug/constraints", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			rows := opts.Economy()
+			if rows == nil {
+				rows = []EconomyRow{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rows)
+		})
+	}
+	if opts.WAL != nil {
+		mux.HandleFunc("/debug/wal", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(opts.WAL())
+		})
+	}
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

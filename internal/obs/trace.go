@@ -35,6 +35,11 @@ type SpanNode struct {
 	Nanos        atomic.Int64
 	Calls        atomic.Int64
 
+	// Informed names the constraints whose information sharpened this
+	// node's cardinality estimate (SSC twins, AST coverage, ...). The
+	// economy ledger splits per-node q-error by whether this is empty.
+	Informed []string
+
 	Children []*SpanNode
 }
 
@@ -111,6 +116,12 @@ type Event struct {
 	Reason string
 	// Detail is a human-readable elaboration.
 	Detail string
+	// RowsSaved estimates, at plan time, how many rows the rewrite
+	// eliminated from the query's work (rows of a dropped join side, of an
+	// eliminated union branch, of the scan narrowed to an AST). Zero when
+	// the rule doesn't remove rows or the saving isn't cheaply known; the
+	// economy ledger credits it to Constraint.
+	RowsSaved float64
 }
 
 // String renders the event for traces and EXPLAIN output.

@@ -8,6 +8,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
@@ -43,7 +44,9 @@ type prop struct {
 // exact joint selectivity of that subset — the paper's "the optimizer uses
 // the statistics from both the base tables and the ASTs involved for
 // filter factor estimation".
-func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64) {
+// The informed return names the constraints/ASTs whose information
+// sharpened the estimate (empty for a purely statistics-driven guess).
+func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64, informed []string) {
 	var ts *stats.TableStats
 	var rowCount int64
 	switch {
@@ -64,6 +67,7 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 		if frac, remaining, name, ok := o.astCoverage(s, rowCount); ok {
 			baseFraction = frac
 			filter = remaining
+			informed = append(informed, name)
 			o.event(obs.Event{
 				Rule: "ast-estimation", Constraint: name, Mode: "AST",
 				Confidence: 1, Applied: true,
@@ -72,10 +76,21 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 		}
 	}
 	est := o.estimatorFor(s, ts)
+	twins := s.EstOnly
+	if o.Masked != "" {
+		kept := twins[:0:0]
+		for _, ep := range twins {
+			if !strings.EqualFold(ep.Source, o.Masked) {
+				kept = append(kept, ep)
+			}
+		}
+		twins = kept
+	}
 	var sel float64
-	if len(s.EstOnly) > 0 && !o.NoSSCEstimation {
-		sel = est.SelectivityWithSSCs(filter, s.EstOnly)
-		for _, ep := range s.EstOnly {
+	if len(twins) > 0 && !o.NoSSCEstimation {
+		sel = est.SelectivityWithSSCs(filter, twins)
+		for _, ep := range twins {
+			informed = append(informed, ep.Source)
 			o.event(obs.Event{
 				Rule: "ssc-estimation", Constraint: ep.Source,
 				Mode: catalog.ModeSoftStatistical.String(), Confidence: ep.Confidence,
@@ -86,7 +101,7 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 	} else {
 		sel = est.Selectivity(filter)
 	}
-	return float64(rowCount), float64(rowCount) * baseFraction * sel
+	return float64(rowCount), float64(rowCount) * baseFraction * sel, informed
 }
 
 // astCoverage finds the AST over s's base table whose defining predicate is
@@ -95,7 +110,7 @@ func (o *Optimizer) scanEstimate(s *plan.Scan) (total float64, selected float64)
 func (o *Optimizer) astCoverage(s *plan.Scan, total int64) (frac float64, remaining []expr.Expr, name string, ok bool) {
 	bestCovered := 0
 	for _, st := range o.Cat.SummariesOn(s.Table) {
-		if st.Where == nil {
+		if st.Where == nil || (o.Masked != "" && strings.EqualFold(st.Name, o.Masked)) {
 			continue
 		}
 		astConjuncts := expr.SplitConjuncts(st.Where)

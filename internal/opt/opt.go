@@ -46,6 +46,11 @@ type Optimizer struct {
 	// ParallelMinRows overrides defaultParallelMinRows (tests force
 	// parallel plans on small tables by setting it to 1); 0 means default.
 	ParallelMinRows float64
+	// Masked, when non-empty, names one constraint or AST whose statistics
+	// must not inform estimation (shadow costing; pairs with
+	// rewrite.Options.Masked so the masked plan is priced as if the
+	// characterization had never been discovered).
+	Masked string
 
 	// limitFree is set per Optimize call: plans containing LIMIT stay
 	// serial, because early termination would make parallel workers scan
@@ -56,6 +61,10 @@ type Optimizer struct {
 	// plan nodes) and soft-constraint consultation events.
 	nodeRows map[exec.Operator]float64
 	events   []obs.Event
+	// nodeInformed records, per operator, the constraints/ASTs whose
+	// information sharpened that operator's cardinality estimate — the
+	// economy ledger splits q-error into informed vs. blind with it.
+	nodeInformed map[exec.Operator][]string
 }
 
 // Result is a lowered, costed physical plan.
@@ -69,18 +78,23 @@ type Result struct {
 	// Events records every soft-constraint consultation made while costing
 	// this plan (SSC twinned-predicate estimation, AST filter factors).
 	Events []obs.Event
+	// NodeInformed maps operators whose cardinality estimate was sharpened
+	// by constraint-derived information to the names of the informing
+	// constraints/ASTs.
+	NodeInformed map[exec.Operator][]string
 }
 
 // Optimize lowers the logical plan.
 func (o *Optimizer) Optimize(n plan.Node) (*Result, error) {
 	o.limitFree = !containsLimit(n)
 	o.nodeRows = map[exec.Operator]float64{}
+	o.nodeInformed = map[exec.Operator][]string{}
 	o.events = nil
 	op, pr, err := o.lower(n)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Root: op, EstRows: pr.rows, EstCost: pr.cost, NodeRows: o.nodeRows, Events: o.events}, nil
+	return &Result{Root: op, EstRows: pr.rows, EstCost: pr.cost, NodeRows: o.nodeRows, Events: o.events, NodeInformed: o.nodeInformed}, nil
 }
 
 // note records an operator's estimated cardinality for EXPLAIN ANALYZE.
@@ -310,7 +324,7 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 	if heap == nil {
 		return &exec.Values{Desc: "Empty (no storage for " + s.Table + ")"}, prop{}
 	}
-	total, selected := o.scanEstimate(s)
+	total, selected, informed := o.scanEstimate(s)
 	pages := float64(heap.PageCount())
 	prune := o.prunePreds(s)
 	// Synopsis-aware page estimate: pages the skipper would prune right now
@@ -379,6 +393,9 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 		if dop := o.parallelDegree(selected); dop > 1 {
 			best = &exec.ParallelScan{Table: ss.Table, Heap: ss.Heap, Filter: ss.Filter, Prune: ss.Prune, Workers: dop}
 		}
+	}
+	if len(informed) > 0 && o.nodeInformed != nil {
+		o.nodeInformed[best] = informed
 	}
 	return best, prop{rows: math.Max(selected, 0), cost: bestCost}
 }

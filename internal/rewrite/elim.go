@@ -119,7 +119,7 @@ func (r *Rewriter) tryEliminateParent(jg *plan.JoinGroup, slots []*expr.Expr, re
 	// Find a matching FK on the child.
 	var fk *catalog.Constraint
 	for _, con := range child.Entry.Constraints {
-		if con.Kind != catalog.ForeignKey || !con.Active || !con.Mode.UsableInRewrite() {
+		if con.Kind != catalog.ForeignKey || !con.Active || !con.Mode.UsableInRewrite() || r.Opt.masked(con.Name) {
 			continue
 		}
 		if !strings.EqualFold(con.RefTable, parent.Table) {
@@ -207,7 +207,8 @@ func (r *Rewriter) tryEliminateParent(jg *plan.JoinGroup, slots []*expr.Expr, re
 	r.tracef("join-elimination: removed %s (FK %s from %s)", parent.Alias, fk.Name, child.Alias)
 	r.event(obs.Event{Rule: "join-elimination", Constraint: fk.Name,
 		Mode: fk.Mode.String(), Confidence: fk.Confidence, Applied: true,
-		Detail: fmt.Sprintf("removed %s (referential integrity from %s)", parent.Alias, child.Alias)})
+		Detail:    fmt.Sprintf("removed %s (referential integrity from %s)", parent.Alias, child.Alias),
+		RowsSaved: float64(parent.Entry.Heap.RowCount())})
 	return true
 }
 

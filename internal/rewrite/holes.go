@@ -38,7 +38,7 @@ func (r *Rewriter) trimJoinHoles(jg *plan.JoinGroup) {
 		lCol := ls.Def.Columns[lc.Index-jg.Offset(li)].Name
 		rCol := rs.Def.Columns[rc.Index-jg.Offset(ri)].Name
 		holes, swapped := r.Cat.JoinHolesFor(ls.Table, lCol, rs.Table, rCol)
-		if holes == nil || len(holes.Holes) == 0 {
+		if holes == nil || len(holes.Holes) == 0 || r.Opt.masked(holes.Name) {
 			continue
 		}
 		// Orient: "left" in the hole record vs. in this query.

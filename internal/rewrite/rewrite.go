@@ -24,6 +24,17 @@ type Options struct {
 	NoSSCTwins     bool // disable §5.1 estimation-only twinned predicates
 	NoASTRouting   bool // disable routing scans through matching ASTs (§4.4)
 	NoPruneIntro   bool // disable planting prune-only predicates (zone-map pruning)
+
+	// Masked, when non-empty, names one constraint, correlation, hole set,
+	// or AST the rewriter must pretend does not exist. Shadow costing uses
+	// it to price the plan the optimizer would have produced without that
+	// one characterization; the masked plan is costed, never executed.
+	Masked string
+}
+
+// masked reports whether name is hidden from this rewrite pass.
+func (o Options) masked(name string) bool {
+	return o.Masked != "" && strings.EqualFold(o.Masked, name)
 }
 
 // Rewriter applies semantic query optimization to logical plans. It may
@@ -261,7 +272,7 @@ func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
 	}
 	var out []bound
 	for _, con := range s.Entry.Constraints {
-		if con.Kind != catalog.Check {
+		if con.Kind != catalog.Check || r.Opt.masked(con.Name) {
 			continue
 		}
 		if !con.Active {
@@ -275,6 +286,9 @@ func (r *Rewriter) boundsFor(s *plan.Scan) []bound {
 		}
 	}
 	for _, lc := range r.Cat.Correlations(s.Table) {
+		if r.Opt.masked(lc.Name) {
+			continue
+		}
 		if !lc.Usable() {
 			// §3.2: probationary SCs are maintained, not employed.
 			r.event(obs.Event{Rule: "bound-lowering", Constraint: lc.Name,
@@ -350,7 +364,8 @@ func (r *Rewriter) rewriteScan(s *plan.Scan) plan.Node {
 			if fiv.Disjoint(biv) {
 				r.event(obs.Event{Rule: "branch-elimination", Constraint: b.Source,
 					Mode: b.Mode.String(), Confidence: b.Confidence, Applied: true,
-					Detail: fmt.Sprintf("%s contradicts bound on %s; scan proven empty", s.Alias, s.Def.Columns[b.ColA].Name)})
+					Detail:    fmt.Sprintf("%s contradicts bound on %s; scan proven empty", s.Alias, s.Def.Columns[b.ColA].Name),
+					RowsSaved: float64(s.Entry.Heap.RowCount())})
 				return &plan.Empty{
 					Schema: s.Cols(),
 					Reason: fmt.Sprintf("%s contradicts %s on %s", s.Alias, b.Source, s.Def.Columns[b.ColA].Name),
@@ -464,7 +479,7 @@ func (r *Rewriter) applyBound(s *plan.Scan, b bound, known, target int) (plan.No
 	// Statistical bound. Prefer the exact §4.4 exception-union rewrite when
 	// an exception AST is linked; otherwise fall back to a §5.1 twin.
 	if !r.Opt.NoExceptionAST && b.check != nil && indexHelps {
-		if ast, ok := r.Cat.ExceptionFor(b.check.Name); ok && ast.Base != "" && strings.EqualFold(ast.Base, s.Table) {
+		if ast, ok := r.Cat.ExceptionFor(b.check.Name); ok && ast.Base != "" && strings.EqualFold(ast.Base, s.Table) && !r.Opt.masked(ast.Name) {
 			if rewritten, ok := r.exceptionUnion(s, b, pred, ast); ok {
 				return rewritten, true
 			}
@@ -540,7 +555,7 @@ func (r *Rewriter) routeThroughAST(s *plan.Scan) plan.Node {
 	var best *catalog.SummaryTable
 	bestSize := int64(-1)
 	for _, st := range r.Cat.SummariesOn(s.Table) {
-		if st.Informational || st.Heap == nil || st.Where == nil {
+		if st.Informational || st.Heap == nil || st.Where == nil || r.Opt.masked(st.Name) {
 			continue
 		}
 		contained := true
@@ -565,7 +580,8 @@ func (r *Rewriter) routeThroughAST(s *plan.Scan) plan.Node {
 		s.Alias, best.Name, best.Heap.RowCount(), s.Entry.Heap.RowCount())
 	r.event(obs.Event{Rule: "ast-routing", Constraint: best.Name, Mode: "AST",
 		Confidence: 1, Applied: true,
-		Detail: fmt.Sprintf("%s: scan routed to summary (%d of %d rows)", s.Alias, best.Heap.RowCount(), s.Entry.Heap.RowCount())})
+		Detail:    fmt.Sprintf("%s: scan routed to summary (%d of %d rows)", s.Alias, best.Heap.RowCount(), s.Entry.Heap.RowCount()),
+		RowsSaved: float64(s.Entry.Heap.RowCount() - best.Heap.RowCount())})
 	return &plan.Scan{
 		Table: best.Name, Alias: s.Alias, Summary: best, Def: best.Def,
 		Filter:  append([]expr.Expr(nil), s.Filter...),

@@ -44,8 +44,10 @@ func IsTransient(err error) bool {
 // run executes f under the policy, consulting the manager's fault injector
 // once per attempt (the seam the fault-injection suite drives) and backing
 // off between transient failures. ctx cancellation is observed before
-// every attempt.
-func (p RetryPolicy) run(ctx context.Context, m *Manager, site string, f func() error) error {
+// every attempt. Backoff sleeps are charged to the named constraint's
+// refresh cost in the economy ledger: time a flaky refresh spends waiting
+// is maintenance overhead the constraint caused.
+func (p RetryPolicy) run(ctx context.Context, m *Manager, site, name string, f func() error) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = 1
@@ -83,6 +85,7 @@ func (p RetryPolicy) run(ctx context.Context, m *Manager, site string, f func() 
 			fmt.Sprintf("%s: attempt %d failed (%v), retrying in %s", site, a, err, delay),
 			"site", site, "attempt", a, "err", err.Error(), "backoff", delay)
 		sleep(delay)
+		m.Econ.AddRefresh(name, delay)
 		delay *= 2
 		if p.MaxDelay > 0 && delay > p.MaxDelay {
 			delay = p.MaxDelay
@@ -95,7 +98,7 @@ func (p RetryPolicy) run(ctx context.Context, m *Manager, site string, f func() 
 // policy — the asynchronous maintenance entry point callers should use
 // when the refresh may hit transient storage faults.
 func (m *Manager) RefreshCorrelationWithRetry(ctx context.Context, name string, pol RetryPolicy) error {
-	return pol.run(ctx, m, "softc.refresh-correlation", func() error {
+	return pol.run(ctx, m, "softc.refresh-correlation", name, func() error {
 		return m.RefreshCorrelation(name)
 	})
 }
@@ -104,7 +107,7 @@ func (m *Manager) RefreshCorrelationWithRetry(ctx context.Context, name string, 
 // retry policy.
 func (m *Manager) RefreshCheckConfidenceWithRetry(ctx context.Context, table, constraint string, pol RetryPolicy) (float64, error) {
 	var conf float64
-	err := pol.run(ctx, m, "softc.refresh-check", func() error {
+	err := pol.run(ctx, m, "softc.refresh-check", constraint, func() error {
 		c, err := m.RefreshCheckConfidence(table, constraint)
 		if err == nil {
 			conf = c

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"softdb/internal/catalog"
 	"softdb/internal/expr"
@@ -46,6 +47,15 @@ type Manager struct {
 	// wires it to log a soft-registry image to the WAL, so mined state
 	// survives a crash without being re-mined.
 	OnChange func()
+	// OnChangeNamed, when set, fires like OnChange but receives the names
+	// of the mutated characterizations, so the caller can attribute the
+	// registry-maintenance WAL write to specific constraints in the
+	// economy ledger.
+	OnChangeNamed func(names []string)
+	// Econ, when set, is credited with the wall time of every refresh and
+	// remine pass (including retry backoff), the maintenance side of the
+	// per-constraint benefit/cost ledger. Nil disables the accounting.
+	Econ *obs.Economy
 }
 
 // NewManager returns a manager with default miner configurations.
@@ -64,8 +74,12 @@ func (m *Manager) count(name string) {
 	m.Metrics.Counter(name).Inc()
 }
 
-// changed fires the OnChange hook after a successful registry mutation.
-func (m *Manager) changed() {
+// changed fires the change hooks after a successful registry mutation,
+// naming the characterizations the mutation touched.
+func (m *Manager) changed(names ...string) {
+	if m.OnChangeNamed != nil {
+		m.OnChangeNamed(names)
+	}
 	if m.OnChange != nil {
 		m.OnChange()
 	}
@@ -163,44 +177,50 @@ func (m *Manager) SelectCorrelations(cands []*catalog.LinearCorrelation, topN in
 
 // InstallCorrelations registers the given correlations.
 func (m *Manager) InstallCorrelations(sel []ScoredCorrelation) error {
+	names := make([]string, 0, len(sel))
 	for _, sc := range sel {
 		if err := m.Cat.AddCorrelation(sc.Corr); err != nil {
 			return err
 		}
+		names = append(names, sc.Corr.Name)
 		m.log(slog.LevelInfo, "installed correlation",
 			fmt.Sprintf("install correlation %s (score %.2f: %s)", sc.Corr.Name, sc.Score, sc.Why),
 			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
-	m.changed()
+	m.changed(names...)
 	return nil
 }
 
 // InstallFDs registers discovered dependencies as soft FD constraints.
 func (m *Manager) InstallFDs(table string, fds []mining.FD) error {
+	names := make([]string, 0, len(fds))
 	for _, fd := range fds {
 		con := fd.ToConstraint(table)
 		if err := m.Cat.AddConstraint(con); err != nil {
 			return err
 		}
+		names = append(names, con.Name)
 		m.log(slog.LevelInfo, "installed FD",
 			fmt.Sprintf("install FD %s: %s -> %s @%.3f", con.Name, strings.Join(fd.Det, ","), fd.Dep, fd.Confidence),
 			"constraint", con.Name, "table", table, "confidence", fd.Confidence)
 	}
-	m.changed()
+	m.changed(names...)
 	return nil
 }
 
 // InstallRanges registers min/max soft range constraints.
 func (m *Manager) InstallRanges(ranges []*catalog.Constraint) error {
+	names := make([]string, 0, len(ranges))
 	for _, con := range ranges {
 		if err := m.Cat.AddConstraint(con); err != nil {
 			return err
 		}
+		names = append(names, con.Name)
 		m.log(slog.LevelInfo, "installed range",
 			fmt.Sprintf("install range %s", con.Name),
 			"constraint", con.Name, "table", con.Table)
 	}
-	m.changed()
+	m.changed(names...)
 	return nil
 }
 
@@ -211,6 +231,7 @@ func (m *Manager) InstallRanges(ranges []*catalog.Constraint) error {
 // envelope, currency counters reset, and an inactive correlation whose
 // envelope again holds absolutely is reactivated.
 func (m *Manager) RefreshCorrelation(name string) error {
+	defer m.timeRefresh(name)()
 	lc, ok := m.Cat.CorrelationByName(name)
 	if !ok {
 		return fmt.Errorf("softc: no correlation %s", name)
@@ -243,8 +264,19 @@ func (m *Manager) RefreshCorrelation(name string) error {
 			"constraint", name, "table", lc.Table, "prev", prev, "confidence", conf)
 	}
 	m.Cat.Touch()
-	m.changed()
+	m.changed(name)
 	return nil
+}
+
+// timeRefresh starts a wall-clock measurement of one refresh/remine pass;
+// the returned stop function credits the elapsed time to the named
+// characterization's maintenance cost. Nil-Econ managers pay one closure.
+func (m *Manager) timeRefresh(name string) func() {
+	if m.Econ == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { m.Econ.AddRefresh(name, time.Since(start)) }
 }
 
 func confidenceForEnvelope(heap *storage.Heap, aOrd, bOrd int, k, b0, eps float64) float64 {
@@ -269,6 +301,7 @@ func confidenceForEnvelope(heap *storage.Heap, aOrd, bOrd int, k, b0, eps float6
 // RefreshCheckConfidence rescans the table and updates an SSC check
 // constraint's confidence (the periodic runstats-like refresh of §3.3).
 func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, error) {
+	defer m.timeRefresh(constraint)()
 	te, err := m.Cat.Table(table)
 	if err != nil {
 		return 0, err
@@ -327,7 +360,7 @@ func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, err
 	m.log(slog.LevelInfo, "check confidence refreshed",
 		fmt.Sprintf("refresh %s: confidence %.4f -> %.4f over %d rows", constraint, prev, conf, total),
 		"constraint", constraint, "table", table, "prev", prev, "confidence", conf, "rows", total)
-	m.changed()
+	m.changed(constraint)
 	return conf, nil
 }
 
@@ -335,6 +368,7 @@ func (m *Manager) RefreshCheckConfidence(table, constraint string) (float64, err
 // the asynchronous repair that restores optimality after cheap synchronous
 // hole drops (§4.3).
 func (m *Manager) RemineJoinHoles(name string, cfg mining.HoleMinerConfig) (int, error) {
+	defer m.timeRefresh(name)()
 	jh, ok := m.Cat.JoinHolesByName(name)
 	if !ok {
 		return 0, fmt.Errorf("softc: no join holes %s", name)
@@ -364,7 +398,7 @@ func (m *Manager) RemineJoinHoles(name string, cfg mining.HoleMinerConfig) (int,
 	m.log(slog.LevelInfo, "join holes remined",
 		fmt.Sprintf("remine %s: %d holes", name, len(jh.Holes)),
 		"constraint", name, "holes", len(jh.Holes))
-	m.changed()
+	m.changed(name)
 	return len(jh.Holes), nil
 }
 
@@ -438,16 +472,18 @@ func (m *Manager) CurrencyReport() []CurrencyEntry {
 // maintain them (a violation deactivates), but the optimizer does not
 // employ them yet.
 func (m *Manager) InstallOnProbation(sel []ScoredCorrelation) error {
+	names := make([]string, 0, len(sel))
 	for _, sc := range sel {
 		sc.Corr.Probation = true
 		if err := m.Cat.AddCorrelation(sc.Corr); err != nil {
 			return err
 		}
+		names = append(names, sc.Corr.Name)
 		m.log(slog.LevelDebug, "installed on probation",
 			fmt.Sprintf("probation: installed %s (score %.2f)", sc.Corr.Name, sc.Score),
 			"constraint", sc.Corr.Name, "table", sc.Corr.Table, "score", sc.Score)
 	}
-	m.changed()
+	m.changed(names...)
 	return nil
 }
 
@@ -477,7 +513,7 @@ func (m *Manager) Promote(name string) error {
 	m.log(slog.LevelInfo, "probation promoted",
 		fmt.Sprintf("probation: promoted %s", name),
 		"constraint", name, "table", lc.Table)
-	m.changed()
+	m.changed(name)
 	return nil
 }
 

@@ -221,3 +221,9 @@ func (*Explain) stmt() {}
 type Analyze struct{ Table string }
 
 func (*Analyze) stmt() {}
+
+// Show is SHOW CONSTRAINTS ECONOMY: report the per-constraint
+// benefit/cost ledger, ranked by net benefit.
+type Show struct{}
+
+func (*Show) stmt() {}

@@ -195,6 +195,15 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &Analyze{Table: name}, nil
+	case "SHOW":
+		p.pos++
+		if err := p.expectKeyword("CONSTRAINTS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ECONOMY"); err != nil {
+			return nil, err
+		}
+		return &Show{}, nil
 	default:
 		return nil, p.errorf("unknown statement %q", t.Text)
 	}

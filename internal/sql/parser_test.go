@@ -369,3 +369,22 @@ func TestParseParenthesizedSelect(t *testing.T) {
 		t.Fatalf("got %T", s)
 	}
 }
+
+func TestParseShowConstraintsEconomy(t *testing.T) {
+	s := mustParse(t, "SHOW CONSTRAINTS ECONOMY")
+	if _, ok := s.(*Show); !ok {
+		t.Fatalf("parsed %T, want *Show", s)
+	}
+	printed := Print(s)
+	if printed != "SHOW CONSTRAINTS ECONOMY" {
+		t.Errorf("Print(*Show) = %q", printed)
+	}
+	if _, ok := mustParse(t, printed).(*Show); !ok {
+		t.Error("printed form did not parse back to *Show")
+	}
+	for _, bad := range []string{"SHOW", "SHOW CONSTRAINTS", "SHOW ECONOMY"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

@@ -33,6 +33,8 @@ func printStmt(b *strings.Builder, st Statement) {
 		printStmt(b, s.Stmt)
 	case *Analyze:
 		fmt.Fprintf(b, "ANALYZE %s", s.Table)
+	case *Show:
+		b.WriteString("SHOW CONSTRAINTS ECONOMY")
 	case *CreateTable:
 		printCreateTable(b, s)
 	case *CreateIndex:
