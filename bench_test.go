@@ -15,10 +15,12 @@ import (
 
 	"softdb/internal/bench"
 	"softdb/internal/engine"
+	"softdb/internal/expr"
 	"softdb/internal/mining"
 	"softdb/internal/server"
 	"softdb/internal/softc"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 	"softdb/internal/wal"
 	"softdb/internal/workload"
 )
@@ -876,4 +878,52 @@ func BenchmarkO2EconomyOverhead(b *testing.B) {
 		})
 	}
 	db.NoEconomy = false
+}
+
+// BenchmarkV1Kernels measures the compiled predicate kernels against the
+// per-row tree-walk they replaced, one sub-benchmark pair per kernel
+// family (see EXPERIMENTS.md §V1). Each op evaluates the whole batch, and
+// ns/row is reported so single-iteration snapshot runs still carry a
+// meaningful per-row number.
+func BenchmarkV1Kernels(b *testing.B) {
+	const nRows = 65536
+	rows := bench.V1Rows(nRows)
+	for _, kc := range bench.V1Cases() {
+		prog := expr.CompilePredicate(kc.Conds)
+		b.Run(kc.Name+"/kernel", func(b *testing.B) {
+			var batch vec.Batch
+			batch.Reset(rows)
+			ident := vec.IdentitySel(nil, nRows)
+			out := make([]int32, 0, nRows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel := ident
+				for s := range prog.Stages {
+					var err error
+					sel, err = prog.RunStage(s, &batch, sel, out)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nRows), "ns/row")
+		})
+		b.Run(kc.Name+"/treewalk", func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, row := range rows {
+					for _, c := range kc.Conds {
+						ok, err := expr.EvalBool(c, row)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nRows), "ns/row")
+		})
+	}
 }

@@ -39,6 +39,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/queries on this address")
 	parallel := flag.Int("parallel", 1, "default maximum intra-query degree of parallelism (1 = serial)")
 	noPrune := flag.Bool("no-prune", false, "disable synopsis-based page pruning by default")
+	noBatch := flag.Bool("no-batch", false, "disable vectorized (columnar-batch) execution by default")
 	timeout := flag.Duration("timeout", 0, "default per-statement deadline (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "default per-query budget in bytes for buffered rows (0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: maximum concurrently executing statements (0 = unlimited)")
@@ -99,6 +100,7 @@ func main() {
 	}
 	db.Parallel = *parallel
 	db.NoPrune = *noPrune
+	db.NoBatch = *noBatch
 	db.StmtTimeout = *timeout
 	db.MemBudget = *memBudget
 	db.MaxConcurrent = *maxConcurrent

@@ -390,6 +390,59 @@ func TestO2Shape(t *testing.T) {
 	}
 }
 
+func TestV1Shape(t *testing.T) {
+	rep, err := V1Kernels(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range rep.Rows {
+		rows[row[0]] = row
+	}
+	get := func(name string) []string {
+		t.Helper()
+		row, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing kernel row %q in %v", name, rep.Rows)
+		}
+		return row
+	}
+	// The comparator families the compiler specializes must report typed
+	// stages and beat the tree-walk; the column-to-column predicate must fall
+	// back to the generic stage without a blowup (it wraps the same
+	// tree-walk, so parity up to loop overhead).
+	var best float64
+	for _, name := range []string{"eq-int", "lt-float", "between-int", "is-null"} {
+		row := get(name)
+		if row[1] != "true" {
+			t.Errorf("%s: expected a typed kernel: %v", name, row)
+		}
+		speedup := lastFloat(t, row[4])
+		if speedup <= 1.0 {
+			t.Errorf("%s: typed kernel should beat tree-walk: %.2f", name, speedup)
+		}
+		if speedup > best {
+			best = speedup
+		}
+	}
+	if best < 2 {
+		t.Errorf("at least one typed kernel should win >=2x: best %.2f", best)
+	}
+	generic := get("generic-col-col")
+	if generic[1] != "false" {
+		t.Errorf("column-to-column compare should use the generic stage: %v", generic)
+	}
+	if speedup := lastFloat(t, generic[4]); speedup < 0.3 {
+		t.Errorf("generic stage should be near tree-walk parity, got %.2f", speedup)
+	}
+	// End-to-end row exists and batching does not lose to the row path at
+	// smoke scale by more than timer noise allows.
+	e2e := get("e2e-scan-agg")
+	if speedup := lastFloat(t, e2e[4]); speedup < 0.5 {
+		t.Errorf("batched pipeline should not lose badly end-to-end: %.2f", speedup)
+	}
+}
+
 func TestReportRendering(t *testing.T) {
 	rep := &Report{ID: "X", Title: "t", Claim: "c", Header: []string{"a", "bb"}}
 	rep.AddRow(1, 2.5)

@@ -564,48 +564,64 @@ func TestDifferentialPrune(t *testing.T) {
 	var totalSkipped int64
 	runAll := func(trial int, sel *sql.Select, desc string) {
 		t.Helper()
-		results := make([]*Result, len(cfgs))
-		for i, c := range cfgs {
-			db.NoPrune, db.NoBatch = c.noPrune, c.noBatch
-			res, err := db.ExecStmt(sel, "")
-			if err != nil {
-				t.Fatalf("trial %d [%s]: %s: %v", trial, c.name, desc, err)
+		// Serial and parallel plans exercise distinct operators (SeqScan vs
+		// ParallelScan, HashJoin vs PartitionedHashJoin, ...); the four
+		// prune×batch configurations must agree under both.
+		for _, par := range []int{1, 8} {
+			db.Parallel = par
+			results := make([]*Result, len(cfgs))
+			for i, c := range cfgs {
+				db.NoPrune, db.NoBatch = c.noPrune, c.noBatch
+				res, err := db.ExecStmt(sel, "")
+				if err != nil {
+					t.Fatalf("trial %d [%s par=%d]: %s: %v", trial, c.name, par, desc, err)
+				}
+				results[i] = res
 			}
-			results[i] = res
-		}
-		db.NoPrune, db.NoBatch = false, false
-		ref := sortedKeys(results[0].Rows)
-		for i := 1; i < len(cfgs); i++ {
-			got := sortedKeys(results[i].Rows)
-			if len(got) != len(ref) {
-				t.Fatalf("trial %d [%s]: %s: %d rows, want %d\nplan:\n%s",
-					trial, cfgs[i].name, desc, len(got), len(ref), results[i].Plan)
-			}
-			for j := range got {
-				if got[j] != ref[j] {
-					t.Fatalf("trial %d [%s]: %s: row %d differs: %s vs %s\nplan:\n%s",
-						trial, cfgs[i].name, desc, j, got[j], ref[j], results[i].Plan)
+			db.NoPrune, db.NoBatch = false, false
+			ref := sortedKeys(results[0].Rows)
+			for i := 1; i < len(cfgs); i++ {
+				got := sortedKeys(results[i].Rows)
+				if len(got) != len(ref) {
+					t.Fatalf("trial %d [%s par=%d]: %s: %d rows, want %d\nplan:\n%s",
+						trial, cfgs[i].name, par, desc, len(got), len(ref), results[i].Plan)
+				}
+				for j := range got {
+					if got[j] != ref[j] {
+						t.Fatalf("trial %d [%s par=%d]: %s: row %d differs: %s vs %s\nplan:\n%s",
+							trial, cfgs[i].name, par, desc, j, got[j], ref[j], results[i].Plan)
+					}
 				}
 			}
-		}
-		// Page accounting, per batch mode: indexes are off, so the prune
-		// toggle must not change the plan shape — only which pages get read.
-		for b := 0; b < 2; b++ {
-			off, on := results[b].Ctx.IO.Load(), results[b+2].Ctx.IO.Load()
-			if off.PagesSkipped != 0 {
-				t.Fatalf("trial %d: %s: pruning-off scan skipped %d pages\nplan:\n%s",
-					trial, desc, off.PagesSkipped, results[b].Plan)
+			// Batching is a pure delivery change: within each prune mode the
+			// batched run must read and skip exactly what the row-at-a-time
+			// run did (no LIMIT in the corpus, so granularity cannot differ).
+			for p := 0; p < 2; p++ {
+				rowIO, batchIO := results[2*p].Ctx.IO.Load(), results[2*p+1].Ctx.IO.Load()
+				if rowIO != batchIO {
+					t.Fatalf("trial %d [par=%d prune=%v]: %s: batch accounting diverged: row-path %+v, batched %+v\nplan:\n%s",
+						trial, par, !cfgs[2*p].noPrune, desc, rowIO, batchIO, results[2*p+1].Plan)
+				}
 			}
-			if on.PagesRead+on.PagesSkipped != off.PagesRead {
-				t.Fatalf("trial %d [%s]: %s: read %d + skipped %d != baseline %d pages\nplan:\n%s",
-					trial, cfgs[b+2].name, desc, on.PagesRead, on.PagesSkipped, off.PagesRead, results[b+2].Plan)
+			// Page accounting, per batch mode: indexes are off, so the prune
+			// toggle must not change the plan shape — only which pages get read.
+			for b := 0; b < 2; b++ {
+				off, on := results[b].Ctx.IO.Load(), results[b+2].Ctx.IO.Load()
+				if off.PagesSkipped != 0 {
+					t.Fatalf("trial %d: %s: pruning-off scan skipped %d pages\nplan:\n%s",
+						trial, desc, off.PagesSkipped, results[b].Plan)
+				}
+				if on.PagesRead+on.PagesSkipped != off.PagesRead {
+					t.Fatalf("trial %d [%s par=%d]: %s: read %d + skipped %d != baseline %d pages\nplan:\n%s",
+						trial, cfgs[b+2].name, par, desc, on.PagesRead, on.PagesSkipped, off.PagesRead, results[b+2].Plan)
+				}
+				totalSkipped += on.PagesSkipped
 			}
-			totalSkipped += on.PagesSkipped
 		}
 	}
 
 	for trial := 0; trial < 120; trial++ {
-		switch trial % 3 {
+		switch trial % 5 {
 		case 0: // filter scan
 			pred := randPred(r, 3)
 			sel := &sql.Select{
@@ -629,6 +645,34 @@ func TestDifferentialPrune(t *testing.T) {
 			sel := stmt.(*sql.Select)
 			sel.Where = pred
 			runAll(trial, sel, q)
+		case 2: // explicit projection (batched Project over filtered scan)
+			pred := randPred(r, 3)
+			q := "SELECT b, d, a, c FROM t"
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := stmt.(*sql.Select)
+			sel.Where = pred
+			runAll(trial, sel, fmt.Sprintf("project where %s", pred))
+		case 3: // join aggregate (exercises the fused narrowed join output)
+			lo := r.Intn(40)
+			hi := lo + r.Intn(15)
+			var q string
+			if trial%2 == 0 {
+				q = fmt.Sprintf(
+					"SELECT COUNT(*) AS n FROM t, u WHERE t.a = u.k AND t.a >= %d AND t.a <= %d",
+					lo, hi)
+			} else {
+				q = fmt.Sprintf(
+					"SELECT u.w, COUNT(*) AS n, SUM(t.c) AS s FROM t, u WHERE t.a = u.k AND t.a >= %d AND t.a <= %d GROUP BY u.w",
+					lo, hi)
+			}
+			stmt, err := sql.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runAll(trial, stmt.(*sql.Select), q)
 		default: // equi-join with a selective range (prunable on both sides)
 			lo := r.Intn(40)
 			hi := lo + r.Intn(15)

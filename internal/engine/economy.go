@@ -24,6 +24,12 @@ const costUnitMicros = 100.0
 // optimizer cost units (the cost model's per-row CPU weight).
 const rewriteRowCostUnits = 0.01
 
+// shortRowCostUnits prices one row whose per-row filter evaluation a
+// page-level synopsis proof short-circuited. Cheaper than a rewrite row —
+// the row was still read and emitted, only its predicate walk was saved —
+// so it carries half the per-row CPU weight.
+const shortRowCostUnits = 0.005
+
 // walRecordMicros prices one registry-maintenance WAL record: an
 // encode-plus-buffered-append, not an fsync.
 const walRecordMicros = 10.0
@@ -88,12 +94,13 @@ func (db *Database) shadowCostDeltas(sel *sql.Select, chosenCost float64, events
 }
 
 // creditEconomy flushes one finished execution into the ledger: pages the
-// scan pruning skipped, attributed to the constraint that planted the
-// winning prune predicate, and per-node q-error split by whether a
-// constraint informed the node's estimate. Errors still flush the skip
-// counts (the pages really were skipped) but not q-error — a plan that
-// died mid-run has no meaningful actual cardinality.
-func (db *Database) creditEconomy(entry *cachedPlan, span *obs.SpanNode, skips *exec.SkipRecorder, actualRows int64, err error) {
+// scan pruning skipped and rows the batched scan short-circuited, each
+// attributed to the constraint that planted the winning prune predicate,
+// and per-node q-error split by whether a constraint informed the node's
+// estimate. Errors still flush the skip and short-circuit counts (that
+// work really was avoided) but not q-error — a plan that died mid-run has
+// no meaningful actual cardinality.
+func (db *Database) creditEconomy(entry *cachedPlan, span *obs.SpanNode, skips, shorts *exec.SkipRecorder, actualRows int64, err error) {
 	if db.NoEconomy {
 		return
 	}
@@ -102,6 +109,13 @@ func (db *Database) creditEconomy(entry *cachedPlan, span *obs.SpanNode, skips *
 		for source, n := range skips.Counts() {
 			if source != "filter" {
 				econ.CreditPagesSkipped(source, n)
+			}
+		}
+	}
+	if shorts != nil {
+		for source, n := range shorts.Counts() {
+			if source != "filter" {
+				econ.CreditRowsShortCircuited(source, n)
 			}
 		}
 	}
@@ -181,9 +195,10 @@ func appliedConstraintNames(events []obs.Event) []string {
 
 // economyLines renders the per-constraint benefit annotations EXPLAIN
 // ANALYZE appends after the event list: the shadow-costing deltas computed
-// when this plan was compiled and the pages this execution's scans skipped,
+// when this plan was compiled, the pages this execution's scans skipped,
+// and the rows whose filter evaluation a synopsis proof short-circuited,
 // per attributed constraint.
-func economyLines(entry *cachedPlan, skips *exec.SkipRecorder) []string {
+func economyLines(entry *cachedPlan, skips, shorts *exec.SkipRecorder) []string {
 	var out []string
 	for _, name := range econKeys(entry.shadowDeltas) {
 		out = append(out, fmt.Sprintf("economy: constraint %s: masked-plan cost +%.1f", name, entry.shadowDeltas[name]))
@@ -195,6 +210,15 @@ func economyLines(entry *cachedPlan, skips *exec.SkipRecorder) []string {
 				continue
 			}
 			out = append(out, fmt.Sprintf("economy: constraint %s: pages skipped %d", source, counts[source]))
+		}
+	}
+	if shorts != nil {
+		counts := shorts.Counts()
+		for _, source := range econKeys(counts) {
+			if source == "filter" {
+				continue
+			}
+			out = append(out, fmt.Sprintf("economy: constraint %s: rows short-circuited %d", source, counts[source]))
 		}
 	}
 	return out
@@ -270,6 +294,7 @@ func (db *Database) constraintEconomyLocked() []obs.EconomyRow {
 func netBenefitMicros(r *obs.EconomyRow) float64 {
 	benefit := costUnitMicros * (float64(r.PagesSkipped) +
 		rewriteRowCostUnits*float64(r.RewriteRows) +
+		shortRowCostUnits*float64(r.RowsShort) +
 		float64(r.CostDeltaMilli)/1000)
 	cost := float64(r.MaintNanos)/1000 + float64(r.RefreshNanos)/1000 + walRecordMicros*float64(r.WALRecords)
 	return benefit - cost
@@ -307,7 +332,7 @@ func (db *Database) showConstraintsEconomy() *Result {
 	rows := db.constraintEconomyLocked()
 	res := &Result{Columns: []string{
 		"constraint", "kind", "mode", "active",
-		"pages_skipped", "rewrite_rows", "cost_delta", "qerr_delta",
+		"pages_skipped", "rows_short_circuited", "rewrite_rows", "cost_delta", "qerr_delta",
 		"maint_us", "refresh_us", "exc_bytes", "wal_records",
 		"net_benefit_us",
 	}}
@@ -318,6 +343,7 @@ func (db *Database) showConstraintsEconomy() *Result {
 			types.NewString(r.Mode),
 			types.NewBool(r.Active),
 			types.NewInt(r.PagesSkipped),
+			types.NewInt(r.RowsShort),
 			types.NewInt(r.RewriteRows),
 			types.NewFloat(float64(r.CostDeltaMilli) / 1000),
 			types.NewFloat(r.QErrDelta),

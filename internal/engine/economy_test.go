@@ -277,7 +277,7 @@ func TestEconomySurfacesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := "constraint kind mode active pages_skipped rewrite_rows cost_delta qerr_delta maint_us refresh_us exc_bytes wal_records net_benefit_us"
+	wantCols := "constraint kind mode active pages_skipped rows_short_circuited rewrite_rows cost_delta qerr_delta maint_us refresh_us exc_bytes wal_records net_benefit_us"
 	if got := strings.Join(res.Columns, " "); got != wantCols {
 		t.Errorf("SHOW columns = %q, want %q", got, wantCols)
 	}
@@ -295,8 +295,8 @@ func TestEconomySurfacesAgree(t *testing.T) {
 	if showRow[4] != fmt.Sprint(ref.PagesSkipped) {
 		t.Errorf("SHOW pages_skipped = %s, ledger says %d", showRow[4], ref.PagesSkipped)
 	}
-	if showRow[8] != fmt.Sprint(ref.MaintNanos/1000) {
-		t.Errorf("SHOW maint_us = %s, ledger says %d", showRow[8], ref.MaintNanos/1000)
+	if showRow[9] != fmt.Sprint(ref.MaintNanos/1000) {
+		t.Errorf("SHOW maint_us = %s, ledger says %d", showRow[9], ref.MaintNanos/1000)
 	}
 
 	// HTTP surfaces.

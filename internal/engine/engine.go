@@ -494,6 +494,7 @@ func (db *Database) optimizer(st Settings) *opt.Optimizer {
 		NoSSCEstimation: db.NoSSCEstimation,
 		NoASTEstimation: db.NoASTEstimation,
 		NoPrune:         st.NoPrune,
+		NoBatch:         st.NoBatch,
 		Parallel:        st.Parallel,
 		ParallelMinRows: st.ParallelMinRows,
 	}
@@ -746,7 +747,7 @@ func terminalState(err error) string {
 // panic guard: a panic anywhere on the serial execution path (worker
 // goroutines have their own recovery) surfaces as a KindPanic QueryError
 // instead of crashing the process.
-func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.Ctx, noBatch bool) ([]types.Row, error) {
+func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.Ctx, noBatch bool, hint int) ([]types.Row, error) {
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, exec.CancelError("engine.execute", cerr)
 	}
@@ -756,7 +757,7 @@ func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.
 		if noBatch {
 			rows, cerr = exec.Collect(root, ectx)
 		} else {
-			rows, cerr = exec.CollectBatched(root, ectx)
+			rows, cerr = exec.CollectBatched(root, ectx, hint)
 		}
 		return cerr
 	})
@@ -778,8 +779,9 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 	ectx := db.execCtx(ctx, st)
 	if !db.NoEconomy {
 		ectx.Skips = exec.NewSkipRecorder()
+		ectx.Shorts = exec.NewSkipRecorder()
 	}
-	rows, err := db.runPlan(ctx, root, ectx, st.NoBatch)
+	rows, err := db.runPlan(ctx, root, ectx, st.NoBatch, int(entry.estRows))
 	dur := time.Since(start)
 	io := ectx.IO.Load()
 	t := &obs.Trace{
@@ -789,14 +791,15 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 		Root:    span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(rows)), PagesRead: io.PagesRead,
-		PagesSkipped: io.PagesSkipped,
-		State:        terminalState(err),
+		PagesSkipped:       io.PagesSkipped,
+		RowsShortCircuited: ectx.ShortCircuits,
+		State:              terminalState(err),
 	}
 	if err != nil {
 		t.Err = err.Error()
 	}
 	db.observeQuery(t)
-	db.creditEconomy(entry, span, ectx.Skips, int64(len(rows)), err)
+	db.creditEconomy(entry, span, ectx.Skips, ectx.Shorts, int64(len(rows)), err)
 	if err != nil {
 		return nil, err
 	}
@@ -823,8 +826,9 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 	ectx := db.execCtx(ctx, st)
 	if !db.NoEconomy {
 		ectx.Skips = exec.NewSkipRecorder()
+		ectx.Shorts = exec.NewSkipRecorder()
 	}
-	resRows, err := db.runPlan(ctx, iroot, ectx, st.NoBatch)
+	resRows, err := db.runPlan(ctx, iroot, ectx, st.NoBatch, int(entry.estRows))
 	dur := time.Since(start)
 	io := ectx.IO.Load()
 	state := terminalState(err)
@@ -835,14 +839,15 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 		Root:    span, Events: entry.events,
 		EstRows: entry.estRows, EstCost: entry.estCost,
 		ActualRows: int64(len(resRows)), PagesRead: io.PagesRead,
-		PagesSkipped: io.PagesSkipped,
-		State:        state,
+		PagesSkipped:       io.PagesSkipped,
+		RowsShortCircuited: ectx.ShortCircuits,
+		State:              state,
 	}
 	if err != nil {
 		t.Err = err.Error()
 	}
 	db.observeQuery(t)
-	db.creditEconomy(entry, span, ectx.Skips, int64(len(resRows)), err)
+	db.creditEconomy(entry, span, ectx.Skips, ectx.Shorts, int64(len(resRows)), err)
 	if err != nil {
 		return nil, err
 	}
@@ -857,7 +862,7 @@ func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlTe
 	for _, e := range entry.events {
 		line("event: " + e.String())
 	}
-	for _, l := range economyLines(entry, ectx.Skips) {
+	for _, l := range economyLines(entry, ectx.Skips, ectx.Shorts) {
 		line(l)
 	}
 	line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", entry.estRows, entry.estCost))

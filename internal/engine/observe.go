@@ -35,6 +35,7 @@ const (
 	mPromotions    = "softdb_probation_promotions_total"
 	mDiscoveryRuns = "softdb_discovery_runs_total"
 	mPagesSkipped  = "softdb_scan_pages_skipped_total"
+	mRowsShort     = "softdb_scan_rows_short_circuited_total"
 	mPruneRejected = "softdb_prune_rejected_total"
 	// Query-lifecycle terminal states and robustness counters.
 	mQueriesCanceled   = "softdb_queries_canceled_total"
@@ -80,6 +81,7 @@ type obsState struct {
 	duration     *obs.Histogram
 	cacheEntries *obs.Gauge
 	pagesSkipped *obs.Counter
+	rowsShort    *obs.Counter
 
 	queriesCanceled   *obs.Counter
 	queriesTimedOut   *obs.Counter
@@ -117,6 +119,7 @@ func (db *Database) initObs() {
 	r.Describe(mPromotions, "counter", "Probationary correlations promoted to employed.")
 	r.Describe(mDiscoveryRuns, "counter", "Soft-constraint discovery passes over a table.")
 	r.Describe(mPagesSkipped, "counter", "Heap pages skipped by synopsis-based scan pruning.")
+	r.Describe(mRowsShort, "counter", "Rows whose per-row filter evaluation a page-level synopsis proof short-circuited.")
 	r.Describe(mPruneRejected, "counter", "Prune-predicate introductions rejected, by reason.")
 	r.Describe(mQueriesCanceled, "counter", "Queries terminated by context cancellation.")
 	r.Describe(mQueriesTimedOut, "counter", "Queries terminated by deadline expiry.")
@@ -143,6 +146,7 @@ func (db *Database) initObs() {
 	o.duration = r.Histogram(mQueryDuration, obs.DefLatencyBuckets)
 	o.cacheEntries = r.Gauge(mCacheEntries)
 	o.pagesSkipped = r.Counter(mPagesSkipped)
+	o.rowsShort = r.Counter(mRowsShort)
 	o.queriesCanceled = r.Counter(mQueriesCanceled)
 	o.queriesTimedOut = r.Counter(mQueriesTimedOut)
 	o.memBudgetRejected = r.Counter(mMemBudgetRejected)
@@ -230,6 +234,9 @@ func (db *Database) observeQuery(t *obs.Trace) {
 	}
 	if t.PagesSkipped > 0 {
 		o.pagesSkipped.Add(t.PagesSkipped)
+	}
+	if t.RowsShortCircuited > 0 {
+		o.rowsShort.Add(t.RowsShortCircuited)
 	}
 	if slow := o.slowNs.Load(); slow > 0 && t.Duration >= time.Duration(slow) {
 		t.Slow = true

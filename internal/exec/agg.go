@@ -9,6 +9,7 @@ import (
 	"softdb/internal/plan"
 	"softdb/internal/sql"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 )
 
 // accumulator folds rows for one aggregate in one group.
@@ -252,6 +253,451 @@ func (h *HashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		return inner
 	}
 	return h.emitGroups(t, emit)
+}
+
+// BatchCapable implements BatchOperator: aggregation always emits its
+// result set as one owned batch, whatever the input's shape.
+func (h *HashAggregate) BatchCapable() bool { return true }
+
+// RunBatch implements BatchOperator: batched inputs fold through typed
+// accumulator loops (scalar aggregation and single integer-class grouping
+// keys skip the per-row key materialization and string hashing entirely);
+// row-only inputs fold through foldRow. The finished groups leave as one
+// owned batch.
+func (h *HashAggregate) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	t := newAggTable()
+	var err error
+	if in, ok := AsBatch(h.Input); ok {
+		bf := newBatchFolder(h)
+		var inner error
+		err = in.RunBatch(ctx, func(b *vec.Batch) bool {
+			if e := bf.fold(ctx, b, t); e != nil {
+				inner = e
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = inner
+		}
+		if err == nil {
+			err = bf.finish(t)
+		}
+	} else {
+		var inner error
+		err = h.Input.Run(ctx, func(row types.Row) bool {
+			if e := h.foldRow(ctx, row, t); e != nil {
+				inner = e
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = inner
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var rows []types.Row
+	if err := h.emitGroups(t, func(r types.Row) bool {
+		rows = append(rows, r)
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var ob vec.Batch
+	ob.Reset(rows)
+	ob.Owned = true
+	emit(&ob)
+	return nil
+}
+
+// aggFoldMode selects how a batchFolder consumes input batches.
+type aggFoldMode uint8
+
+const (
+	// foldGeneric folds through foldRow, row by row.
+	foldGeneric aggFoldMode = iota
+	// foldScalar is the no-GroupBy case: one group, typed column loops.
+	foldScalar
+	// foldIntKey groups by a single integer-class column keyed on its
+	// float64 image (matching Row.Key's numeric normalization).
+	foldIntKey
+)
+
+// aggArg is the compiled shape of one aggregate argument: a bare bound
+// column enables typed folding, anything else evaluates per row.
+type aggArg struct {
+	col *expr.Column
+	cls vec.Class
+}
+
+// batchFolder holds one RunBatch invocation's folding state. Fast-path
+// groups accumulate here and convert into the aggTable in finish, so
+// emitGroups (ordering, scalar identity row, parallel merge shape) is
+// shared with the row path unchanged.
+type batchFolder struct {
+	h        *HashAggregate
+	mode     aggFoldMode
+	keyCol   *expr.Column
+	args     []aggArg
+	fast     map[float64]*aggGroup
+	fastNull *aggGroup
+}
+
+func newBatchFolder(h *HashAggregate) *batchFolder {
+	bf := &batchFolder{h: h, mode: foldGeneric}
+	if len(h.GroupBy) == 0 {
+		bf.mode = foldScalar
+	} else if len(h.GroupBy) == 1 && !h.isRedundant(0) {
+		// BOOL is excluded: its row-key image is TRUE/FALSE, not numeric.
+		if c, ok := h.GroupBy[0].(*expr.Column); ok && c.Index >= 0 &&
+			(c.Kind == types.KindInt || c.Kind == types.KindDate) {
+			bf.mode = foldIntKey
+			bf.keyCol = c
+			bf.fast = map[float64]*aggGroup{}
+		}
+	}
+	bf.args = make([]aggArg, len(h.Aggs))
+	for i, spec := range h.Aggs {
+		if spec.Kind == sql.AggCountStar {
+			continue
+		}
+		if c, ok := spec.Arg.(*expr.Column); ok && c.Index >= 0 {
+			bf.args[i] = aggArg{col: c, cls: vec.ClassOf(c.Kind)}
+		}
+	}
+	return bf
+}
+
+func newAggGroupFor(h *HashAggregate, key types.Row) *aggGroup {
+	grp := &aggGroup{key: key}
+	for _, spec := range h.Aggs {
+		grp.accs = append(grp.accs, newAccumulator(spec.Kind))
+	}
+	return grp
+}
+
+func (bf *batchFolder) fold(ctx *Ctx, b *vec.Batch, t *aggTable) error {
+	switch bf.mode {
+	case foldScalar:
+		return bf.foldScalar(ctx, b, t)
+	case foldIntKey:
+		return bf.foldIntKey(ctx, b, t)
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if err := bf.h.foldRow(ctx, b.Row(i), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldScalar folds a batch into the single scalar group with per-aggregate
+// typed loops. Charges match foldRow: one probe per row, zero key-column
+// comparisons (the hash key is empty).
+func (bf *batchFolder) foldScalar(ctx *Ctx, b *vec.Batch, t *aggTable) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	ctx.AddProbes(int64(n))
+	grp := t.groups[""]
+	if grp == nil {
+		key := make(types.Row, 0)
+		if err := ctx.Reserve("HashAggregate", key.MemSize()+int64(len(bf.h.Aggs))*accGroupBytes); err != nil {
+			return err
+		}
+		grp = newAggGroupFor(bf.h, key)
+		t.groups[""] = grp
+		t.order = append(t.order, "")
+	}
+	for i, spec := range bf.h.Aggs {
+		if err := addScalarAgg(grp.accs[i], spec, bf.args[i], b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addScalarAgg folds one aggregate over the whole batch, preferring a typed
+// column loop and falling back to per-row evaluation.
+func addScalarAgg(acc *accumulator, spec plan.AggSpec, ap aggArg, b *vec.Batch) error {
+	if spec.Kind == sql.AggCountStar {
+		acc.count += int64(b.Len())
+		return nil
+	}
+	if ap.col != nil {
+		switch spec.Kind {
+		case sql.AggCount:
+			if done := addCountCol(acc, ap, b); done {
+				return nil
+			}
+		case sql.AggSum, sql.AggAvg:
+			if done := addSumCol(acc, ap, b); done {
+				return nil
+			}
+		case sql.AggMin, sql.AggMax:
+			if done := addMinMaxCol(acc, ap, b, spec.Kind == sql.AggMax); done {
+				return nil
+			}
+		}
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		v, err := spec.Arg.Eval(b.Row(i))
+		if err != nil {
+			return err
+		}
+		if err := acc.add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func addCountCol(acc *accumulator, ap aggArg, b *vec.Batch) bool {
+	c := b.Col(ap.col.Index, ap.cls)
+	if c == nil {
+		return false
+	}
+	var cnt int64
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if !c.Nulls[b.Index(i)] {
+			cnt++
+		}
+	}
+	acc.count += cnt
+	if cnt > 0 {
+		acc.seen = true
+	}
+	return true
+}
+
+func addSumCol(acc *accumulator, ap aggArg, b *vec.Batch) bool {
+	n := b.Len()
+	var cnt int64
+	var sum float64
+	switch ap.cls {
+	case vec.ClassInt:
+		// INT, DATE and BOOL all sum through their integer image, exactly
+		// like add()'s Float() widening.
+		c := b.Col(ap.col.Index, vec.ClassInt)
+		if c == nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			idx := b.Index(i)
+			if c.Nulls[idx] {
+				continue
+			}
+			cnt++
+			sum += float64(c.Ints[idx])
+		}
+	case vec.ClassFloat:
+		c := b.Col(ap.col.Index, vec.ClassFloat)
+		if c == nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			idx := b.Index(i)
+			if c.Nulls[idx] {
+				continue
+			}
+			cnt++
+			sum += c.Floats[idx]
+		}
+		if cnt > 0 {
+			acc.isInt = false
+		}
+	default:
+		return false // strings type-error through the generic path
+	}
+	acc.count += cnt
+	acc.sum += sum
+	if cnt > 0 {
+		acc.seen = true
+	}
+	return true
+}
+
+func addMinMaxCol(acc *accumulator, ap aggArg, b *vec.Batch, isMax bool) bool {
+	n := b.Len()
+	var cnt int64
+	var bestD types.Datum
+	found := false
+	switch ap.col.Kind {
+	case types.KindInt, types.KindDate:
+		c := b.Col(ap.col.Index, vec.ClassInt)
+		if c == nil {
+			return false
+		}
+		var best int64
+		for i := 0; i < n; i++ {
+			idx := b.Index(i)
+			if c.Nulls[idx] {
+				continue
+			}
+			cnt++
+			v := c.Ints[idx]
+			if !found || (isMax && v > best) || (!isMax && v < best) {
+				found, best = true, v
+				bestD = b.Rows[idx][ap.col.Index]
+			}
+		}
+	case types.KindFloat:
+		c := b.Col(ap.col.Index, vec.ClassFloat)
+		if c == nil {
+			return false
+		}
+		var best float64
+		for i := 0; i < n; i++ {
+			idx := b.Index(i)
+			if c.Nulls[idx] {
+				continue
+			}
+			cnt++
+			v := c.Floats[idx]
+			if !found || (isMax && v > best) || (!isMax && v < best) {
+				found, best = true, v
+				bestD = b.Rows[idx][ap.col.Index]
+			}
+		}
+	case types.KindString:
+		c := b.Col(ap.col.Index, vec.ClassStr)
+		if c == nil {
+			return false
+		}
+		var best string
+		for i := 0; i < n; i++ {
+			idx := b.Index(i)
+			if c.Nulls[idx] {
+				continue
+			}
+			cnt++
+			v := c.Strs[idx]
+			if !found || (isMax && v > best) || (!isMax && v < best) {
+				found, best = true, v
+				bestD = b.Rows[idx][ap.col.Index]
+			}
+		}
+	default:
+		return false // BOOL keeps datum-order semantics via the generic path
+	}
+	acc.count += cnt
+	if cnt > 0 {
+		acc.seen = true
+	}
+	if found {
+		// Strict comparison keeps the earliest extremal datum, exactly like
+		// per-row add().
+		if isMax {
+			if acc.max.IsNull() || bestD.Compare(acc.max) > 0 {
+				acc.max = bestD
+			}
+		} else {
+			if acc.min.IsNull() || bestD.Compare(acc.min) < 0 {
+				acc.min = bestD
+			}
+		}
+	}
+	return true
+}
+
+// foldIntKey groups a batch by the float64 image of the single key column.
+// A batch the key column cannot extract from flips the folder to generic
+// mode permanently, converting groups built so far.
+func (bf *batchFolder) foldIntKey(ctx *Ctx, b *vec.Batch, t *aggTable) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	kc := b.Col(bf.keyCol.Index, vec.ClassInt)
+	if kc == nil {
+		if err := bf.finish(t); err != nil {
+			return err
+		}
+		bf.mode = foldGeneric
+		return bf.fold(ctx, b, t)
+	}
+	// One hashed key column and one probe per row, matching foldRow.
+	ctx.AddComparisons(int64(n))
+	ctx.AddProbes(int64(n))
+	h := bf.h
+	for i := 0; i < n; i++ {
+		idx := b.Index(i)
+		var grp *aggGroup
+		if kc.Nulls[idx] {
+			if grp = bf.fastNull; grp == nil {
+				key := types.Row{types.Null}
+				if err := ctx.Reserve("HashAggregate", key.MemSize()+int64(len(h.Aggs))*accGroupBytes); err != nil {
+					return err
+				}
+				grp = newAggGroupFor(h, key)
+				bf.fastNull = grp
+			}
+		} else {
+			f := float64(kc.Ints[idx])
+			if grp = bf.fast[f]; grp == nil {
+				key := types.Row{b.Rows[idx][bf.keyCol.Index]}
+				if err := ctx.Reserve("HashAggregate", key.MemSize()+int64(len(h.Aggs))*accGroupBytes); err != nil {
+					return err
+				}
+				grp = newAggGroupFor(h, key)
+				bf.fast[f] = grp
+			}
+		}
+		row := b.Rows[idx]
+		for ai, spec := range h.Aggs {
+			acc := grp.accs[ai]
+			if spec.Kind == sql.AggCountStar {
+				acc.count++
+				continue
+			}
+			var v types.Datum
+			if ap := bf.args[ai]; ap.col != nil && ap.col.Index < len(row) {
+				v = row[ap.col.Index]
+			} else {
+				var err error
+				if v, err = spec.Arg.Eval(row); err != nil {
+					return err
+				}
+			}
+			if err := acc.add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finish converts fast-path groups into the aggTable under the same string
+// keys foldRow would have used (the key row's Row.Key), so ordering and any
+// later row-mode folding agree.
+func (bf *batchFolder) finish(t *aggTable) error {
+	if bf.mode != foldIntKey {
+		return nil
+	}
+	insert := func(g *aggGroup) {
+		k := g.key.Key()
+		t.groups[k] = g
+		t.order = append(t.order, k)
+	}
+	if bf.fastNull != nil {
+		insert(bf.fastNull)
+		bf.fastNull = nil
+	}
+	for _, g := range bf.fast {
+		insert(g)
+	}
+	bf.fast = map[float64]*aggGroup{}
+	return nil
 }
 
 // Describe implements Operator.

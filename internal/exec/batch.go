@@ -5,52 +5,242 @@ import (
 	"softdb/internal/plan"
 	"softdb/internal/storage"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 )
 
-// BatchOperator is an Operator that can additionally push page-sized row
-// batches. The batch slice is borrowed: it is only valid until the emit
-// callback returns, so consumers that retain rows must clone them (the rows
-// themselves are heap-owned and immutable during a query, exactly as with
-// row-at-a-time emit). The emit contract matches Operator.Run: one
-// goroutine at a time.
+// BatchOperator is an Operator that can additionally push columnar batches
+// (vec.Batch: a borrowed row window plus selection vector and lazily
+// extracted typed columns). The batch is borrowed: it and its Rows slice are
+// only valid until the emit callback returns, unless Batch.Owned is set, in
+// which case the row values may be retained without cloning (see DESIGN.md
+// §16). The emit contract matches Operator.Run: one goroutine at a time.
+//
+// BatchCapable reports whether RunBatch actually streams batches end to end
+// for this operator's current configuration (inputs included). Operators
+// whose inputs are row-only report false so parents fall back to the row
+// path instead of paying per-row batch-wrapping overhead.
 type BatchOperator interface {
 	Operator
-	RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error
+	BatchCapable() bool
+	RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error
+}
+
+// AsBatch returns op as a usable batch operator: it must both implement
+// BatchOperator and report BatchCapable for its current shape.
+func AsBatch(op Operator) (BatchOperator, bool) {
+	bo, ok := op.(BatchOperator)
+	if !ok || !bo.BatchCapable() {
+		return nil, false
+	}
+	return bo, true
 }
 
 // RunBatched drives op in batch mode when it supports it, and otherwise
 // adapts row-at-a-time output into single-row batches so batch-aware
 // parents need only one code path.
-func RunBatched(op Operator, ctx *Ctx, emit func(rows []types.Row) bool) error {
-	if bo, ok := op.(BatchOperator); ok {
+func RunBatched(op Operator, ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	if bo, ok := AsBatch(op); ok {
 		return bo.RunBatch(ctx, emit)
 	}
 	one := make([]types.Row, 1)
+	var b vec.Batch
 	return op.Run(ctx, func(row types.Row) bool {
 		one[0] = row
-		return emit(one)
+		b.Reset(one)
+		return emit(&b)
 	})
 }
 
+// collectHintCap bounds how much CollectBatched preallocates from an
+// optimizer estimate — estimates can be wildly high and are not worth more
+// than a few MiB of speculative slice header.
+const collectHintCap = 1 << 20
+
 // CollectBatched runs op and gathers all output rows, using the batched
 // path when the root operator supports it. Results are identical to
-// Collect; only the emission granularity differs.
-func CollectBatched(op Operator, ctx *Ctx) ([]types.Row, error) {
-	bo, ok := op.(BatchOperator)
+// Collect; only the emission granularity differs. hint is an optional row
+// count estimate used to preallocate the result slice (<= 0 means unknown).
+// Rows from owned batches are retained directly; borrowed batches are
+// cloned row by row.
+func CollectBatched(op Operator, ctx *Ctx, hint int) ([]types.Row, error) {
+	bo, ok := AsBatch(op)
 	if !ok {
 		return Collect(op, ctx)
 	}
 	if ctx == nil {
 		ctx = &Ctx{}
 	}
-	var out []types.Row
-	err := bo.RunBatch(ctx, func(rows []types.Row) bool {
-		for _, r := range rows {
-			out = append(out, r.Clone())
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > collectHintCap {
+		hint = collectHintCap
+	}
+	out := make([]types.Row, 0, hint)
+	err := bo.RunBatch(ctx, func(b *vec.Batch) bool {
+		n := b.Len()
+		if b.Owned {
+			for i := 0; i < n; i++ {
+				out = append(out, b.Row(i))
+			}
+			return true
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, b.Row(i).Clone())
 		}
 		return true
 	})
 	return out, err
+}
+
+// progRunner owns the selection-vector scratch for one predicate program
+// over a stream of batches. The program itself is immutable; all mutable
+// state lives here, so a fresh progRunner per Run call keeps re-entrant
+// plan-cached operators safe.
+type progRunner struct {
+	prog *expr.PredProgram
+	// ident seeds the identity selection when the batch has none.
+	ident []int32
+	// bufs are the ping-pong output buffers stages write into.
+	bufs [2][]int32
+	next int
+}
+
+// run filters the batch's current selection through the program, returning
+// the surviving selection and how many stages actually executed. When syn
+// is non-nil, stages the page synopsis proves TRUE for every row are
+// skipped without touching the data; ran==0 with a non-empty program means
+// the whole batch qualified via synopsis alone. The returned selection is
+// scratch owned by the runner — valid until the next run call.
+func (pr *progRunner) run(b *vec.Batch, syn *storage.PageSynopsis) (sel []int32, ran int, err error) {
+	cur := b.Sel
+	if cur == nil {
+		pr.ident = vec.IdentitySel(pr.ident, len(b.Rows))
+		cur = pr.ident
+	}
+	for i := range pr.prog.Stages {
+		if len(cur) == 0 {
+			break
+		}
+		if syn != nil && stageProvable(&pr.prog.Stages[i], syn) {
+			continue
+		}
+		buf := pr.bufs[pr.next]
+		if cap(buf) < len(cur) {
+			buf = make([]int32, 0, len(b.Rows))
+		}
+		out, serr := pr.prog.RunStage(i, b, cur, buf)
+		if serr != nil {
+			return nil, ran + 1, serr
+		}
+		pr.bufs[pr.next] = buf
+		pr.next = 1 - pr.next
+		cur = out
+		ran++
+	}
+	return cur, ran, nil
+}
+
+// stageProvable reports whether the page synopsis proves the stage TRUE for
+// every row of the page.
+func stageProvable(st *expr.Stage, syn *storage.PageSynopsis) bool {
+	if st.Mode == expr.StageGeneric {
+		return false
+	}
+	cs := syn.Col(st.Col)
+	if cs == nil {
+		return false
+	}
+	hasBounds := !cs.Min.IsNull()
+	var colIv expr.Interval
+	if hasBounds {
+		colIv = expr.Between(cs.Min, cs.Max, true, true)
+	}
+	return st.ProvableTrue(colIv, hasBounds, cs.Nulls, syn.Rows)
+}
+
+// shortCircuitSource attributes a whole-page filter short-circuit: the
+// first constraint-derived prune predicate whose interval provably covers
+// the page wins, mirroring makeSkipper's first-match page-skip attribution.
+// Pages no installed characterization proved fall to "filter" — the query's
+// own predicate bounds — which the economy ledger does not credit.
+func shortCircuitSource(preds []plan.PrunePred, syn *storage.PageSynopsis) string {
+	for _, p := range preds {
+		if p.Source == "filter" {
+			continue
+		}
+		if p.Check != nil && !p.Check() {
+			continue
+		}
+		cs := syn.Col(p.Col)
+		if cs == nil {
+			continue
+		}
+		nonNull := syn.Rows - cs.Nulls
+		if p.Exclude {
+			// The page qualifies when no row lies in the excluded interval:
+			// all NULL, or the value range disjoint from it.
+			if nonNull == 0 ||
+				(!cs.Min.IsNull() && expr.Between(cs.Min, cs.Max, true, true).Disjoint(p.Interval)) {
+				return p.Source
+			}
+			continue
+		}
+		if cs.Nulls > 0 && !p.NullsQualify {
+			continue
+		}
+		if nonNull > 0 && !cs.Min.IsNull() &&
+			expr.Between(cs.Min, cs.Max, true, true).CoveredBy(p.Interval) {
+			return p.Source
+		}
+	}
+	return "filter"
+}
+
+// scanPageLoop is the vectorized scan kernel shared by SeqScan.RunBatch and
+// ParallelScan partitions: one batch per heap page, filtered through a
+// compiled predicate program with page-synopsis short-circuits. A page every
+// filter stage is provably TRUE for skips per-row evaluation entirely — the
+// dual of page skipping — and its rows are credited as short-circuited
+// under the proving predicate's source.
+func scanPageLoop(op string, heap *storage.Heap, pageLo, pageHi int,
+	filter []expr.Expr, prune []plan.PrunePred, ctx *Ctx, emit func(*vec.Batch) bool) error {
+	skip := makeSkipper(prune, ctx.Skips)
+	prog := expr.CompilePredicate(filter)
+	pr := progRunner{prog: prog}
+	var batch vec.Batch
+	var runErr error
+	heap.ScanPages(pageLo, pageHi, &ctx.IO, skip, func(rows []types.Row, syn *storage.PageSynopsis) bool {
+		if err := ctx.checkpoint(op); err != nil {
+			runErr = err
+			return false
+		}
+		batch.Reset(rows)
+		if len(prog.Stages) == 0 {
+			return emit(&batch)
+		}
+		sel, ran, err := pr.run(&batch, syn)
+		if err != nil {
+			runErr = err
+			return false
+		}
+		if ran == 0 {
+			// Every stage was provably TRUE from the synopsis: the page
+			// qualifies wholesale, no row was touched.
+			n := int64(len(rows))
+			ctx.AddShortCircuits(n)
+			if ctx.Shorts != nil {
+				ctx.Shorts.AddN(shortCircuitSource(prune, syn), n)
+			}
+			return emit(&batch)
+		}
+		if len(sel) == 0 {
+			return true
+		}
+		batch.Sel = sel
+		return emit(&batch)
+	})
+	return runErr
 }
 
 // makeSkipper compiles prune predicates into a per-page skip decision over

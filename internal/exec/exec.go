@@ -24,6 +24,7 @@ import (
 	"softdb/internal/plan"
 	"softdb/internal/storage"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 )
 
 // Ctx carries per-query runtime counters. The fields are plain int64 —
@@ -33,12 +34,22 @@ type Ctx struct {
 	IO          storage.Counters
 	Comparisons int64 // sort and join comparisons
 	HashProbes  int64
+	// ShortCircuits counts rows that skipped per-row filter evaluation
+	// because their page's synopsis proved every filter stage TRUE — the
+	// dual of a page skip (which avoids the read; a short-circuit avoids
+	// the predicate work on rows that must still be read and emitted).
+	ShortCircuits int64
 
 	// Skips, when set, attributes each pruned page to the prune predicate
 	// that proved the skip; the engine flushes it into the per-constraint
 	// economy ledger after the query. The pointer is shared down the
 	// Child() tree, so worker totals need no merge step.
 	Skips *SkipRecorder
+
+	// Shorts, when set, attributes short-circuited rows to the prune
+	// predicate source whose characterization proved the page
+	// all-qualifying; shared down the Child() tree like Skips.
+	Shorts *SkipRecorder
 
 	// life holds the query's shared lifecycle (cancellation, memory
 	// budget, panic hook, fault injection); nil for legacy callers, which
@@ -53,6 +64,9 @@ func (c *Ctx) AddComparisons(n int64) { atomic.AddInt64(&c.Comparisons, n) }
 // AddProbes atomically charges n hash probes.
 func (c *Ctx) AddProbes(n int64) { atomic.AddInt64(&c.HashProbes, n) }
 
+// AddShortCircuits atomically charges n filter short-circuited rows.
+func (c *Ctx) AddShortCircuits(n int64) { atomic.AddInt64(&c.ShortCircuits, n) }
+
 // Merge atomically accumulates a worker's private counters into c. Parallel
 // operators give each worker its own Ctx and merge on completion so the
 // parent totals are exact without per-touch contention on shared cache
@@ -61,6 +75,7 @@ func (c *Ctx) Merge(w *Ctx) {
 	c.IO.Add(w.IO.Load())
 	c.AddComparisons(atomic.LoadInt64(&w.Comparisons))
 	c.AddProbes(atomic.LoadInt64(&w.HashProbes))
+	c.AddShortCircuits(atomic.LoadInt64(&w.ShortCircuits))
 }
 
 // String renders the counters.
@@ -113,12 +128,13 @@ func Format(op Operator) string {
 
 // --- scans ---
 
-// SeqScan reads every live row of a heap, applying residual filters. The
-// inner loop is page-batched: each heap page's live rows arrive as one
-// borrowed batch, are filtered in place, and leave as one batch (Run adapts
-// back to row-at-a-time for parents that need it). Prune predicates let the
-// scan skip pages whose synopsis proves no qualifying row, charging
-// PagesSkipped instead of a read.
+// SeqScan reads every live row of a heap, applying residual filters. Run is
+// the row-at-a-time reference path (per-row expression tree-walk); RunBatch
+// is the vectorized path: each heap page's live rows leave as one borrowed
+// columnar batch filtered through a compiled predicate program, with
+// whole-page synopsis short-circuits. Prune predicates let both paths skip
+// pages whose synopsis proves no qualifying row, charging PagesSkipped
+// instead of a read.
 type SeqScan struct {
 	Table  string
 	Heap   *storage.Heap
@@ -126,49 +142,42 @@ type SeqScan struct {
 	Prune  []plan.PrunePred
 }
 
-// Run implements Operator.
+// Run implements Operator: the row-at-a-time path that the vectorized
+// kernels are differentially tested against (and the -no-batch fallback).
 func (s *SeqScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
-	return s.RunBatch(ctx, func(rows []types.Row) bool {
-		for _, r := range rows {
-			if !emit(r) {
-				return false
-			}
-		}
-		return true
-	})
-}
-
-// RunBatch implements BatchOperator.
-func (s *SeqScan) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
 	var runErr error
 	skip := makeSkipper(s.Prune, ctx.Skips)
-	var pass []types.Row
 	op := "SeqScan " + s.Table // precomputed so the per-page checkpoint allocates nothing
-	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row) bool {
+	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
 		if err := ctx.checkpoint(op); err != nil {
 			runErr = err
 			return false
 		}
-		if len(s.Filter) == 0 {
-			return emit(rows)
-		}
-		pass = pass[:0]
 		for _, row := range rows {
 			ok, err := evalFilters(s.Filter, row)
 			if err != nil {
 				runErr = err
 				return false
 			}
-			if ok {
-				pass = append(pass, row)
+			if !ok {
+				continue
+			}
+			if !emit(row) {
+				return false
 			}
 		}
-		if len(pass) == 0 {
-			return true
-		}
-		return emit(pass)
+		return true
 	})
 	return runErr
+}
+
+// BatchCapable implements BatchOperator.
+func (s *SeqScan) BatchCapable() bool { return true }
+
+// RunBatch implements BatchOperator.
+func (s *SeqScan) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	op := "SeqScan " + s.Table
+	return scanPageLoop(op, s.Heap, 0, int(s.Heap.PageCount()), s.Filter, s.Prune, ctx, emit)
 }
 
 // Describe implements Operator.
@@ -205,8 +214,11 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	var runErr error
 	// Heap pages are charged once per distinct page touched during this
 	// scan, modeling a buffer pool holding the scan's working set; index
-	// page touches are charged by the tree walk itself.
+	// page touches are charged by the tree walk itself. lastPage short-cuts
+	// the map when consecutive entries land on the same heap page (the
+	// common case when the indexed column correlates with insertion order).
 	seenPages := map[int32]bool{}
+	lastPage := int32(-1)
 	op := "IndexScan " + s.Table
 	var entries int64
 	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
@@ -218,9 +230,12 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 				return false
 			}
 		}
-		if !seenPages[rid.Page] {
-			seenPages[rid.Page] = true
-			ctx.IO.AddPages(1)
+		if rid.Page != lastPage {
+			lastPage = rid.Page
+			if !seenPages[rid.Page] {
+				seenPages[rid.Page] = true
+				ctx.IO.AddPages(1)
+			}
 		}
 		row, ok := s.Heap.Get(rid)
 		if !ok {
@@ -237,6 +252,88 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		}
 		return emit(row)
 	})
+	return runErr
+}
+
+// BatchCapable implements BatchOperator.
+func (s *IndexScan) BatchCapable() bool { return true }
+
+// indexBatchRows is the window size IndexScan.RunBatch accumulates fetched
+// heap rows into before emitting. Index entries arrive one at a time, so
+// unlike SeqScan there is no natural page granularity; a fixed window keeps
+// downstream kernels amortized without holding many heap rows borrowed.
+const indexBatchRows = 256
+
+// RunBatch implements BatchOperator: matching heap rows are buffered into
+// fixed-size windows and the residual filter runs as a compiled predicate
+// program over each window instead of a per-row tree-walk. Page and row
+// accounting is identical to Run; as with all batched operators, an early
+// stop (LIMIT) has already paid for the whole in-flight window.
+func (s *IndexScan) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	var runErr error
+	seenPages := map[int32]bool{}
+	lastPage := int32(-1)
+	op := "IndexScan " + s.Table
+	prog := expr.CompilePredicate(s.Filter)
+	pr := progRunner{prog: prog}
+	buf := make([]types.Row, 0, indexBatchRows)
+	var batch vec.Batch
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		batch.Reset(buf)
+		keep := true
+		if len(prog.Stages) == 0 {
+			keep = emit(&batch)
+		} else {
+			sel, _, err := pr.run(&batch, nil)
+			if err != nil {
+				runErr = err
+				return false
+			}
+			if len(sel) > 0 {
+				batch.Sel = sel
+				keep = emit(&batch)
+			}
+		}
+		buf = buf[:0]
+		return keep
+	}
+	stopped := false
+	var entries int64
+	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
+		if entries++; entries%checkpointRows == 0 {
+			if err := ctx.checkpoint(op); err != nil {
+				runErr = err
+				return false
+			}
+		}
+		if rid.Page != lastPage {
+			lastPage = rid.Page
+			if !seenPages[rid.Page] {
+				seenPages[rid.Page] = true
+				ctx.IO.AddPages(1)
+			}
+		}
+		row, ok := s.Heap.Get(rid)
+		if !ok {
+			return true // row deleted since index entry; skip
+		}
+		ctx.IO.AddRows(1)
+		buf = append(buf, row)
+		if len(buf) == indexBatchRows {
+			if !flush() {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	if runErr != nil || stopped {
+		return runErr
+	}
+	flush()
 	return runErr
 }
 
@@ -381,28 +478,34 @@ func (f *Filter) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	return err
 }
 
-// RunBatch implements BatchOperator: batches from a batch-capable input are
-// filtered in place and re-emitted compacted, preserving page-granular
-// emission above the scan.
-func (f *Filter) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+// BatchCapable implements BatchOperator: batch mode pays off only when the
+// input actually streams batches.
+func (f *Filter) BatchCapable() bool {
+	_, ok := AsBatch(f.Input)
+	return ok
+}
+
+// RunBatch implements BatchOperator: input batches are filtered by
+// shrinking their selection vector through a compiled predicate program —
+// no rows move, no per-row tree-walk for the sargable conjuncts.
+func (f *Filter) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	prog := expr.CompilePredicate(f.Conds)
+	pr := progRunner{prog: prog}
 	var inner error
-	var pass []types.Row
-	err := RunBatched(f.Input, ctx, func(rows []types.Row) bool {
-		pass = pass[:0]
-		for _, row := range rows {
-			ok, err := evalFilters(f.Conds, row)
-			if err != nil {
-				inner = err
-				return false
-			}
-			if ok {
-				pass = append(pass, row)
-			}
+	err := RunBatched(f.Input, ctx, func(b *vec.Batch) bool {
+		if len(prog.Stages) == 0 {
+			return emit(b)
 		}
-		if len(pass) == 0 {
+		sel, _, err := pr.run(b, nil)
+		if err != nil {
+			inner = err
+			return false
+		}
+		if len(sel) == 0 {
 			return true
 		}
-		return emit(pass)
+		b.Sel = sel
+		return emit(b)
 	})
 	if inner != nil {
 		return inner
@@ -443,26 +546,62 @@ func (p *Project) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	return err
 }
 
+// BatchCapable implements BatchOperator.
+func (p *Project) BatchCapable() bool {
+	_, ok := AsBatch(p.Input)
+	return ok
+}
+
 // RunBatch implements BatchOperator. Output rows are freshly allocated (as
-// in Run) but leave in the input's batch granularity.
-func (p *Project) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
-	var inner error
-	var out []types.Row
-	err := RunBatched(p.Input, ctx, func(rows []types.Row) bool {
-		out = out[:0]
-		for _, row := range rows {
-			o := make(types.Row, len(p.Exprs))
-			for i, e := range p.Exprs {
-				v, err := e.Eval(row)
-				if err != nil {
-					inner = err
-					return false
-				}
-				o[i] = v
-			}
-			out = append(out, o)
+// in Run) from one datum slab per batch and leave as an owned batch in the
+// input's granularity. An all-column projection (the common SELECT list
+// after planning) copies datums in a tight loop with no Eval calls.
+func (p *Project) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	width := len(p.Exprs)
+	cols := make([]*expr.Column, width)
+	allCols := true
+	for i, e := range p.Exprs {
+		if c, ok := e.(*expr.Column); ok && c.Index >= 0 {
+			cols[i] = c
+		} else {
+			allCols = false
 		}
-		return emit(out)
+	}
+	var inner error
+	var outRows []types.Row
+	var ob vec.Batch
+	err := RunBatched(p.Input, ctx, func(b *vec.Batch) bool {
+		n := b.Len()
+		slab := make([]types.Datum, n*width)
+		outRows = outRows[:0]
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			o := types.Row(slab[:width:width])
+			slab = slab[width:]
+			if allCols {
+				for j, c := range cols {
+					if c.Index >= len(row) {
+						_, err := c.Eval(row)
+						inner = err
+						return false
+					}
+					o[j] = row[c.Index]
+				}
+			} else {
+				for j, e := range p.Exprs {
+					v, err := e.Eval(row)
+					if err != nil {
+						inner = err
+						return false
+					}
+					o[j] = v
+				}
+			}
+			outRows = append(outRows, o)
+		}
+		ob.Reset(outRows)
+		ob.Owned = true
+		return emit(&ob)
 	})
 	if inner != nil {
 		return inner
@@ -503,19 +642,25 @@ func (l *Limit) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	})
 }
 
+// BatchCapable implements BatchOperator.
+func (l *Limit) BatchCapable() bool {
+	_, ok := AsBatch(l.Input)
+	return ok
+}
+
 // RunBatch implements BatchOperator, truncating the final batch at the
 // limit boundary.
-func (l *Limit) RunBatch(ctx *Ctx, emit func(rows []types.Row) bool) error {
+func (l *Limit) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
 	if l.N <= 0 {
 		return nil
 	}
 	var count int64
-	return RunBatched(l.Input, ctx, func(rows []types.Row) bool {
-		if count+int64(len(rows)) > l.N {
-			rows = rows[:l.N-count]
+	return RunBatched(l.Input, ctx, func(b *vec.Batch) bool {
+		if rem := l.N - count; int64(b.Len()) > rem {
+			b.Truncate(int(rem))
 		}
-		count += int64(len(rows))
-		if !emit(rows) {
+		count += int64(b.Len())
+		if !emit(b) {
 			return false
 		}
 		return count < l.N

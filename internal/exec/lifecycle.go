@@ -170,7 +170,7 @@ func NewCtx(ctx context.Context, o CtxOptions) *Ctx {
 // the memory budget, fault injection, and skip attribution stay
 // query-global while counter merges stay exact.
 func (c *Ctx) Child() *Ctx {
-	return &Ctx{life: c.life, Skips: c.Skips}
+	return &Ctx{life: c.life, Skips: c.Skips, Shorts: c.Shorts}
 }
 
 // checkpoint is the per-page (or per-batch) lifecycle check every data

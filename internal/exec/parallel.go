@@ -9,6 +9,7 @@ import (
 	"softdb/internal/plan"
 	"softdb/internal/storage"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 )
 
 // PartitionedOperator is an Operator whose output can be produced in
@@ -148,7 +149,7 @@ func (s *ParallelScan) RunPartition(part int, ctx *Ctx, emit func(types.Row) boo
 	var runErr error
 	skip := makeSkipper(s.Prune, ctx.Skips)
 	op := "ParallelScan " + s.Table
-	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row) bool {
+	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
 		if err := ctx.checkpoint(op); err != nil {
 			runErr = err
 			return false
@@ -178,6 +179,28 @@ func (s *ParallelScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		return s.RunPartition(0, ctx, emit)
 	}
 	return runPartitioned("ParallelScan "+s.Table, parts, s.RunPartition, ctx, emit)
+}
+
+// BatchCapable implements BatchOperator. Multi-partition scans interleave
+// emits from a worker pool, which has no batched equivalent — partition
+// plumbing stays row-based — so only the degenerate single-partition scan
+// streams batches.
+func (s *ParallelScan) BatchCapable() bool { return s.Partitions() <= 1 }
+
+// RunBatch implements BatchOperator for the single-partition case,
+// vectorizing exactly like SeqScan.
+func (s *ParallelScan) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	if s.Partitions() > 1 {
+		one := make([]types.Row, 1)
+		var b vec.Batch
+		return s.Run(ctx, func(row types.Row) bool {
+			one[0] = row
+			b.Reset(one)
+			return emit(&b)
+		})
+	}
+	op := "ParallelScan " + s.Table
+	return scanPageLoop(op, s.Heap, 0, int(s.Heap.PageCount()), s.Filter, s.Prune, ctx, emit)
 }
 
 // Describe implements Operator.
@@ -574,6 +597,32 @@ func (h *ParallelHashAggregate) Run(ctx *Ctx, emit func(types.Row) bool) error {
 		}
 	}
 	return s.emitGroups(merged, emit)
+}
+
+// BatchCapable implements BatchOperator: like HashAggregate, the merged
+// result set always leaves as one owned batch.
+func (h *ParallelHashAggregate) BatchCapable() bool { return true }
+
+// RunBatch implements BatchOperator. Partition folding stays row-based (the
+// partial tables are merged exactly as in Run); only the emission is
+// batched. Group rows from emitGroups are freshly allocated, so the batch
+// is owned.
+func (h *ParallelHashAggregate) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	var rows []types.Row
+	if err := h.Run(ctx, func(r types.Row) bool {
+		rows = append(rows, r)
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var ob vec.Batch
+	ob.Reset(rows)
+	ob.Owned = true
+	emit(&ob)
+	return nil
 }
 
 // Describe implements Operator.

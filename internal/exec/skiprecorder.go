@@ -33,6 +33,17 @@ func (r *SkipRecorder) Add(source string) {
 	r.mu.Unlock()
 }
 
+// AddN credits n events (e.g. every row of a short-circuited page) to
+// source at once. Nil-safe like Add.
+func (r *SkipRecorder) AddN(source string, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.bySource[source] += n
+	r.mu.Unlock()
+}
+
 // Counts returns a copy of the per-source skip totals.
 func (r *SkipRecorder) Counts() map[string]int64 {
 	if r == nil {

@@ -5,6 +5,7 @@ import (
 
 	"softdb/internal/obs"
 	"softdb/internal/types"
+	"softdb/internal/vec"
 )
 
 // Instrument wraps an operator tree for tracing: every node is replaced by a
@@ -101,15 +102,24 @@ func (s *spanOp) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	}, emit)
 }
 
-// RunBatch implements BatchOperator so instrumented plans keep page-batched
-// emission; deltas are measured around the inner batched run.
-func (s *spanOp) RunBatch(ctx *Ctx, emit func([]types.Row) bool) error {
+// BatchCapable implements BatchOperator by delegation, so a wrapped batch
+// pipeline keeps its end-to-end batched execution.
+func (s *spanOp) BatchCapable() bool {
+	_, ok := AsBatch(s.inner)
+	return ok
+}
+
+// RunBatch implements BatchOperator so instrumented plans keep columnar
+// emission; deltas are measured around the inner batched run. Running in
+// batch mode marks the span batched for EXPLAIN ANALYZE.
+func (s *spanOp) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
+	s.node.Batched.Store(true)
 	before := ctx.IO.Load()
 	start := time.Now()
 	var rows int64
-	err := RunBatched(s.inner, ctx, func(batch []types.Row) bool {
-		rows += int64(len(batch))
-		return emit(batch)
+	err := RunBatched(s.inner, ctx, func(b *vec.Batch) bool {
+		rows += int64(b.Len())
+		return emit(b)
 	})
 	after := ctx.IO.Load()
 	s.node.Nanos.Add(time.Since(start).Nanoseconds())

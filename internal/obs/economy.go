@@ -14,6 +14,7 @@ import (
 // milli-units so they stay integer counters.
 const (
 	MetricBenefitPagesSkipped = "softdb_constraint_benefit_pages_skipped_total"
+	MetricBenefitRowsShort    = "softdb_constraint_benefit_rows_short_circuited_total"
 	MetricBenefitRewriteRows  = "softdb_constraint_benefit_rewrite_rows_total"
 	MetricBenefitCostDelta    = "softdb_constraint_benefit_cost_delta_milli_total"
 	MetricBenefitQErrSum      = "softdb_constraint_benefit_qerror_sum_milli_total"
@@ -33,6 +34,7 @@ const (
 // counters.
 type ledgerEntry struct {
 	pagesSkipped  *Counter
+	rowsShort     *Counter
 	rewriteRows   *Counter
 	costDelta     *Counter // milli optimizer-cost units
 	qerrSum      *Counter // milli q-error, summed over informed plan nodes
@@ -63,6 +65,7 @@ type Economy struct {
 // ledger whose credits vanish (every resolved metric is nil).
 func NewEconomy(reg *Registry) *Economy {
 	reg.Describe(MetricBenefitPagesSkipped, "counter", "heap pages skipped by prune predicates attributed to this constraint")
+	reg.Describe(MetricBenefitRowsShort, "counter", "rows whose per-row filter evaluation a page-level synopsis proof short-circuited, attributed to this constraint")
 	reg.Describe(MetricBenefitRewriteRows, "counter", "rows eliminated at plan time by rewrites this constraint drove")
 	reg.Describe(MetricBenefitCostDelta, "counter", "estimated plan-cost increase (milli cost units) had this constraint been masked")
 	reg.Describe(MetricBenefitQErrSum, "counter", "summed q-error (milli) of plan nodes whose estimate this constraint informed")
@@ -96,6 +99,7 @@ func (e *Economy) entry(name string) *ledgerEntry {
 	}
 	le = &ledgerEntry{
 		pagesSkipped:  e.reg.Counter(MetricBenefitPagesSkipped, "constraint", name),
+		rowsShort:     e.reg.Counter(MetricBenefitRowsShort, "constraint", name),
 		rewriteRows:   e.reg.Counter(MetricBenefitRewriteRows, "constraint", name),
 		costDelta:     e.reg.Counter(MetricBenefitCostDelta, "constraint", name),
 		qerrSum:      e.reg.Counter(MetricBenefitQErrSum, "constraint", name),
@@ -116,6 +120,16 @@ func (e *Economy) CreditPagesSkipped(name string, n int64) {
 		return
 	}
 	e.entry(name).pagesSkipped.Add(n)
+}
+
+// CreditRowsShortCircuited credits n rows whose per-row predicate
+// evaluation the vectorized scan skipped because the page synopsis proved
+// every row qualifies under the named constraint's prune predicate.
+func (e *Economy) CreditRowsShortCircuited(name string, n int64) {
+	if e == nil || name == "" || n <= 0 {
+		return
+	}
+	e.entry(name).rowsShort.Add(n)
 }
 
 // CreditRewriteRows credits rows a rewrite driven by the named constraint
@@ -200,6 +214,7 @@ type EconomyRow struct {
 	Mode           string  `json:"mode,omitempty"`
 	Active         bool    `json:"active"`
 	PagesSkipped   int64   `json:"pages_skipped"`
+	RowsShort      int64   `json:"rows_short_circuited"`
 	RewriteRows    int64   `json:"rewrite_rows"`
 	CostDeltaMilli int64   `json:"cost_delta_milli"`
 	QErrSumMilli   int64   `json:"qerror_sum_milli"`
@@ -234,6 +249,7 @@ func (e *Economy) Snapshot() []EconomyRow {
 		out = append(out, EconomyRow{
 			Name:           name,
 			PagesSkipped:   le.pagesSkipped.Value(),
+			RowsShort:      le.rowsShort.Value(),
 			RewriteRows:    le.rewriteRows.Value(),
 			CostDeltaMilli: le.costDelta.Value(),
 			QErrSumMilli:   le.qerrSum.Value(),

@@ -35,6 +35,10 @@ type SpanNode struct {
 	Nanos        atomic.Int64
 	Calls        atomic.Int64
 
+	// Batched reports that this node executed on the columnar batch path
+	// (RunBatch) rather than row-at-a-time; -no-batch plans leave it false.
+	Batched atomic.Bool
+
 	// Informed names the constraints whose information sharpened this
 	// node's cardinality estimate (SSC twins, AST coverage, ...). The
 	// economy ledger splits per-node q-error by whether this is empty.
@@ -54,6 +58,9 @@ func (n *SpanNode) ActualLine() string {
 	}
 	if calls := n.Calls.Load(); calls > 1 {
 		s += fmt.Sprintf(" calls=%d", calls)
+	}
+	if n.Batched.Load() {
+		s += " batched=true"
 	}
 	return s + ")"
 }
@@ -175,7 +182,11 @@ type Trace struct {
 	PagesRead  int64
 	// PagesSkipped counts heap pages pruned via synopses query-wide.
 	PagesSkipped int64
-	Err          string
+	// RowsShortCircuited counts rows whose per-row filter evaluation the
+	// vectorized scan skipped because a page synopsis proved every row on
+	// the page qualifies.
+	RowsShortCircuited int64
+	Err                string
 	// State is the query's terminal lifecycle state: "ok", "canceled",
 	// "timeout", "oom", "panic", or "error".
 	State string

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"softdb/internal/btree"
 	"softdb/internal/catalog"
@@ -40,6 +41,10 @@ type Optimizer struct {
 	// NoPrune disables synopsis-based page pruning: scans get no prune
 	// predicates and page estimates ignore synopses (ablation/baseline).
 	NoPrune bool
+	// NoBatch prices every operator row-at-a-time: the per-row CPU
+	// discount batch-capable operators earn from their vectorized kernels
+	// is withheld, matching the -no-batch execution path.
+	NoBatch bool
 	// Parallel is the maximum intra-query degree of parallelism; values
 	// <= 1 plan serial operators only.
 	Parallel int
@@ -170,7 +175,7 @@ func (o *Optimizer) lowerNode(n plan.Node) (exec.Operator, prop, error) {
 		if err != nil {
 			return nil, prop{}, err
 		}
-		pr.cost += pr.rows * costEmit * float64(len(t.Exprs))
+		pr.cost += pr.rows * costEmit * float64(len(t.Exprs)) * o.cpuBatch()
 		return &exec.Project{Input: in, Exprs: t.Exprs}, pr, nil
 	case *plan.Aggregate:
 		if shortcut := o.tryIndexMinMax(t); shortcut != nil {
@@ -181,13 +186,17 @@ func (o *Optimizer) lowerNode(n plan.Node) (exec.Operator, prop, error) {
 			return nil, prop{}, err
 		}
 		groups := o.estimateGroups(t, pr.rows)
-		out := prop{rows: groups, cost: pr.cost + pr.rows*costHashProbe + groups*costEmit}
+		out := prop{rows: groups, cost: pr.cost + pr.rows*costHashProbe*o.cpuBatch() + groups*costEmit}
 		if dop := o.parallelDegree(pr.rows); dop > 1 {
 			if _, ok := in.(exec.PartitionedOperator); ok {
 				return &exec.ParallelHashAggregate{Input: in, GroupBy: t.GroupBy, Aggs: t.Aggs, Redundant: t.Redundant, Workers: dop}, out, nil
 			}
 		}
-		return &exec.HashAggregate{Input: in, GroupBy: t.GroupBy, Aggs: t.Aggs, Redundant: t.Redundant}, out, nil
+		groupBy, aggs := t.GroupBy, t.Aggs
+		if in2, gb2, ag2, ok := fuseAggJoinProjection(in, groupBy, aggs); ok {
+			in, groupBy, aggs = in2, gb2, ag2
+		}
+		return &exec.HashAggregate{Input: in, GroupBy: groupBy, Aggs: aggs, Redundant: t.Redundant}, out, nil
 	case *plan.Sort:
 		in, pr, err := o.lower(t.Input)
 		if err != nil {
@@ -204,7 +213,7 @@ func (o *Optimizer) lowerNode(n plan.Node) (exec.Operator, prop, error) {
 		if err != nil {
 			return nil, prop{}, err
 		}
-		pr.cost += pr.rows * costRow
+		pr.cost += pr.rows * costRow * o.cpuBatch()
 		pr.rows = math.Max(0, pr.rows*genericSelectivity(t.Conds))
 		return &exec.Filter{Input: in, Conds: t.Conds}, pr, nil
 	case *plan.Distinct:
@@ -343,7 +352,9 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 		readRows = total * readPages / pages
 	}
 	best := exec.Operator(&exec.SeqScan{Table: s.Table, Heap: heap, Filter: s.Filter, Prune: prune})
-	bestCost := seqScanCost(pages, total)
+	// The sequential scan's per-row filter CPU earns the batch discount
+	// (its kernels run page-at-a-time); index paths below never do.
+	bestCost := pages*costPage + total*costRow*o.cpuBatch()
 
 	if s.Entry != nil && !o.NoIndexes {
 		candidates := s.Entry.Indexes
@@ -389,7 +400,7 @@ func (o *Optimizer) lowerScan(s *plan.Scan) (exec.Operator, prop) {
 	if ss, ok := best.(*exec.SeqScan); ok {
 		// Report the synopsis-aware cost for the surviving sequential scan so
 		// join ordering sees the pages it will actually read.
-		bestCost = seqScanCost(readPages, readRows)
+		bestCost = readPages*costPage + readRows*costRow*o.cpuBatch()
 		if dop := o.parallelDegree(selected); dop > 1 {
 			best = &exec.ParallelScan{Table: ss.Table, Heap: ss.Heap, Filter: ss.Filter, Prune: ss.Prune, Workers: dop}
 		}
@@ -470,7 +481,7 @@ func (o *Optimizer) lowerJoinGroup(jg *plan.JoinGroup) (exec.Operator, prop, err
 			op = &exec.Filter{Input: op, Conds: filters}
 			sel := genericSelectivity(filters)
 			pr.rows *= sel
-			pr.cost += pr.rows * costRow
+			pr.cost += pr.rows * costRow * o.cpuBatch()
 			o.note(op, pr.rows)
 		}
 		leaves[i] = &joinState{op: op, rows: pr.rows, cost: pr.cost, layout: []int{i}}
@@ -500,6 +511,97 @@ func (o *Optimizer) lowerJoinGroup(jg *plan.JoinGroup) (exec.Operator, prop, err
 		o.note(op, final.rows)
 	}
 	return op, prop{rows: final.rows, cost: final.cost}, nil
+}
+
+// fuseAggJoinProjection narrows a hash join feeding an aggregate to only
+// the columns the aggregate reads. lowerJoinGroup restores the group's
+// column order with a bare-column projection over the join; instead of
+// materializing every joined column only to permute and then mostly drop
+// them, the projection folds into the join's Proj list pruned to the
+// aggregate's referenced ordinals, and the aggregate's expressions are
+// remapped (as copies — plan nodes may be shared) onto the narrowed schema.
+// A no-GROUP-BY COUNT(*) prunes every column: the join emits zero-width
+// rows. ok is false when the input is not a hash join or bare-column
+// projection of one, leaving the aggregate unchanged.
+func fuseAggJoinProjection(in exec.Operator, groupBy []expr.Expr, aggs []plan.AggSpec) (exec.Operator, []expr.Expr, []plan.AggSpec, bool) {
+	set := map[int]bool{}
+	for _, g := range groupBy {
+		for _, ord := range expr.ColumnIndexes(g) {
+			set[ord] = true
+		}
+	}
+	for _, a := range aggs {
+		if a.Arg != nil {
+			for _, ord := range expr.ColumnIndexes(a.Arg) {
+				set[ord] = true
+			}
+		}
+	}
+	used := make([]int, 0, len(set))
+	for ord := range set {
+		used = append(used, ord)
+	}
+	sort.Ints(used)
+
+	var hj *exec.HashJoin
+	// toConcat maps an aggregate input ordinal to the join's concatenated
+	// schema.
+	var toConcat func(ord int) (int, bool)
+	switch op := in.(type) {
+	case *exec.Project:
+		j, ok := op.Input.(*exec.HashJoin)
+		if !ok || j.Proj != nil {
+			return nil, nil, nil, false
+		}
+		cols := make([]*expr.Column, len(op.Exprs))
+		for i, e := range op.Exprs {
+			c, ok := e.(*expr.Column)
+			if !ok || c.Index < 0 {
+				return nil, nil, nil, false
+			}
+			cols[i] = c
+		}
+		hj = j
+		toConcat = func(ord int) (int, bool) {
+			if ord < 0 || ord >= len(cols) {
+				return 0, false
+			}
+			return cols[ord].Index, true
+		}
+	case *exec.HashJoin:
+		if op.Proj != nil {
+			return nil, nil, nil, false
+		}
+		hj = op
+		toConcat = func(ord int) (int, bool) { return ord, true }
+	default:
+		return nil, nil, nil, false
+	}
+
+	ords := make([]int, 0, len(used))
+	remap := make(map[int]int, len(used))
+	for pos, u := range used {
+		c, ok := toConcat(u)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		ords = append(ords, c)
+		remap[u] = pos
+	}
+	hj.Proj = ords
+
+	gb2 := make([]expr.Expr, len(groupBy))
+	for i, g := range groupBy {
+		gb2[i] = expr.RemapColumns(g, remap)
+	}
+	ag2 := make([]plan.AggSpec, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			a.Arg = expr.RemapColumns(a.Arg, remap)
+		}
+		ag2[i] = a
+	}
+	return hj, gb2, ag2, true
 }
 
 func identityLayout(layout []int) bool {
@@ -622,7 +724,15 @@ func (o *Optimizer) joinPairBest(jg *plan.JoinGroup, l, r *joinState, mask int, 
 
 	var best *joinState
 	if len(equi) > 0 {
-		// Hash join, build on left state.
+		// Hash join, build on left state. Key columns carry their real
+		// kinds so the executor's typed single-key probe path can engage.
+		groupCols := jg.Cols()
+		kindOf := func(ord int) types.Kind {
+			if ord >= 0 && ord < len(groupCols) {
+				return groupCols[ord].Kind
+			}
+			return types.KindNull
+		}
 		mk := func(build, probe *joinState, buildMap, probeMap map[int]int, layout []int, layoutMap map[int]int, swapped bool) *joinState {
 			var lk, rk []expr.Expr
 			for _, ep := range equi {
@@ -630,14 +740,14 @@ func (o *Optimizer) joinPairBest(jg *plan.JoinGroup, l, r *joinState, mask int, 
 				if swapped {
 					bcol, pcol = ep.right, ep.left
 				}
-				lk = append(lk, expr.NewColumn("", "k", buildMap[bcol], types.KindNull))
-				rk = append(rk, expr.NewColumn("", "k", probeMap[pcol], types.KindNull))
+				lk = append(lk, expr.NewColumn("", "k", buildMap[bcol], kindOf(bcol)))
+				rk = append(rk, expr.NewColumn("", "k", probeMap[pcol], kindOf(pcol)))
 			}
 			var res []expr.Expr
 			for _, c := range residual {
 				res = append(res, expr.RemapColumns(c, layoutMap))
 			}
-			cost := build.cost + probe.cost + build.rows*costHashBuild + probe.rows*costHashProbe + outRows*costEmit
+			cost := build.cost + probe.cost + (build.rows*costHashBuild+probe.rows*costHashProbe)*o.cpuBatch() + outRows*costEmit
 			// The cost model is identical for both flavors, so Parallel=1
 			// and Parallel=N choose the same join order; the partitioned
 			// flavor is picked when the bigger side's estimate clears the

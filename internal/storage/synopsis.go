@@ -97,14 +97,16 @@ func (h *Heap) Synopsis(pi int) *PageSynopsis {
 // is not touched — it charges one PagesSkipped and zero page or row reads.
 // Otherwise the page's live rows are gathered into an internal buffer
 // (charging one page read and one row read per live row, exactly like
-// ScanRange) and fn is called once with the batch. The batch slice is
-// borrowed: it is reused for the next page, so fn must not retain it.
-// Iteration stops when fn returns false.
+// ScanRange) and fn is called once with the batch plus the page's published
+// synopsis (nil when none has been computed) so vectorized consumers can
+// prove whole-page predicate outcomes without re-reading values. The batch
+// slice is borrowed: it is reused for the next page, so fn must not retain
+// it. Iteration stops when fn returns false.
 //
 // Unlike ScanRange, row charges land page-at-a-time: a consumer that stops
 // mid-batch has already been charged for the whole page, mirroring the page
 // model (touching any row of a page faults the full page in).
-func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsis) bool, fn func(rows []types.Row) bool) {
+func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsis) bool, fn func(rows []types.Row, syn *PageSynopsis) bool) {
 	if pageLo < 0 {
 		pageLo = 0
 	}
@@ -114,11 +116,10 @@ func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsi
 	var buf []types.Row
 	for pi := pageLo; pi < pageHi; pi++ {
 		p := h.pages[pi]
-		if skip != nil {
-			if syn := p.syn.Load(); syn != nil && skip(syn) {
-				c.AddSkipped(1)
-				continue
-			}
+		syn := p.syn.Load()
+		if skip != nil && syn != nil && skip(syn) {
+			c.AddSkipped(1)
+			continue
 		}
 		c.AddPages(1)
 		buf = buf[:0]
@@ -133,7 +134,7 @@ func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsi
 		if len(buf) == 0 {
 			continue
 		}
-		if !fn(buf) {
+		if !fn(buf, syn) {
 			return
 		}
 	}

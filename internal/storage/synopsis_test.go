@@ -105,7 +105,13 @@ func TestScanPagesSkipAndCounters(t *testing.T) {
 	var seen int
 	h.ScanPages(0, int(h.PageCount()), &c,
 		func(syn *PageSynopsis) bool { return syn.Col(0).Max.Int() < int64(per) },
-		func(rows []types.Row) bool { seen += len(rows); return true })
+		func(rows []types.Row, syn *PageSynopsis) bool {
+			if syn == nil {
+				t.Error("scanned page delivered without its synopsis")
+			}
+			seen += len(rows)
+			return true
+		})
 	if c.PagesSkipped != 1 {
 		t.Errorf("skipped: %d", c.PagesSkipped)
 	}
@@ -120,7 +126,7 @@ func TestScanPagesSkipAndCounters(t *testing.T) {
 
 	// Nil skip reads everything.
 	c = Counters{}
-	h.ScanPages(0, int(h.PageCount()), &c, nil, func(rows []types.Row) bool { return true })
+	h.ScanPages(0, int(h.PageCount()), &c, nil, func(rows []types.Row, _ *PageSynopsis) bool { return true })
 	if c.PagesSkipped != 0 || c.PagesRead != 3 {
 		t.Errorf("nil skip: %+v", c)
 	}
@@ -128,14 +134,14 @@ func TestScanPagesSkipAndCounters(t *testing.T) {
 	// Early stop: fn returning false ends iteration after the first batch.
 	c = Counters{}
 	calls := 0
-	h.ScanPages(0, int(h.PageCount()), &c, nil, func(rows []types.Row) bool { calls++; return false })
+	h.ScanPages(0, int(h.PageCount()), &c, nil, func(rows []types.Row, _ *PageSynopsis) bool { calls++; return false })
 	if calls != 1 || c.PagesRead != 1 {
 		t.Errorf("early stop: calls=%d %+v", calls, c)
 	}
 
 	// Out-of-range bounds clamp.
 	c = Counters{}
-	h.ScanPages(-5, 99, &c, nil, func(rows []types.Row) bool { return true })
+	h.ScanPages(-5, 99, &c, nil, func(rows []types.Row, _ *PageSynopsis) bool { return true })
 	if c.PagesRead != 3 {
 		t.Errorf("clamped scan: %+v", c)
 	}

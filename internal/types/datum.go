@@ -119,6 +119,18 @@ func (d Datum) Float() float64 {
 	}
 }
 
+// IntImage returns the raw int64 payload shared by integer, date, and
+// boolean datums — the image vectorized kernels compare and hash on. It
+// panics on kinds that do not carry an integer image.
+func (d Datum) IntImage() int64 {
+	switch d.kind {
+	case KindInt, KindDate, KindBool:
+		return d.i
+	default:
+		panic(fmt.Sprintf("types: IntImage() on %s datum", d.kind))
+	}
+}
+
 // Str returns the string value. It panics on a non-string datum.
 func (d Datum) Str() string {
 	if d.kind != KindString {
