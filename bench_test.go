@@ -630,6 +630,31 @@ func BenchmarkS1Server(b *testing.B) {
 	b.ReportMetric(p99/n, "p99_us")
 }
 
+// BenchmarkT1ReadUnderWrites measures the MVCC tentpole's headline number
+// (experiment T1): reader p99 over slow-page scans, alone and with a
+// concurrent insert flood. Before snapshot isolation a writer serialized
+// behind each materializing scan and later readers queued behind the
+// writer, so the under-write p99 degraded multi-x; scbench's trajectory
+// check gates on the ratio staying small.
+func BenchmarkT1ReadUnderWrites(b *testing.B) {
+	var ro, rw float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roRep, rwRep, err := bench.T1ReadLatencies(bench.DefaultT1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(roRep.ErrKinds) > 0 || len(rwRep.ErrKinds) > 0 {
+			b.Fatalf("driver saw failures: ro=%v rw=%v", roRep.ErrKinds, rwRep.ErrKinds)
+		}
+		ro += float64(roRep.Accepted.P99.Microseconds())
+		rw += float64(rwRep.Accepted.P99.Microseconds())
+	}
+	n := float64(b.N)
+	b.ReportMetric(ro/n, "ro_p99_us")
+	b.ReportMetric(rw/n, "rw_p99_us")
+}
+
 // runPruneBench reports per-op page reads and skips alongside wall time —
 // the two units the P2 pruning claims are stated in.
 func runPruneBench(b *testing.B, db *engine.Database, q string) {

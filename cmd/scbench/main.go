@@ -27,7 +27,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", bench.ParallelDegree, "worker count for the parallel configurations (P1)")
-	benchJSON := flag.String("bench-json", "", "instead of the experiment tables, run `go test -bench=. -benchtime=1x -short`, write BENCH_<date>.json into this directory, and fail if the E1/E2/E4 optimized variants stop beating their baselines on pages/op or the V1 typed kernels stop beating the tree-walk")
+	benchJSON := flag.String("bench-json", "", "instead of the experiment tables, run `go test -bench=. -benchtime=1x -short`, write BENCH_<date>.json into this directory, and fail if the E1/E2/E4 optimized variants stop beating their baselines on pages/op, the V1 typed kernels stop beating the tree-walk, or the T1 reader p99 under write load degrades past 3x read-only")
 	flag.Parse()
 	bench.ParallelDegree = *parallel
 
@@ -271,6 +271,24 @@ func checkTrajectory(results []benchResult) error {
 	}
 	if bestV1 > 0 && bestV1 < 1.5 {
 		failures = append(failures, fmt.Sprintf("V1: no typed kernel beats the tree-walk anymore (best %.2fx); predicate compilation has stopped specializing", bestV1))
+	}
+	// T1: reader p99 under a concurrent insert flood must stay within a
+	// small factor of the read-only p99. Before MVCC snapshot isolation a
+	// writer serialized behind each materializing scan and later readers
+	// queued behind the writer, inflating this ratio multi-x — scans
+	// silently re-acquiring the engine lock across materialization is the
+	// regression this gate catches. The 3x bar is deliberately loose:
+	// absolute latencies are host-bound, but the pre-MVCC failure mode
+	// showed up as 5–10x.
+	roP99, okRO := metric("T1ReadUnderWrites", "ro_p99_us")
+	rwP99, okRW := metric("T1ReadUnderWrites", "rw_p99_us")
+	switch {
+	case !okRO || !okRW:
+		failures = append(failures, "T1: missing T1ReadUnderWrites benchmark (ro_p99_us and rw_p99_us must both report)")
+	case rwP99 > 3*roP99:
+		failures = append(failures, fmt.Sprintf("T1: reader p99 under write load degraded to %.0fµs vs %.0fµs read-only (%.1fx > 3x); scans are queueing behind writers again", rwP99, roP99, rwP99/roP99))
+	default:
+		fmt.Printf("trajectory T1: ok (reader p99 %.0fµs under write flood vs %.0fµs alone, %.2fx <= 3x)\n", rwP99, roP99, rwP99/roP99)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench trajectory regressions:\n  %s", strings.Join(failures, "\n  "))

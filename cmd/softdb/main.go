@@ -183,15 +183,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		sess := db.NewSession("script")
 		for _, s := range stmts {
 			ctx, done := is.begin()
-			_, err := db.ExecStmtCtx(ctx, s, sql.Print(s))
+			_, err := sess.ExecStmtCtx(ctx, s, sql.Print(s))
 			done()
 			if err != nil {
+				sess.Close()
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
+		sess.Close()
 		fmt.Printf("loaded %s\n", args[0])
 	}
 	repl(db, is)
@@ -204,14 +207,21 @@ func main() {
 }
 
 func repl(db *engine.Database, is *interruptState) {
+	// The REPL runs on a session so BEGIN/COMMIT/ROLLBACK work; Close
+	// rolls back a transaction left open at exit.
+	sess := db.NewSession("repl")
+	defer sess.Close()
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
-		if buf.Len() == 0 {
-			fmt.Print("softdb> ")
-		} else {
+		switch {
+		case buf.Len() > 0:
 			fmt.Print("   ...> ")
+		case sess.InTxn():
+			fmt.Print("softdb*> ")
+		default:
+			fmt.Print("softdb> ")
 		}
 	}
 	prompt()
@@ -228,16 +238,16 @@ func repl(db *engine.Database, is *interruptState) {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			run(db, is, buf.String())
+			run(sess, is, buf.String())
 			buf.Reset()
 		}
 		prompt()
 	}
 }
 
-func run(db *engine.Database, is *interruptState, stmt string) {
+func run(sess *engine.Session, is *interruptState, stmt string) {
 	ctx, done := is.begin()
-	res, err := db.ExecCtx(ctx, strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+	res, err := sess.ExecCtx(ctx, strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
 	done()
 	if err != nil {
 		fmt.Println("error:", err)

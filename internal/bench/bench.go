@@ -130,6 +130,7 @@ func All() []Experiment {
 		{"D1", "durability: fsync policy overhead and recovery-time scaling", func() (*Report, error) { return D1Recovery(2000, DefaultD1Sweep) }},
 		{"O2", "constraint-economy ledger: overhead and net-benefit ranking", func() (*Report, error) { return O2Economy(20000, 40) }},
 		{"V1", "vectorized kernels: typed tight loops vs per-row tree-walk", func() (*Report, error) { return V1Kernels(65536) }},
+		{"T1", "transactions: snapshot readers under write load, wire-level txns", func() (*Report, error) { return T1Txn(DefaultT1) }},
 	}
 }
 

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestT1Shape runs the transaction experiment at smoke scale and asserts the
+// report carries all three measures with their internal checks passing. The
+// experiment itself errors on row-count or conflict-accounting mismatches,
+// so the shape test mostly guards the rendered table against drifting from
+// those checks.
+func TestT1Shape(t *testing.T) {
+	rep, err := T1Txn(T1Config{Rows: 800, Clients: 4, ReadOps: 8, SlowPageUs: 50, TxnOps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readRows, txnRows, conRows [][]string
+	for _, row := range rep.Rows {
+		switch row[0] {
+		case "read-p99":
+			readRows = append(readRows, row)
+		case "wire-txn":
+			txnRows = append(txnRows, row)
+		case "contention":
+			conRows = append(conRows, row)
+		}
+	}
+	if len(readRows) != 2 {
+		t.Fatalf("want read-only and under-flood read-p99 rows, got %v", readRows)
+	}
+	if len(txnRows) != 1 || !strings.Contains(txnRows[0][3], "match=true") {
+		t.Fatalf("wire-txn row must confirm committed-row parity: %v", txnRows)
+	}
+	if len(conRows) != 1 || !strings.Contains(conRows[0][3], "accounted=true") {
+		t.Fatalf("contention row must account every statement as win or conflict: %v", conRows)
+	}
+}

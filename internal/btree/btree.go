@@ -8,6 +8,7 @@ package btree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"softdb/internal/storage"
 	"softdb/internal/types"
@@ -39,8 +40,14 @@ type node struct {
 
 func (n *node) leaf() bool { return n.children == nil }
 
-// Tree is a B+tree multimap from composite keys to row IDs.
+// Tree is a B+tree multimap from composite keys to row IDs. It latches
+// itself: mutators take the internal write latch, traversals the read
+// latch, so lock-free MVCC scans can walk an index while a serialized
+// writer inserts entries. Traversal callbacks run under the read latch and
+// must not re-enter the tree (Go's RWMutex blocks re-entrant readers once
+// a writer queues) — collect entries first, then act.
 type Tree struct {
+	mu     sync.RWMutex
 	root   *node
 	keys   int   // distinct keys
 	size   int   // total (key,rid) pairs
@@ -54,16 +61,32 @@ func New() *Tree {
 }
 
 // Len returns the number of (key, rid) pairs stored.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // KeyCount returns the number of distinct keys stored.
-func (t *Tree) KeyCount() int { return t.keys }
+func (t *Tree) KeyCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.keys
+}
 
 // Height returns the tree height in levels.
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 // Version returns a counter that increases on every mutation.
-func (t *Tree) Version() int64 { return t.vers }
+func (t *Tree) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.vers
+}
 
 // search returns the index of the first entry in n with key >= k, and
 // whether it is an exact match.
@@ -85,6 +108,8 @@ func search(n *node, k types.Row) (int, bool) {
 
 // Insert adds (key, rid). Duplicate keys accumulate rids.
 func (t *Tree) Insert(key types.Row, rid storage.RowID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.vers++
 	if len(t.root.entries) >= degree-1 {
 		old := t.root
@@ -170,6 +195,8 @@ func (t *Tree) splitChild(p *node, i int) {
 // was found. Structural underflow is tolerated (nodes may go below half
 // full); the tree remains correct, which is the contract the engine needs.
 func (t *Tree) Delete(key types.Row, rid storage.RowID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := t.root
 	for !n.leaf() {
 		i, exact := search(n, key)
@@ -230,6 +257,8 @@ func (t *Tree) descendToLeaf(key types.Row, c *storage.Counters) *node {
 // scan. Page reads are charged for the root-to-leaf descent and for each
 // leaf visited.
 func (t *Tree) AscendRange(lo, hi Bound, c *storage.Counters, fn func(key types.Row, rid storage.RowID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.descendToLeaf(lo.Key, c)
 	start := 0
 	if lo.Key != nil {
@@ -268,6 +297,37 @@ func (t *Tree) Ascend(c *storage.Counters, fn func(key types.Row, rid storage.Ro
 	t.AscendRange(Bound{}, Bound{}, c, fn)
 }
 
+// Descend visits every pair in descending key order (rids of a duplicate
+// key in descending RowID order). fn returning false stops the walk. Page
+// reads are charged per node visited.
+func (t *Tree) Descend(c *storage.Counters, fn func(key types.Row, rid storage.RowID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	descendNode(t.root, c, fn)
+}
+
+func descendNode(n *node, c *storage.Counters, fn func(key types.Row, rid storage.RowID) bool) bool {
+	c.AddPages(1)
+	if n.leaf() {
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			e := &n.entries[i]
+			for j := len(e.rids) - 1; j >= 0; j-- {
+				c.AddRows(1)
+				if !fn(e.key, e.rids[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if !descendNode(n.children[i], c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
 // Lookup visits the rids stored under exactly key.
 func (t *Tree) Lookup(key types.Row, c *storage.Counters, fn func(rid storage.RowID) bool) {
 	t.AscendRange(Bound{Key: key, Inclusive: true}, Bound{Key: key, Inclusive: true}, c,
@@ -276,6 +336,8 @@ func (t *Tree) Lookup(key types.Row, c *storage.Counters, fn func(rid storage.Ro
 
 // Min returns the smallest key, or nil if the tree is empty.
 func (t *Tree) Min() types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for !n.leaf() {
 		n = n.children[0]
@@ -288,6 +350,8 @@ func (t *Tree) Min() types.Row {
 
 // Max returns the largest key, or nil if the tree is empty.
 func (t *Tree) Max() types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for !n.leaf() {
 		n = n.children[len(n.children)-1]
@@ -301,6 +365,8 @@ func (t *Tree) Max() types.Row {
 // Validate checks B+tree invariants (key ordering within and across nodes,
 // leaf chain consistency, size bookkeeping). It is used by property tests.
 func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var prev types.Row
 	count := 0
 	keys := 0

@@ -217,11 +217,16 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique bool)
 	ix := &Index{Name: name, Table: te.Def.Name, Columns: columns, Ordinal: ords, Unique: unique, Tree: btree.New()}
 	// Bulk build.
 	var buildErr error
-	te.Heap.Scan(nil, func(id storage.RowID, row types.Row) bool {
+	// Build over every physical version so the index matches what the
+	// engine's write path would have produced (dead versions keep their
+	// entries until Vacuum); uniqueness is judged on live rows only.
+	te.Heap.ScanVersions(func(id storage.RowID, row types.Row) bool {
 		k := ix.KeyFor(row)
-		if unique && treeHasKey(ix.Tree, k) {
-			buildErr = fmt.Errorf("catalog: cannot build unique index %s: duplicate key %s", name, k)
-			return false
+		if unique {
+			if _, live := te.Heap.Get(id); live && treeHasLiveKey(te, ix.Tree, k) {
+				buildErr = fmt.Errorf("catalog: cannot build unique index %s: duplicate key %s", name, k)
+				return false
+			}
 		}
 		ix.Tree.Insert(k, id)
 		return true
@@ -234,9 +239,15 @@ func (c *Catalog) CreateIndex(name, table string, columns []string, unique bool)
 	return ix, nil
 }
 
-func treeHasKey(t *btree.Tree, k types.Row) bool {
+func treeHasLiveKey(te *TableEntry, t *btree.Tree, k types.Row) bool {
 	found := false
-	t.Lookup(k, nil, func(storage.RowID) bool { found = true; return false })
+	t.Lookup(k, nil, func(rid storage.RowID) bool {
+		if _, ok := te.Heap.Get(rid); ok {
+			found = true
+			return false
+		}
+		return true
+	})
 	return found
 }
 

@@ -1,0 +1,30 @@
+package catalog
+
+import "sync"
+
+// runtimeMu guards the soft-characterization fields that query execution
+// consults after the engine's shared lock is released: prune-predicate
+// Check closures re-validate their source constraint (Active, Confidence,
+// Mode), correlation (Usable), or hole list on every scan, racing the
+// commit-time write hooks that deactivate constraints, bump staleness
+// counters, and retire holes. Plan-time reads still run under the engine's
+// shared lock and need no extra synchronization; only the run-time closure
+// reads and the commit-hook writes take this lock.
+//
+// It is package-global rather than per-catalog: the closures capture bare
+// *Constraint/*LinearCorrelation/*JoinHoles pointers with no path back to
+// their catalog, and a database process hosts one live catalog.
+var runtimeMu sync.RWMutex
+
+// RuntimeRLock takes the soft-state read lock for a run-time consultation.
+func RuntimeRLock() { runtimeMu.RLock() }
+
+// RuntimeRUnlock releases RuntimeRLock.
+func RuntimeRUnlock() { runtimeMu.RUnlock() }
+
+// RuntimeLock takes the soft-state write lock around commit-time hooks
+// that mutate characterization state while queries may be executing.
+func RuntimeLock() { runtimeMu.Lock() }
+
+// RuntimeUnlock releases RuntimeLock.
+func RuntimeUnlock() { runtimeMu.Unlock() }

@@ -638,7 +638,10 @@ func DecodeState(payload []byte, bind ExprBinder) (*Catalog, error) {
 				}
 			}
 			ix := &Index{Name: ixName, Table: def.Name, Columns: ixCols, Ordinal: ords, Unique: unique, Tree: btree.New()}
-			te.Heap.Scan(nil, func(id storage.RowID, row types.Row) bool {
+			// Rebuild over every physical version, not just live rows:
+			// the engine leaves dead versions' index entries in place
+			// until Vacuum, and restore must reproduce that state.
+			te.Heap.ScanVersions(func(id storage.RowID, row types.Row) bool {
 				ix.Tree.Insert(ix.KeyFor(row), id)
 				return true
 			})

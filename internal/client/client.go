@@ -167,6 +167,29 @@ func (c *Conn) Query(ctx context.Context, sql string) (*Result, error) {
 	return res, nil
 }
 
+// Begin opens an explicit transaction on the connection's server session.
+// Until Commit or Rollback, statements on this connection read from the
+// transaction's snapshot and stage its writes; a connection drop rolls the
+// transaction back server-side.
+func (c *Conn) Begin(ctx context.Context) error {
+	_, err := c.Query(ctx, "BEGIN")
+	return err
+}
+
+// Commit commits the open transaction. A first-updater-wins conflict
+// surfaces here (or on the conflicting statement) as a *wire.Error with
+// Kind "conflict"; the transaction is already rolled back in that case.
+func (c *Conn) Commit(ctx context.Context) error {
+	_, err := c.Query(ctx, "COMMIT")
+	return err
+}
+
+// Rollback abandons the open transaction.
+func (c *Conn) Rollback(ctx context.Context) error {
+	_, err := c.Query(ctx, "ROLLBACK")
+	return err
+}
+
 // Set assigns one session setting on the server (see engine.Session.Set
 // for names and values).
 func (c *Conn) Set(name, value string) error {

@@ -11,11 +11,12 @@ import (
 	"softdb/internal/sql"
 	"softdb/internal/storage"
 	"softdb/internal/types"
+	"softdb/internal/wal"
 )
 
 // insert evaluates the VALUES rows and applies them through the full
-// constraint pipeline.
-func (db *Database) insert(ins *sql.Insert) (*Result, error) {
+// constraint pipeline as uncommitted versions of tx.
+func (db *Database) insert(tx *Tx, ins *sql.Insert) (*Result, error) {
 	te, err := db.cat.Table(ins.Table)
 	if err != nil {
 		return nil, err
@@ -64,7 +65,7 @@ func (db *Database) insert(ins *sql.Insert) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := db.insertRowLocked(te, validated); err != nil {
+		if err := db.applyInsert(tx, te, validated, storage.RowID{Page: -1}); err != nil {
 			return nil, err
 		}
 		n++
@@ -72,30 +73,59 @@ func (db *Database) insert(ins *sql.Insert) (*Result, error) {
 	return &Result{RowsAffected: n}, nil
 }
 
-// InsertRow applies one validated row: constraint checks per mode, heap and
-// index insertion, summary-table maintenance, and soft-constraint currency
-// bookkeeping. Exposed for generators and benchmarks that bypass SQL.
+// InsertRow applies one validated row in its own implicit transaction:
+// constraint checks per mode, heap and index insertion, and at commit the
+// summary-table maintenance and soft-constraint currency bookkeeping.
+// Exposed for generators and benchmarks that bypass SQL.
 func (db *Database) InsertRow(te *catalog.TableEntry, row types.Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.insertRowLocked(te, row); err != nil {
+	tx := &Tx{t: db.txnMgr.Begin()}
+	db.mu.RLock()
+	db.writeMu.Lock()
+	err := db.applyInsert(tx, te, row, storage.RowID{Page: -1})
+	db.writeMu.Unlock()
+	db.mu.RUnlock()
+	if err != nil {
+		db.rollbackTx(tx)
 		return err
 	}
-	return db.commitWALLocked()
+	_, err = db.commitTx(tx)
+	return err
 }
 
-func (db *Database) insertRowLocked(te *catalog.TableEntry, row types.Row) error {
-	if err := db.checkConstraints(te, row, storage.RowID{Page: -1}); err != nil {
+// applyInsert installs row as an uncommitted version owned by tx, with its
+// index entries, after the enforced-constraint checks. selfRid names the
+// version an UPDATE is replacing so uniqueness ignores it; plain inserts
+// pass an invalid rid. Called with db.mu shared + writeMu held.
+func (db *Database) applyInsert(tx *Tx, te *catalog.TableEntry, row types.Row, selfRid storage.RowID) error {
+	if err := db.checkConstraints(te, row, selfRid); err != nil {
 		return err
 	}
-	db.checkSoftOnWrite(te, row)
-	rid := te.Heap.Insert(row)
+	rid := te.Heap.InsertVersion(row, tx.t.ID)
 	for _, ix := range te.Indexes {
 		ix.Tree.Insert(ix.KeyFor(row), rid)
 	}
-	db.maintainSummaries(te, row, true)
-	db.bumpCurrency(te)
-	db.walInsert(te.Def.Name, row)
+	tx.ops = append(tx.ops, writeOp{te: te, rid: rid, row: row})
+	if db.dur != nil {
+		tx.recs = append(tx.recs, &wal.Record{Type: wal.TypeInsert, TxnID: tx.t.ID, Table: te.Def.Name, RID: rid, Row: row})
+	}
+	return nil
+}
+
+// applyDelete ends the version at rid with tx's uncommitted stamp. The
+// first-updater-wins check lives here: a version some other transaction
+// already ended — committed after tx's snapshot or still in flight — is a
+// write-write conflict. Index entries stay (heap visibility filters them);
+// only rollback removes entries, and only the ones it added. Called with
+// db.mu shared + writeMu held, which makes the check-then-stamp atomic.
+func (db *Database) applyDelete(tx *Tx, te *catalog.TableEntry, rid storage.RowID, old types.Row) error {
+	if _, end, ok := te.Heap.Meta(rid); !ok || end != 0 {
+		return conflictError(te.Def.Name, rid)
+	}
+	te.Heap.SetEnd(rid, -tx.t.ID)
+	tx.ops = append(tx.ops, writeOp{te: te, del: true, rid: rid, row: old})
+	if db.dur != nil {
+		tx.recs = append(tx.recs, &wal.Record{Type: wal.TypeDelete, TxnID: tx.t.ID, Table: te.Def.Name, RID: rid})
+	}
 	return nil
 }
 
@@ -147,11 +177,19 @@ func (db *Database) checkOne(te *catalog.TableEntry, con *catalog.Constraint, ro
 				}
 			}
 		}
+		// Uniqueness runs against the "dirty" view — any version a
+		// committed-state reader could still come to see, including other
+		// transactions' uncommitted inserts — so two in-flight transactions
+		// cannot both claim a key. Index entries may point at dead versions
+		// (commit never removes them), so each candidate is re-checked
+		// against the heap.
 		if ix := indexOver(te, con.Columns); ix != nil {
 			dup := false
 			ix.Tree.Lookup(key, nil, func(rid storage.RowID) bool {
 				if rid != selfRid {
-					dup = true
+					if _, live := te.Heap.GetAny(rid); live {
+						dup = true
+					}
 				}
 				return !dup
 			})
@@ -161,7 +199,7 @@ func (db *Database) checkOne(te *catalog.TableEntry, con *catalog.Constraint, ro
 			return nil
 		}
 		dup := false
-		te.Heap.Scan(nil, func(rid storage.RowID, existing types.Row) bool {
+		te.Heap.ScanDirty(func(rid storage.RowID, existing types.Row) bool {
 			if rid != selfRid && existing.Project(ords).Equal(key) {
 				dup = true
 				return false
@@ -184,16 +222,24 @@ func (db *Database) checkOne(te *catalog.TableEntry, con *catalog.Constraint, ro
 			return err
 		}
 		refOrds := ordinalsOf(ref, con.RefColumns)
+		// The parent check uses the dirty view too: a parent another
+		// transaction is inserting counts (it may commit), one whose delete
+		// is uncommitted still counts (the delete may abort).
 		if ix := indexOver(ref, con.RefColumns); ix != nil {
 			found := false
-			ix.Tree.Lookup(key, nil, func(storage.RowID) bool { found = true; return false })
+			ix.Tree.Lookup(key, nil, func(rid storage.RowID) bool {
+				if _, live := ref.Heap.GetAny(rid); live {
+					found = true
+				}
+				return !found
+			})
 			if !found {
 				return fmt.Errorf("engine: no parent row %s in %s for %s", key, con.RefTable, con.Name)
 			}
 			return nil
 		}
 		found := false
-		ref.Heap.Scan(nil, func(_ storage.RowID, parent types.Row) bool {
+		ref.Heap.ScanDirty(func(_ storage.RowID, parent types.Row) bool {
 			if parent.Project(refOrds).Equal(key) {
 				found = true
 				return false
@@ -386,8 +432,11 @@ func indexOver(te *catalog.TableEntry, cols []string) *catalog.Index {
 	return nil
 }
 
-// update applies SET clauses to matching rows.
-func (db *Database) update(upd *sql.Update) (*Result, error) {
+// update applies SET clauses to rows matching in tx's snapshot view: each
+// match becomes a delete of the old version plus an insert of the new one,
+// both uncommitted until tx commits. A match another transaction already
+// ended fails with a first-updater-wins conflict.
+func (db *Database) update(tx *Tx, upd *sql.Update) (*Result, error) {
 	te, err := db.cat.Table(upd.Table)
 	if err != nil {
 		return nil, err
@@ -415,14 +464,16 @@ func (db *Database) update(upd *sql.Update) (*Result, error) {
 		}
 		sets[i] = setOp{ord: ord, val: bound}
 	}
-	// Collect matches first (mutating while scanning is unsafe).
+	// Collect matches first (mutating while scanning is unsafe), reading
+	// from tx's snapshot so the statement sees a stable view plus its own
+	// transaction's earlier writes.
 	type match struct {
 		rid storage.RowID
 		row types.Row
 	}
 	var matches []match
 	var scanErr error
-	te.Heap.Scan(nil, func(rid storage.RowID, row types.Row) bool {
+	te.Heap.ScanAt(tx.t.Snap, tx.t.ID, nil, func(rid storage.RowID, row types.Row) bool {
 		if where != nil {
 			ok, err := expr.EvalBool(where, row)
 			if err != nil {
@@ -453,30 +504,20 @@ func (db *Database) update(upd *sql.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := db.checkConstraints(te, validated, m.rid); err != nil {
+		if err := db.applyDelete(tx, te, m.rid, m.row); err != nil {
 			return nil, err
 		}
-		db.checkSoftOnWrite(te, validated)
-		// Index maintenance: remove old keys, add new.
-		for _, ix := range te.Indexes {
-			oldKey, newKey := ix.KeyFor(m.row), ix.KeyFor(validated)
-			if !oldKey.Equal(newKey) {
-				ix.Tree.Delete(oldKey, m.rid)
-				ix.Tree.Insert(newKey, m.rid)
-			}
+		if err := db.applyInsert(tx, te, validated, m.rid); err != nil {
+			return nil, err
 		}
-		te.Heap.Update(m.rid, validated)
-		db.maintainSummaries(te, m.row, false)
-		db.maintainSummaries(te, validated, true)
-		db.bumpCurrency(te)
-		db.walUpdate(te.Def.Name, m.rid, validated)
 		n++
 	}
 	return &Result{RowsAffected: n}, nil
 }
 
-// delete removes matching rows.
-func (db *Database) delete(del *sql.Delete) (*Result, error) {
+// delete ends rows matching in tx's snapshot view with tx's uncommitted
+// stamp; old snapshots keep seeing them until the commit publishes.
+func (db *Database) delete(tx *Tx, del *sql.Delete) (*Result, error) {
 	te, err := db.cat.Table(del.Table)
 	if err != nil {
 		return nil, err
@@ -494,7 +535,7 @@ func (db *Database) delete(del *sql.Delete) (*Result, error) {
 	}
 	var matches []match
 	var scanErr error
-	te.Heap.Scan(nil, func(rid storage.RowID, row types.Row) bool {
+	te.Heap.ScanAt(tx.t.Snap, tx.t.ID, nil, func(rid storage.RowID, row types.Row) bool {
 		if where != nil {
 			ok, err := expr.EvalBool(where, row)
 			if err != nil {
@@ -512,13 +553,9 @@ func (db *Database) delete(del *sql.Delete) (*Result, error) {
 		return nil, scanErr
 	}
 	for _, m := range matches {
-		te.Heap.Delete(m.rid)
-		for _, ix := range te.Indexes {
-			ix.Tree.Delete(ix.KeyFor(m.row), m.rid)
+		if err := db.applyDelete(tx, te, m.rid, m.row); err != nil {
+			return nil, err
 		}
-		db.maintainSummaries(te, m.row, false)
-		db.bumpCurrency(te)
-		db.walDelete(te.Def.Name, m.rid)
 	}
 	return &Result{RowsAffected: int64(len(matches))}, nil
 }

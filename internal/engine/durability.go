@@ -192,31 +192,12 @@ func (db *Database) DataDir() string {
 	return db.dur.dir
 }
 
-// --- record staging (all called with db.mu held) ---
-
-// walInsert stages a row-insert redo record.
-func (db *Database) walInsert(table string, row types.Row) {
-	if db.dur == nil {
-		return
-	}
-	db.dur.pending = append(db.dur.pending, &wal.Record{Type: wal.TypeInsert, Table: table, Row: row})
-}
-
-// walUpdate stages a row-replacement redo record (post-image).
-func (db *Database) walUpdate(table string, rid storage.RowID, row types.Row) {
-	if db.dur == nil {
-		return
-	}
-	db.dur.pending = append(db.dur.pending, &wal.Record{Type: wal.TypeUpdate, Table: table, RID: rid, Row: row})
-}
-
-// walDelete stages a tombstone redo record.
-func (db *Database) walDelete(table string, rid storage.RowID) {
-	if db.dur == nil {
-		return
-	}
-	db.dur.pending = append(db.dur.pending, &wal.Record{Type: wal.TypeDelete, Table: table, RID: rid})
-}
+// --- record staging (all called with db.mu held exclusively) ---
+//
+// Row-level DML records no longer pass through here: transactions stage
+// them in their Tx and hand them to the writer at commit (see txn.go).
+// The pending list carries only the non-transactional record kinds — DDL,
+// soft-registry images, truncates — each committed as its own group.
 
 // walDDL stages a DDL/utility statement as text plus its outcome; replay
 // re-executes it and must agree with applied.
@@ -241,11 +222,11 @@ func (db *Database) walSoftLocked() error {
 }
 
 // commitWALLocked flushes the statement's staged records as one committed
-// group. It runs on success and error paths alike: the engine applies DML
-// row by row with no rollback, so a failed statement's already-applied rows
-// must still reach the log. A write/fsync failure latches the writer and
-// surfaces as a KindRecovery QueryError; mutations stay failed until the
-// process restarts and recovery truncates back to the valid prefix.
+// group. It runs on success and error paths alike: a failed DDL statement
+// is still logged (with Applied false) so replay can agree with the
+// pre-crash outcome. A write/fsync failure latches the writer and surfaces
+// as a KindRecovery QueryError; mutations stay failed until the process
+// restarts and recovery truncates back to the valid prefix.
 func (db *Database) commitWALLocked() error {
 	d := db.dur
 	if d == nil || len(d.pending) == 0 {
@@ -346,6 +327,13 @@ func (db *Database) checkpointLocked() error {
 	}
 	if err := d.w.Err(); err != nil {
 		return err
+	}
+	// An open write transaction (a session between BEGIN and COMMIT holds
+	// no lock) would be snapshotted as dead versions while its streamed
+	// log records get truncated — so the checkpoint defers until the
+	// writes drain. The log keeps everything; nothing is lost by waiting.
+	if db.txnMgr.ActiveWrites() > 0 {
+		return nil
 	}
 	ckptStart := time.Now()
 	// Make the log durable first so the snapshot never claims coverage of
@@ -482,38 +470,61 @@ func OpenDurable(dir string, opts DurableOptions) (*Database, *RecoveryStats, er
 		rs.SnapshotLSN = snapLSN
 	}
 
-	// Replay: buffer each record group and apply it only when its commit
-	// record closes it, skipping groups the snapshot already covers.
-	var group []*wal.Record
+	// Replay: buffer records per transaction and apply a group only when
+	// its commit record closes it, skipping groups the snapshot already
+	// covers. An aborted transaction's inserts become permanent aborted
+	// placeholder slots — later commits' RIDs (and the index entries
+	// pointing at them) depend on the physical layout those slots pad out.
+	// Groups left unterminated when the scan ends (the transactions open
+	// at the crash) are discarded.
+	groups := map[int64][]*wal.Record{}
 	logPath := wal.LogPath(dir)
 	res, err := wal.ScanLog(logPath, opts.Fault, func(r *wal.Record) error {
-		if r.Type != wal.TypeCommit {
-			group = append(group, r)
-			return nil
-		}
-		if r.LSN > snapLSN {
-			applied := false
-			for _, g := range group {
-				if g.LSN <= snapLSN {
-					continue
+		switch r.Type {
+		case wal.TypeBegin:
+			// Group-opening marker only; records carry their TxnID.
+		case wal.TypeCommit:
+			if r.LSN > snapLSN {
+				applied := false
+				for _, g := range groups[r.TxnID] {
+					if g.LSN <= snapLSN {
+						continue
+					}
+					if aerr := db.redo(g); aerr != nil {
+						return aerr
+					}
+					rs.RecordsReplayed++
+					applied = true
 				}
-				if aerr := db.redo(g); aerr != nil {
-					return aerr
+				if applied {
+					rs.StatementsReplayed++
 				}
-				rs.RecordsReplayed++
-				applied = true
 			}
-			if applied {
-				rs.StatementsReplayed++
+			delete(groups, r.TxnID)
+		case wal.TypeAbort:
+			if r.LSN > snapLSN {
+				for _, g := range groups[r.TxnID] {
+					if g.LSN <= snapLSN || g.Type != wal.TypeInsert {
+						continue
+					}
+					if te, terr := db.cat.Table(g.Table); terr == nil {
+						te.Heap.InsertAtRID(nil, g.RID, storage.Aborted)
+					}
+				}
 			}
+			delete(groups, r.TxnID)
+		default:
+			groups[r.TxnID] = append(groups[r.TxnID], r)
 		}
-		group = group[:0]
 		return nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	rs.TailErr = res.Tail
+	// Seed the ID allocator past every transaction the log named, so a
+	// fresh transaction can never collide with an orphaned group.
+	db.txnMgr.SeedIDs(res.MaxTxnID)
 
 	// Cut the log back to the last committed boundary: past it lie torn
 	// frames and/or an unterminated record group, which the next writer
@@ -610,9 +621,15 @@ func (db *Database) redo(r *wal.Record) error {
 			return fail(err)
 		}
 		db.checkSoftOnWrite(te, r.Row)
-		rid := te.Heap.Insert(r.Row)
+		// Replay at the logged RID: commit order is not slot order (an
+		// earlier-slotted transaction may have committed later), so the
+		// row must land exactly where the live run put it or every later
+		// index entry would dangle.
+		if !te.Heap.InsertAtRID(r.Row, r.RID, storage.CommittedMin) {
+			return fail(fmt.Errorf("slot %v already occupied", r.RID))
+		}
 		for _, ix := range te.Indexes {
-			ix.Tree.Insert(ix.KeyFor(r.Row), rid)
+			ix.Tree.Insert(ix.KeyFor(r.Row), r.RID)
 		}
 		db.maintainSummaries(te, r.Row, true)
 		db.bumpCurrency(te)
@@ -646,10 +663,11 @@ func (db *Database) redo(r *wal.Record) error {
 		if !ok {
 			return fail(fmt.Errorf("no live row at %v", r.RID))
 		}
-		te.Heap.Delete(r.RID)
-		for _, ix := range te.Indexes {
-			ix.Tree.Delete(ix.KeyFor(old), r.RID)
-		}
+		// End-stamp the version rather than reclaiming the slot — the
+		// live commit path leaves dead versions (and their index
+		// entries) in place for Vacuum, and recovery must converge on
+		// the same physical state.
+		te.Heap.SetEnd(r.RID, storage.CommittedMin)
 		db.maintainSummaries(te, old, false)
 		db.bumpCurrency(te)
 	case wal.TypeDDL:

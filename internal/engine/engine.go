@@ -24,6 +24,7 @@ import (
 	"softdb/internal/sql"
 	"softdb/internal/stats"
 	"softdb/internal/storage"
+	"softdb/internal/txn"
 	"softdb/internal/types"
 )
 
@@ -94,17 +95,32 @@ type cachedPlan struct {
 
 // Database is a softdb instance. It is safe for concurrent use: Exec,
 // Query, ExecStmt and the exported inspection methods may be called from
-// many goroutines. Statements that mutate state (DDL, DML, ANALYZE) take
-// an exclusive lock; SELECT and EXPLAIN run under a shared lock, so
-// readers proceed concurrently. Configuration fields (RewriteOpts,
-// Parallel, the No* toggles) are read without synchronization — set them
-// before sharing the database across goroutines. Mutating the catalog
-// directly through Catalog() (miners, the soft-constraint manager) is not
-// covered by these locks; quiesce queries first.
+// many goroutines. Concurrency is MVCC snapshot isolation with writers
+// serialized:
+//
+//   - SELECT and EXPLAIN plan under the shared lock, pin a snapshot, then
+//     release the lock before operator execution — readers never queue
+//     behind writers or behind each other's result materialization.
+//   - DML applies uncommitted row versions under the shared lock plus
+//     writeMu (appliers serialized against each other, concurrent with
+//     readers) and commits under the exclusive lock, where the commit
+//     timestamp is stamped and published.
+//   - DDL, ANALYZE, checkpoints and recovery take the exclusive lock.
+//
+// Configuration fields (RewriteOpts, Parallel, the No* toggles) are read
+// without synchronization — set them before sharing the database across
+// goroutines. Mutating the catalog directly through Catalog() (miners, the
+// soft-constraint manager) is not covered by these locks; quiesce queries
+// first.
 type Database struct {
-	// mu guards catalog, storage, views and notices: writers exclusive,
-	// queries shared.
+	// mu guards catalog, storage metadata, views and notices: exclusive
+	// for commits/DDL, shared for planning and DML apply.
 	mu sync.RWMutex
+	// writeMu serializes DML appliers (and explicit-transaction WAL
+	// streaming) against each other. It nests inside mu's shared side:
+	// every holder also holds mu.RLock, so an exclusive-lock holder is
+	// automatically alone.
+	writeMu sync.Mutex
 	// cacheMu guards planCache and cacheStat. It nests inside mu (taken
 	// while mu is held, never the other way around).
 	cacheMu sync.Mutex
@@ -113,6 +129,9 @@ type Database struct {
 
 	cat   *catalog.Catalog
 	views map[string]*sql.Select
+
+	// txnMgr hands out transaction IDs, snapshots and commit timestamps.
+	txnMgr *txn.Manager
 
 	// RewriteOpts toggles semantic rewrite rules (ablation).
 	RewriteOpts rewrite.Options
@@ -194,6 +213,7 @@ func Open() *Database {
 	db := &Database{
 		cat:       catalog.New(),
 		views:     map[string]*sql.Select{},
+		txnMgr:    txn.NewManager(),
 		planCache: map[string]*cachedPlan{},
 		workload:  map[string]map[string]int64{},
 	}
@@ -283,17 +303,23 @@ func (db *Database) ExecCtx(ctx context.Context, query string) (*Result, error) 
 }
 
 // ExecScript executes a semicolon-separated script, returning the last
-// result.
+// result. The script runs on a private session, so multi-statement
+// BEGIN..COMMIT blocks work; a transaction left open at the end of the
+// script is rolled back. A failing statement's error carries its 1-based
+// position and (truncated) text, so a failure deep in a long script is
+// attributable.
 func (db *Database) ExecScript(script string) (*Result, error) {
 	stmts, err := sql.ParseAll(script)
 	if err != nil {
 		return nil, err
 	}
+	sess := db.NewSession("")
+	defer sess.Close()
 	var last *Result
-	for _, s := range stmts {
-		last, err = db.ExecStmt(s, "")
+	for i, s := range stmts {
+		last, err = sess.ExecStmtCtx(context.Background(), s, "")
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("engine: script statement %d (%s): %w", i+1, truncateSQL(sql.Print(s)), err)
 		}
 	}
 	return last, nil
@@ -365,13 +391,15 @@ func (db *Database) admit(ctx context.Context) (release func(), err error) {
 // applied; the admission gate (MaxConcurrent) is crossed before any lock
 // is taken.
 func (db *Database) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string) (*Result, error) {
-	return db.execStmtCtx(ctx, stmt, cacheKey, db.defaultSettings(), "")
+	return db.execStmtCtx(ctx, stmt, cacheKey, db.defaultSettings(), nil)
 }
 
 // execStmtCtx is the settings-aware core of ExecStmtCtx: direct Database
-// calls pass the database defaults, Session calls pass the session's
-// effective settings plus its trace/log label.
-func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string, st Settings, sess string) (*Result, error) {
+// calls pass the database defaults and no session (each DML statement
+// autocommits; BEGIN is rejected), Session calls pass the session's
+// effective settings plus the session itself, which carries its open
+// transaction and trace/log label.
+func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string, st Settings, sess *Session) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -390,8 +418,6 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 
 	switch s := stmt.(type) {
 	case *sql.Select:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 		return db.query(ctx, s, cacheKey, modeRun, st, sess)
 	case *sql.Explain:
 		inner, ok := s.Stmt.(*sql.Select)
@@ -402,25 +428,46 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		if s.Analyze {
 			mode = modeAnalyze
 		}
-		db.mu.RLock()
-		defer db.mu.RUnlock()
 		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode, st, sess)
 	case *sql.Show:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		return db.showConstraintsEconomy(), nil
+	case *sql.Begin:
+		return db.beginStmt(sess)
+	case *sql.Commit:
+		return db.commitStmt(sess)
+	case *sql.Rollback:
+		return db.rollbackStmt(sess)
+	case *sql.Insert:
+		return db.execDML(sess, func(tx *Tx) (*Result, error) { return db.insert(tx, s) })
+	case *sql.Update:
+		return db.execDML(sess, func(tx *Tx) (*Result, error) { return db.update(tx, s) })
+	case *sql.Delete:
+		return db.execDML(sess, func(tx *Tx) (*Result, error) { return db.delete(tx, s) })
 	}
 
+	// DDL and ANALYZE commit immediately under the exclusive lock; inside
+	// an explicit transaction they would be unrollbackable, so reject them.
+	if sess != nil && sess.current() != nil {
+		return nil, fmt.Errorf("engine: %s is not allowed inside a transaction", sql.Print(stmt))
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	// Notices are only produced on the write path (checkSoftOnWrite), which
-	// holds the exclusive lock, so the shared query path never touches them.
+	// Notices are only produced under the exclusive lock (commit hooks and
+	// DDL), so the shared query path never touches them.
 	db.notices = nil
 	var res *Result
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		res, err = db.createTable(s)
 	case *sql.CreateIndex:
+		// The index is built from the committed view; an open transaction's
+		// uncommitted inserts would be missing from it after their commit.
+		if db.txnMgr.ActiveWrites() > 0 {
+			return nil, &exec.QueryError{Op: "engine.ddl", Kind: exec.KindBusy,
+				Err: fmt.Errorf("CREATE INDEX must wait for open write transactions")}
+		}
 		res, err = db.createIndex(s)
 	case *sql.CreateView:
 		res, err = db.createView(s)
@@ -430,26 +477,13 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		res, err = db.alterAdd(s)
 	case *sql.DropTable:
 		res, err = db.dropTable(s)
-	case *sql.Insert:
-		res, err = db.insert(s)
-	case *sql.Update:
-		res, err = db.update(s)
-	case *sql.Delete:
-		res, err = db.delete(s)
 	case *sql.Analyze:
 		res, err = db.analyze(s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 	if db.dur != nil {
-		switch stmt.(type) {
-		case *sql.Insert, *sql.Update, *sql.Delete:
-			// Row records were staged by the DML paths; a failed statement
-			// still commits the rows it applied before failing (the engine
-			// has no rollback), matching the in-memory outcome.
-		default:
-			db.walDDL(sql.Print(stmt), err == nil)
-		}
+		db.walDDL(sql.Print(stmt), err == nil)
 		if werr := db.commitWALLocked(); werr != nil && err == nil {
 			err = werr
 		}
@@ -458,6 +492,14 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		res.Notices = append(res.Notices, db.notices...)
 	}
 	return res, err
+}
+
+// sessionLabel is the trace/log tag for a possibly-nil session.
+func sessionLabel(sess *Session) string {
+	if sess == nil {
+		return ""
+	}
+	return sess.label
 }
 
 // Query runs a select and returns its rows.
@@ -617,115 +659,158 @@ const (
 	modeAnalyze
 )
 
-func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string, mode queryMode, st Settings, sess string) (*Result, error) {
+// query runs the SELECT/EXPLAIN pipeline. Planning — cache lookup, build,
+// rewrite, optimize, cache store — happens under the shared lock; then the
+// statement's MVCC snapshot is pinned, the lock is released, and the plan
+// executes lock-free against that snapshot. A concurrent commit can
+// publish mid-execution without being observed (scans filter by the pinned
+// snapshot), and a slow scan no longer blocks writers.
+// testHookQueryUnlocked, when set by a test, runs after query() has
+// dropped the shared lock and pinned its snapshot, immediately before
+// operator execution — the window in which a scan must not block writers.
+var testHookQueryUnlocked func()
+
+func (db *Database) query(ctx context.Context, sel *sql.Select, cacheKey string, mode queryMode, st Settings, sess *Session) (*Result, error) {
+	label := sessionLabel(sess)
 	sqlText := cacheKey
 	if sqlText == "" {
 		sqlText = sql.Print(sel)
 	}
+
+	db.mu.RLock()
+	locked := true
+	unlock := func() {
+		if locked {
+			db.mu.RUnlock()
+			locked = false
+		}
+	}
+	defer unlock()
+
 	useCache := cacheKey != "" && !db.DisablePlanCache && mode == modeRun
+	var entry *cachedPlan
+	cacheHit := false
 	if useCache {
 		cacheKey = planCacheKey(cacheKey, st)
-		if entry, ok := db.cacheLookup(cacheKey); ok {
-			return db.execute(ctx, entry, sqlText, true, st, sess)
+		if e, ok := db.cacheLookup(cacheKey); ok {
+			entry, cacheHit = e, true
+		}
+	}
+	if entry == nil {
+		logical, err := db.builder().BuildSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		db.recordWorkload(logical)
+		cols := logical.Cols()
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = c.Name
+		}
+		rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts(st)}
+		logical = rw.Rewrite(logical)
+		result, err := db.optimizer(st).Optimize(logical)
+		if err != nil {
+			return nil, err
+		}
+		db.countRewriteFires(rw.Events)
+		planText := exec.Format(result.Root)
+		entry = &cachedPlan{
+			catVersion:   db.cat.Version(),
+			hardVersion:  db.cat.HardVersion(),
+			root:         result.Root,
+			cols:         names,
+			estRows:      result.EstRows,
+			estCost:      result.EstCost,
+			planText:     planText,
+			trace:        rw.Trace,
+			nodeRows:     result.NodeRows,
+			nodeInformed: result.NodeInformed,
+			events:       append(append([]obs.Event(nil), rw.Events...), result.Events...),
+			degree:       exec.MaxDegree(result.Root),
+		}
+		if !db.NoEconomy {
+			entry.shadowDeltas = db.shadowCostDeltas(sel, result.EstCost, entry.events, st)
+		}
+		if mode == modeExplain {
+			var rows []types.Row
+			line := func(s string) { rows = append(rows, types.Row{types.NewString(s)}) }
+			for _, l := range strings.Split(strings.TrimRight(planText, "\n"), "\n") {
+				line(l)
+			}
+			for _, t := range rw.Trace {
+				line("rewrite: " + t)
+			}
+			for _, e := range entry.events {
+				line("event: " + e.String())
+			}
+			line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))
+			line(fmt.Sprintf("parallel degree: %d", entry.degree))
+			line("plan cache: " + db.cachePeek(cacheKey, st))
+			return &Result{
+				Columns: []string{"plan"},
+				Rows:    rows,
+				EstRows: result.EstRows,
+				EstCost: result.EstCost,
+				Plan:    planText,
+				Trace:   rw.Trace,
+				Degree:  entry.degree,
+				Events:  entry.events,
+			}, nil
+		}
+		if useCache {
+			if len(rw.Trace) > 0 && db.ASCDynamicOnly {
+				// §4.1: "restrict the use of ASCs in rewrite just to dynamic
+				// queries and never for precompilation" — run the rewritten
+				// plan once, cache nothing.
+			} else {
+				// §4.1 backup plan: when soft rules shaped the primary plan,
+				// compile the SQO-free alternative alongside so an overturned
+				// ASC reverts instead of recompiling.
+				if len(rw.Trace) > 0 {
+					if backup, err := db.compileBackup(sel, names, st); err == nil {
+						entry.backup = backup
+					}
+				}
+				db.cacheMu.Lock()
+				db.planCache[cacheKey] = entry
+				db.obs.cacheEntries.Set(int64(len(db.planCache)))
+				db.cacheMu.Unlock()
+			}
 		}
 	}
 
-	logical, err := db.builder().BuildSelect(sel)
-	if err != nil {
-		return nil, err
-	}
-	db.recordWorkload(logical)
-	cols := logical.Cols()
-	names := make([]string, len(cols))
-	for i, c := range cols {
-		names[i] = c.Name
-	}
-	rw := &rewrite.Rewriter{Cat: db.cat, Opt: db.rewriteOpts(st)}
-	logical = rw.Rewrite(logical)
-	result, err := db.optimizer(st).Optimize(logical)
-	if err != nil {
-		return nil, err
-	}
-	db.countRewriteFires(rw.Events)
-	planText := exec.Format(result.Root)
-	entry := &cachedPlan{
-		catVersion:   db.cat.Version(),
-		hardVersion:  db.cat.HardVersion(),
-		root:         result.Root,
-		cols:         names,
-		estRows:      result.EstRows,
-		estCost:      result.EstCost,
-		planText:     planText,
-		trace:        rw.Trace,
-		nodeRows:     result.NodeRows,
-		nodeInformed: result.NodeInformed,
-		events:       append(append([]obs.Event(nil), rw.Events...), result.Events...),
-		degree:       exec.MaxDegree(result.Root),
-	}
-	if !db.NoEconomy {
-		entry.shadowDeltas = db.shadowCostDeltas(sel, result.EstCost, entry.events, st)
-	}
+	cacheStatus := ""
 	if mode == modeAnalyze {
-		return db.explainAnalyze(ctx, entry, sqlText, db.cachePeek(cacheKey, st), st, sess)
+		cacheStatus = db.cachePeek(cacheKey, st)
 	}
-	if mode == modeExplain {
-		var rows []types.Row
-		line := func(s string) { rows = append(rows, types.Row{types.NewString(s)}) }
-		for _, l := range strings.Split(strings.TrimRight(planText, "\n"), "\n") {
-			line(l)
-		}
-		for _, t := range rw.Trace {
-			line("rewrite: " + t)
-		}
-		for _, e := range entry.events {
-			line("event: " + e.String())
-		}
-		line(fmt.Sprintf("estimated rows: %.1f, cost: %.1f", result.EstRows, result.EstCost))
-		line(fmt.Sprintf("parallel degree: %d", entry.degree))
-		line("plan cache: " + db.cachePeek(cacheKey, st))
-		return &Result{
-			Columns: []string{"plan"},
-			Rows:    rows,
-			EstRows: result.EstRows,
-			EstCost: result.EstCost,
-			Plan:    planText,
-			Trace:   rw.Trace,
-			Degree:  entry.degree,
-			Events:  entry.events,
-		}, nil
+	// Pin the statement's snapshot before releasing the shared lock so the
+	// versions it reads stay beyond the vacuum horizon for the whole run.
+	snap, tid, releaseSnap := db.snapshotFor(sess)
+	unlock()
+	defer releaseSnap()
+	if h := testHookQueryUnlocked; h != nil {
+		h()
 	}
-	if useCache {
-		if len(rw.Trace) > 0 && db.ASCDynamicOnly {
-			// §4.1: "restrict the use of ASCs in rewrite just to dynamic
-			// queries and never for precompilation" — run the rewritten
-			// plan once, cache nothing.
-			return db.execute(ctx, entry, sqlText, false, st, sess)
-		}
-		// §4.1 backup plan: when soft rules shaped the primary plan,
-		// compile the SQO-free alternative alongside so an overturned ASC
-		// reverts instead of recompiling.
-		if len(rw.Trace) > 0 {
-			if backup, err := db.compileBackup(sel, names, st); err == nil {
-				entry.backup = backup
-			}
-		}
-		db.cacheMu.Lock()
-		db.planCache[cacheKey] = entry
-		db.obs.cacheEntries.Set(int64(len(db.planCache)))
-		db.cacheMu.Unlock()
+
+	if mode == modeAnalyze {
+		return db.explainAnalyze(ctx, entry, sqlText, cacheStatus, st, label, snap, tid)
 	}
-	return db.execute(ctx, entry, sqlText, false, st, sess)
+	return db.execute(ctx, entry, sqlText, cacheHit, st, label, snap, tid)
 }
 
 // execCtx builds the exec context carrying the query's lifecycle: the
 // caller's cancellation signal, the statement's memory budget, the
-// database fault injector, and the panic-recovery hook feeding the
-// metrics registry.
-func (db *Database) execCtx(ctx context.Context, st Settings) *exec.Ctx {
+// database fault injector, the panic-recovery hook feeding the metrics
+// registry, and the MVCC view (snapshot + reading transaction) every scan
+// filters by.
+func (db *Database) execCtx(ctx context.Context, st Settings, snap, tid int64) *exec.Ctx {
 	return exec.NewCtx(ctx, exec.CtxOptions{
 		MemBudget: st.MemBudget,
 		OnPanic:   func(string) { db.obs.workerPanics.Inc() },
 		Fault:     db.Fault,
+		Snap:      snap,
+		TID:       tid,
 	})
 }
 
@@ -769,14 +854,15 @@ func (db *Database) runPlan(ctx context.Context, root exec.Operator, ectx *exec.
 
 // execute runs a compiled plan, instrumenting it with a span tree when
 // tracing is on, and records the execution in metrics and the query log.
-func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText string, cacheHit bool, st Settings, sess string) (*Result, error) {
+// It runs without any engine lock: the snapshot pins its MVCC view.
+func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText string, cacheHit bool, st Settings, sess string, snap, tid int64) (*Result, error) {
 	start := time.Now()
 	root := entry.root
 	var span *obs.SpanNode
 	if db.obs.tracing.Load() {
 		root, span = exec.InstrumentInformed(entry.root, estLookup(entry.nodeRows), informedLookup(entry.nodeInformed))
 	}
-	ectx := db.execCtx(ctx, st)
+	ectx := db.execCtx(ctx, st, snap, tid)
 	if !db.NoEconomy {
 		ectx.Skips = exec.NewSkipRecorder()
 		ectx.Shorts = exec.NewSkipRecorder()
@@ -820,10 +906,10 @@ func (db *Database) execute(ctx context.Context, entry *cachedPlan, sqlText stri
 // explainAnalyze executes the plan under full instrumentation and renders
 // per-node estimated vs. actual figures plus every soft-constraint
 // consultation made while planning.
-func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string, st Settings, sess string) (*Result, error) {
+func (db *Database) explainAnalyze(ctx context.Context, entry *cachedPlan, sqlText, cacheStatus string, st Settings, sess string, snap, tid int64) (*Result, error) {
 	start := time.Now()
 	iroot, span := exec.InstrumentInformed(entry.root, estLookup(entry.nodeRows), informedLookup(entry.nodeInformed))
-	ectx := db.execCtx(ctx, st)
+	ectx := db.execCtx(ctx, st, snap, tid)
 	if !db.NoEconomy {
 		ectx.Skips = exec.NewSkipRecorder()
 		ectx.Shorts = exec.NewSkipRecorder()

@@ -63,6 +63,10 @@ type Session struct {
 	label string
 
 	mu sync.Mutex
+	// cur is the open explicit transaction (BEGIN..COMMIT/ROLLBACK), nil
+	// between transactions. Statements on the session read from its
+	// snapshot and stage writes into it.
+	cur *Tx
 	// Overrides; nil means "inherit the database default".
 	parallel    *int
 	noPrune     *bool
@@ -82,6 +86,35 @@ func (s *Session) Label() string { return s.label }
 
 // Database returns the underlying database.
 func (s *Session) Database() *Database { return s.db }
+
+// current returns the session's open explicit transaction, or nil.
+func (s *Session) current() *Tx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// takeCurrent detaches and returns the open transaction (nil when none):
+// COMMIT/ROLLBACK claim it so the session is immediately reusable even if
+// finishing the transaction errors.
+func (s *Session) takeCurrent() *Tx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx := s.cur
+	s.cur = nil
+	return tx
+}
+
+// InTxn reports whether an explicit transaction is open on the session.
+func (s *Session) InTxn() bool { return s.current() != nil }
+
+// Close releases the session, rolling back any transaction left open — a
+// dropped connection must not leave write intents behind. Idempotent.
+func (s *Session) Close() {
+	if tx := s.takeCurrent(); tx != nil {
+		s.db.rollbackTx(tx)
+	}
+}
 
 // Settings resolves the session's effective settings: the database
 // defaults with this session's overrides applied.
@@ -233,5 +266,5 @@ func (s *Session) ExecCtx(ctx context.Context, query string) (*Result, error) {
 // ExecStmtCtx executes a parsed statement under the session's effective
 // settings; see Database.ExecStmtCtx for the locking and lifecycle rules.
 func (s *Session) ExecStmtCtx(ctx context.Context, stmt sql.Statement, cacheKey string) (*Result, error) {
-	return s.db.execStmtCtx(ctx, stmt, cacheKey, s.Settings(), s.label)
+	return s.db.execStmtCtx(ctx, stmt, cacheKey, s.Settings(), s)
 }

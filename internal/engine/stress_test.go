@@ -206,7 +206,9 @@ func runConcurrentSessions(t *testing.T, db *Database) {
 		}
 		seen[row[0].Int()] = true
 	}
-	// Index consistency: the v-index holds exactly one entry per live row.
+	// Index consistency: after vacuum reclaims dead versions and sweeps
+	// their entries, the v-index holds exactly one entry per live row.
+	db.Vacuum()
 	count := 0
 	te.Indexes[0].Tree.Ascend(nil, func(_ types.Row, _ storage.RowID) bool {
 		count++

@@ -210,7 +210,8 @@ func scanPageLoop(op string, heap *storage.Heap, pageLo, pageHi int,
 	pr := progRunner{prog: prog}
 	var batch vec.Batch
 	var runErr error
-	heap.ScanPages(pageLo, pageHi, &ctx.IO, skip, func(rows []types.Row, syn *storage.PageSynopsis) bool {
+	snap, tid := ctx.snapView()
+	heap.ScanPagesAt(pageLo, pageHi, snap, tid, &ctx.IO, skip, func(rows []types.Row, syn *storage.PageSynopsis) bool {
 		if err := ctx.checkpoint(op); err != nil {
 			runErr = err
 			return false

@@ -51,6 +51,13 @@ type Ctx struct {
 	// all-qualifying; shared down the Child() tree like Skips.
 	Shorts *SkipRecorder
 
+	// Snap and TID fix the query's MVCC view: every scan reads the versions
+	// visible at snapshot Snap to transaction TID. Snap 0 means the latest
+	// committed state. Set once before the query runs and copied down the
+	// Child() tree; never mutated during execution.
+	Snap int64
+	TID  int64
+
 	// life holds the query's shared lifecycle (cancellation, memory
 	// budget, panic hook, fault injection); nil for legacy callers, which
 	// keeps every checkpoint a single pointer test. All lifecycle state
@@ -76,6 +83,15 @@ func (c *Ctx) Merge(w *Ctx) {
 	c.AddComparisons(atomic.LoadInt64(&w.Comparisons))
 	c.AddProbes(atomic.LoadInt64(&w.HashProbes))
 	c.AddShortCircuits(atomic.LoadInt64(&w.ShortCircuits))
+}
+
+// snapView resolves the Ctx's snapshot fields into the stamps storage
+// expects, mapping the zero Snap to "latest committed".
+func (c *Ctx) snapView() (snap, tid int64) {
+	if c.Snap == 0 {
+		return storage.SnapLatest, c.TID
+	}
+	return c.Snap, c.TID
 }
 
 // String renders the counters.
@@ -148,7 +164,8 @@ func (s *SeqScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	var runErr error
 	skip := makeSkipper(s.Prune, ctx.Skips)
 	op := "SeqScan " + s.Table // precomputed so the per-page checkpoint allocates nothing
-	s.Heap.ScanPages(0, int(s.Heap.PageCount()), &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
+	snap, tid := ctx.snapView()
+	s.Heap.ScanPagesAt(0, int(s.Heap.PageCount()), snap, tid, &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
 		if err := ctx.checkpoint(op); err != nil {
 			runErr = err
 			return false
@@ -209,9 +226,53 @@ type IndexScan struct {
 	Filter []expr.Expr
 }
 
-// Run implements Operator.
+// indexEntry is one collected (key, rid) pair from a chunked index walk.
+type indexEntry struct {
+	key types.Row
+	rid storage.RowID
+}
+
+// indexChunkEntries is how many (key, rid) pairs an index scan collects
+// per tree latch acquisition. The tree's read latch is held only while
+// collecting; heap fetches, filtering, and emission happen after release,
+// so a scan never holds the latch across downstream operators (which could
+// deadlock on reader re-entry once a writer queues for the same tree).
+const indexChunkEntries = 1024
+
+// collectChunk gathers up to indexChunkEntries pairs from tree in [lo, hi],
+// resuming after the entry *after (after.key, after.rid) when resume is
+// true. Duplicate-key rids enumerate in RowID order, so (key, rid) is a
+// total resume position. It returns the collected chunk and whether the
+// range may hold more entries beyond it.
+func collectChunk(t *btree.Tree, lo, hi btree.Bound, resume bool, after indexEntry, c *storage.Counters, buf []indexEntry) ([]indexEntry, bool) {
+	if resume {
+		lo = btree.Bound{Key: after.key, Inclusive: true}
+	}
+	buf = buf[:0]
+	more := false
+	t.AscendRange(lo, hi, c, func(key types.Row, rid storage.RowID) bool {
+		if resume && key.Compare(after.key) == 0 {
+			if rid.Page < after.rid.Page || (rid.Page == after.rid.Page && rid.Slot <= after.rid.Slot) {
+				return true // already delivered in the previous chunk
+			}
+		}
+		if len(buf) == indexChunkEntries {
+			more = true
+			return false
+		}
+		buf = append(buf, indexEntry{key: key, rid: rid})
+		return true
+	})
+	return buf, more
+}
+
+// Run implements Operator. Entries are collected from the tree in chunks
+// (latch released between chunks) and each chunk's rows are then fetched
+// from the heap under the scan's snapshot: an index entry whose version is
+// not visible at the snapshot — deleted, superseded by an update, or
+// uncommitted — is skipped, which is also what keeps stale entries (MVCC
+// never removes index entries at delete time) harmless.
 func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
-	var runErr error
 	// Heap pages are charged once per distinct page touched during this
 	// scan, modeling a buffer pool holding the scan's working set; index
 	// page touches are charged by the tree walk itself. lastPage short-cuts
@@ -220,39 +281,54 @@ func (s *IndexScan) Run(ctx *Ctx, emit func(types.Row) bool) error {
 	seenPages := map[int32]bool{}
 	lastPage := int32(-1)
 	op := "IndexScan " + s.Table
+	snap, tid := ctx.snapView()
 	var entries int64
-	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
-		// Index entries have no page batching, so observe cancellation
-		// every checkpointRows entries instead of per page.
-		if entries++; entries%checkpointRows == 0 {
-			if err := ctx.checkpoint(op); err != nil {
-				runErr = err
-				return false
+	var chunk []indexEntry
+	var last indexEntry
+	resume := false
+	for {
+		var more bool
+		chunk, more = collectChunk(s.Index.Tree, s.Lo, s.Hi, resume, last, &ctx.IO, chunk)
+		for i := range chunk {
+			e := &chunk[i]
+			// Index entries have no page batching, so observe cancellation
+			// every checkpointRows entries instead of per page.
+			if entries++; entries%checkpointRows == 0 {
+				if err := ctx.checkpoint(op); err != nil {
+					return err
+				}
+			}
+			rid := e.rid
+			if rid.Page != lastPage {
+				lastPage = rid.Page
+				if !seenPages[rid.Page] {
+					seenPages[rid.Page] = true
+					ctx.IO.AddPages(1)
+				}
+			}
+			row, ok := s.Heap.GetAt(rid, snap, tid)
+			if !ok {
+				continue // version not visible at this snapshot; skip
+			}
+			ctx.IO.AddRows(1)
+			pass, err := evalFilters(s.Filter, row)
+			if err != nil {
+				return err
+			}
+			if !pass {
+				continue
+			}
+			if !emit(row) {
+				return nil
 			}
 		}
-		if rid.Page != lastPage {
-			lastPage = rid.Page
-			if !seenPages[rid.Page] {
-				seenPages[rid.Page] = true
-				ctx.IO.AddPages(1)
-			}
+		if !more {
+			return nil
 		}
-		row, ok := s.Heap.Get(rid)
-		if !ok {
-			return true // row deleted since index entry; skip
-		}
-		ctx.IO.AddRows(1)
-		pass, err := evalFilters(s.Filter, row)
-		if err != nil {
-			runErr = err
-			return false
-		}
-		if !pass {
-			return true
-		}
-		return emit(row)
-	})
-	return runErr
+		last = chunk[len(chunk)-1]
+		last.key = last.key.Clone() // chunk buffer is reused; pin the resume key
+		resume = true
+	}
 }
 
 // BatchCapable implements BatchOperator.
@@ -274,6 +350,7 @@ func (s *IndexScan) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
 	seenPages := map[int32]bool{}
 	lastPage := int32(-1)
 	op := "IndexScan " + s.Table
+	snap, tid := ctx.snapView()
 	prog := expr.CompilePredicate(s.Filter)
 	pr := progRunner{prog: prog}
 	buf := make([]types.Row, 0, indexBatchRows)
@@ -300,37 +377,47 @@ func (s *IndexScan) RunBatch(ctx *Ctx, emit func(b *vec.Batch) bool) error {
 		buf = buf[:0]
 		return keep
 	}
-	stopped := false
 	var entries int64
-	s.Index.Tree.AscendRange(s.Lo, s.Hi, &ctx.IO, func(_ types.Row, rid storage.RowID) bool {
-		if entries++; entries%checkpointRows == 0 {
-			if err := ctx.checkpoint(op); err != nil {
-				runErr = err
-				return false
+	var chunk []indexEntry
+	var last indexEntry
+	resume := false
+	for {
+		var more bool
+		chunk, more = collectChunk(s.Index.Tree, s.Lo, s.Hi, resume, last, &ctx.IO, chunk)
+		for i := range chunk {
+			if entries++; entries%checkpointRows == 0 {
+				if err := ctx.checkpoint(op); err != nil {
+					return err
+				}
+			}
+			rid := chunk[i].rid
+			if rid.Page != lastPage {
+				lastPage = rid.Page
+				if !seenPages[rid.Page] {
+					seenPages[rid.Page] = true
+					ctx.IO.AddPages(1)
+				}
+			}
+			row, ok := s.Heap.GetAt(rid, snap, tid)
+			if !ok {
+				continue // version not visible at this snapshot; skip
+			}
+			ctx.IO.AddRows(1)
+			buf = append(buf, row)
+			if len(buf) == indexBatchRows {
+				if !flush() {
+					return runErr
+				}
 			}
 		}
-		if rid.Page != lastPage {
-			lastPage = rid.Page
-			if !seenPages[rid.Page] {
-				seenPages[rid.Page] = true
-				ctx.IO.AddPages(1)
-			}
+		if !more {
+			break
 		}
-		row, ok := s.Heap.Get(rid)
-		if !ok {
-			return true // row deleted since index entry; skip
-		}
-		ctx.IO.AddRows(1)
-		buf = append(buf, row)
-		if len(buf) == indexBatchRows {
-			if !flush() {
-				stopped = true
-				return false
-			}
-		}
-		return true
-	})
-	if runErr != nil || stopped {
+		last = chunk[len(chunk)-1]
+		last.key = last.key.Clone() // chunk buffer is reused; pin the resume key
+		resume = true
+	}
+	if runErr != nil {
 		return runErr
 	}
 	flush()
@@ -373,8 +460,12 @@ func (s *IndexScan) Inputs() []Operator { return nil }
 // ends of indexes instead of scanning the table (the flavor of runtime
 // shortcut §4.2 describes for Sybase's min/max soft constraints; an index
 // stays exact under deletes where a stored min/max constraint would not).
+// MVCC keeps index entries for ended versions, so each end-of-index probe
+// walks inward until it finds an entry whose heap version is visible at
+// the scan's snapshot.
 type IndexMinMax struct {
 	Table string
+	Heap  *storage.Heap
 	Specs []MinMaxSpec
 }
 
@@ -386,15 +477,26 @@ type MinMaxSpec struct {
 
 // Run implements Operator.
 func (m *IndexMinMax) Run(ctx *Ctx, emit func(types.Row) bool) error {
+	snap, tid := ctx.snapView()
 	out := make(types.Row, len(m.Specs))
 	for i, sp := range m.Specs {
-		// One root-to-leaf descent per lookup.
+		// One root-to-leaf descent per lookup. Walking past entries whose
+		// versions are invisible at the snapshot is not charged extra: the
+		// cost model keeps the pre-MVCC "one descent" shape, and vacuumed
+		// indexes shed the stale entries again.
 		ctx.IO.AddPages(int64(sp.Index.Tree.Height()))
 		var key types.Row
+		visit := func(k types.Row, rid storage.RowID) bool {
+			if _, ok := m.Heap.GetAt(rid, snap, tid); !ok {
+				return true // stale entry; keep walking inward
+			}
+			key = k
+			return false
+		}
 		if sp.Max {
-			key = sp.Index.Tree.Max()
+			sp.Index.Tree.Descend(nil, visit)
 		} else {
-			key = sp.Index.Tree.Min()
+			sp.Index.Tree.Ascend(nil, visit)
 		}
 		if key == nil {
 			out[i] = types.Null

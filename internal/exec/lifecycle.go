@@ -36,6 +36,11 @@ const (
 	// recovery errors abort OpenDurable; a truncated-but-consistent tail is
 	// reported non-fatally in RecoveryStats with this kind.
 	KindRecovery ErrKind = "recovery"
+	// KindConflict: a first-updater-wins write-write conflict — the
+	// statement tried to update or delete a row version another transaction
+	// already ended (committed after this transaction's snapshot, or still
+	// in flight). The losing transaction must roll back and retry.
+	KindConflict ErrKind = "conflict"
 )
 
 // ErrMemBudget is wrapped by every budget-exceeded QueryError so callers
@@ -141,6 +146,12 @@ type CtxOptions struct {
 	// Fault, when set, injects deterministic storage faults at every page
 	// checkpoint.
 	Fault *fault.Injector
+	// Snap is the MVCC snapshot timestamp every scan in the query reads at;
+	// 0 means the latest committed state (storage.SnapLatest).
+	Snap int64
+	// TID is the reading transaction's ID (its own uncommitted writes are
+	// visible); 0 for none.
+	TID int64
 }
 
 // NewCtx returns a Ctx carrying the lifecycle derived from ctx and opts.
@@ -148,7 +159,7 @@ type CtxOptions struct {
 // Ctx whose per-page checkpoint is a single nil check — the configuration
 // benchmarked by BenchmarkR1's baseline.
 func NewCtx(ctx context.Context, o CtxOptions) *Ctx {
-	c := &Ctx{}
+	c := &Ctx{Snap: o.Snap, TID: o.TID}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -170,7 +181,7 @@ func NewCtx(ctx context.Context, o CtxOptions) *Ctx {
 // the memory budget, fault injection, and skip attribution stay
 // query-global while counter merges stay exact.
 func (c *Ctx) Child() *Ctx {
-	return &Ctx{life: c.life, Skips: c.Skips, Shorts: c.Shorts}
+	return &Ctx{life: c.life, Skips: c.Skips, Shorts: c.Shorts, Snap: c.Snap, TID: c.TID}
 }
 
 // checkpoint is the per-page (or per-batch) lifecycle check every data

@@ -149,7 +149,8 @@ func (s *ParallelScan) RunPartition(part int, ctx *Ctx, emit func(types.Row) boo
 	var runErr error
 	skip := makeSkipper(s.Prune, ctx.Skips)
 	op := "ParallelScan " + s.Table
-	s.Heap.ScanPages(lo, hi, &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
+	snap, tid := ctx.snapView()
+	s.Heap.ScanPagesAt(lo, hi, snap, tid, &ctx.IO, skip, func(rows []types.Row, _ *storage.PageSynopsis) bool {
 		if err := ctx.checkpoint(op); err != nil {
 			runErr = err
 			return false

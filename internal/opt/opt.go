@@ -288,7 +288,7 @@ func (o *Optimizer) tryIndexMinMax(a *plan.Aggregate) exec.Operator {
 		}
 		specs = append(specs, exec.MinMaxSpec{Index: ix, Max: max})
 	}
-	return &exec.IndexMinMax{Table: scan.Table, Specs: specs}
+	return &exec.IndexMinMax{Table: scan.Table, Heap: scan.Entry.Heap, Specs: specs}
 }
 
 // estimateGroups guesses the number of groups from group-column NDVs where

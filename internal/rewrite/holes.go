@@ -140,9 +140,14 @@ func (r *Rewriter) plantHolePrune(s *plan.Scan, ord int, holes *catalog.JoinHole
 // holeCheck reports whether the specific hole rectangle is still registered
 // and the hole set active; retired holes (violating writes) disable the
 // derived predicate immediately, even on cached plans.
+// The closure runs during operator execution, outside the engine's shared
+// lock, so it takes the catalog runtime read lock against commit hooks
+// retiring holes concurrently.
 func holeCheck(holes *catalog.JoinHoles, h catalog.Rect) func() bool {
 	a, b := h.A.String(), h.B.String()
 	return func() bool {
+		catalog.RuntimeRLock()
+		defer catalog.RuntimeRUnlock()
 		if !holes.Active {
 			return false
 		}

@@ -534,14 +534,25 @@ func (r *Rewriter) plantPrunePred(s *plan.Scan, b bound, target int, div expr.In
 // it at scan start: pruning must stop the moment the source is violated
 // (deactivated), demoted to probation, or loses absoluteness — §4.1
 // invalidation applied to derived prune predicates, not just plans.
+// The closures run during operator execution, outside the engine's shared
+// lock, so they take the catalog runtime read lock against commit hooks
+// deactivating the source concurrently.
 func pruneCheck(b bound) func() bool {
 	switch {
 	case b.corr != nil:
 		lc := b.corr
-		return func() bool { return lc.Usable() && lc.IsAbsolute() }
+		return func() bool {
+			catalog.RuntimeRLock()
+			defer catalog.RuntimeRUnlock()
+			return lc.Usable() && lc.IsAbsolute()
+		}
 	case b.check != nil:
 		con := b.check
-		return func() bool { return con.Active && con.Confidence >= 1 && con.Mode.UsableInRewrite() }
+		return func() bool {
+			catalog.RuntimeRLock()
+			defer catalog.RuntimeRUnlock()
+			return con.Active && con.Confidence >= 1 && con.Mode.UsableInRewrite()
+		}
 	default:
 		return nil
 	}

@@ -219,6 +219,9 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.dropConn(c)
 	label := fmt.Sprintf("conn-%d", s.connSeq.Add(1))
 	sess := s.db.NewSession(label)
+	// A dropped connection must not leave a transaction's write intents
+	// behind: Close rolls back whatever BEGIN left open.
+	defer sess.Close()
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	if err := wire.WriteFrame(bw, wire.FrameWelcome, wire.AppendWelcome(nil, wire.Welcome{Proto: wire.ProtoVersion, Session: label})); err != nil {

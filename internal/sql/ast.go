@@ -222,6 +222,24 @@ type Analyze struct{ Table string }
 
 func (*Analyze) stmt() {}
 
+// Begin is BEGIN [TRANSACTION]: open an explicit transaction. Reads inside
+// it run against one snapshot; writes stay invisible to other sessions
+// until COMMIT.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+// Commit is COMMIT: make the open transaction's effects durable and
+// visible to new snapshots.
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+// Rollback is ROLLBACK: discard the open transaction's effects.
+type Rollback struct{}
+
+func (*Rollback) stmt() {}
+
 // Show is SHOW CONSTRAINTS ECONOMY: report the per-constraint
 // benefit/cost ledger, ranked by net benefit.
 type Show struct{}

@@ -195,6 +195,16 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &Analyze{Table: name}, nil
+	case "BEGIN":
+		p.pos++
+		p.eatKeyword("TRANSACTION")
+		return &Begin{}, nil
+	case "COMMIT":
+		p.pos++
+		return &Commit{}, nil
+	case "ROLLBACK":
+		p.pos++
+		return &Rollback{}, nil
 	case "SHOW":
 		p.pos++
 		if err := p.expectKeyword("CONSTRAINTS"); err != nil {

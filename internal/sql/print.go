@@ -33,6 +33,12 @@ func printStmt(b *strings.Builder, st Statement) {
 		printStmt(b, s.Stmt)
 	case *Analyze:
 		fmt.Fprintf(b, "ANALYZE %s", s.Table)
+	case *Begin:
+		b.WriteString("BEGIN")
+	case *Commit:
+		b.WriteString("COMMIT")
+	case *Rollback:
+		b.WriteString("ROLLBACK")
 	case *Show:
 		b.WriteString("SHOW CONSTRAINTS ECONOMY")
 	case *CreateTable:

@@ -3,10 +3,21 @@
 // and fetches account page and row touches so that the optimizer's cost
 // model and the benchmark harness can report I/O the way the paper reasons
 // about it (pages scanned), without a disk.
+//
+// Since the MVCC change the heap stores row versions, not rows: every slot
+// carries begin/end transaction timestamps and readers pass a snapshot
+// timestamp (plus their own transaction ID, so a transaction sees its own
+// uncommitted writes). Slots are immutable once published — an UPDATE ends
+// the old version and inserts a new one — which is what lets scans run with
+// no lock at all while a serialized writer installs versions concurrently:
+// the page list, per-page slot counts, and begin/end stamps are all
+// published atomically, and a reader's fixed snapshot gives the same
+// visibility verdict before and after any in-flight commit.
 package storage
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"softdb/internal/schema"
@@ -19,7 +30,64 @@ const PageSize = 4096
 // pageOverhead models the per-page header.
 const pageOverhead = 64
 
-// RowID identifies a row as (page number, slot within page).
+// Timestamp conventions for slot begin/end stamps. A begin stamp is
+// positive for a committed version (the commit timestamp), negative for an
+// uncommitted version (-txnID of the installing transaction), and Aborted
+// for a version whose transaction rolled back (or a replay placeholder
+// that only exists to keep later RowIDs stable). An end stamp is 0 while
+// the version is the latest, positive once a committed transaction ended
+// it, and negative (-txnID) while a delete is still uncommitted.
+const (
+	// SnapLatest is a snapshot timestamp that sees every committed version
+	// and no uncommitted one — the pre-MVCC "current state" view used by
+	// maintenance paths (ANALYZE, miners, constraint verification) that run
+	// while writers are excluded.
+	SnapLatest = math.MaxInt64 - 1
+	// Aborted marks a version as invisible to every snapshot.
+	Aborted = math.MaxInt64
+	// CommittedMin is the begin stamp of rows inserted through the legacy
+	// non-transactional Insert: visible to every snapshot.
+	CommittedMin = 1
+)
+
+// Visible reports whether a version with the given begin/end stamps is in
+// the view of a reader at snapshot snap running as transaction tid (0 for
+// none). The rules are standard snapshot isolation: a version is visible
+// when it was committed at or before the snapshot (or written by the
+// reader's own transaction) and not ended at or before the snapshot (an
+// uncommitted delete hides the version only from its own transaction).
+func Visible(b, e, snap, tid int64) bool {
+	if b < 0 {
+		if -b != tid {
+			return false
+		}
+	} else if b > snap { // includes Aborted, which exceeds every snapshot
+		return false
+	}
+	switch {
+	case e == 0:
+		return true
+	case e < 0:
+		return -e != tid
+	default:
+		return e > snap
+	}
+}
+
+// visibleAnyCommitted reports whether a version could be visible to some
+// committed-state reader: not aborted and not committed-ended. Uncommitted
+// inserts count (their transaction may commit); uncommitted deletes do not
+// hide (their transaction may abort). Uniqueness and FK checks use this
+// "dirty" view so two in-flight transactions cannot both insert the same
+// key.
+func visibleAnyCommitted(b, e int64) bool {
+	if b == Aborted {
+		return false
+	}
+	return e <= 0
+}
+
+// RowID identifies a row version as (page number, slot within page).
 type RowID struct {
 	Page int32
 	Slot int32
@@ -78,34 +146,47 @@ func (c *Counters) Load() Counters {
 	}
 }
 
+// slot is one row version. row is written once, before the slot is
+// published through the page's used counter, and never mutated afterwards
+// (except by Update and Vacuum, which require the caller to exclude
+// readers).
 type slot struct {
-	row  types.Row
-	dead bool
+	row   types.Row
+	begin atomic.Int64
+	end   atomic.Int64
 }
 
+// page holds a fixed-capacity slot array. used publishes how many slots
+// are valid: a writer fills slots[used] completely and then increments
+// used, so lock-free readers iterating slots[:used] only ever see fully
+// initialized versions.
 type page struct {
 	slots []slot
+	used  atomic.Int32
 	bytes int // estimated payload bytes
-	live  int
 	// syn is the page's published min/max synopsis. Writers (serialized by
 	// the engine) replace it wholesale; concurrent scans Load it. It is only
 	// ever nil before the first insert into the page.
 	syn atomic.Pointer[PageSynopsis]
 }
 
-// Heap is an append-oriented row store with slotted pages. It is not safe
-// for concurrent mutation; the engine serializes writers.
+// Heap is an append-oriented row-version store with slotted pages. Writers
+// must be serialized by the caller (the engine's write lock); readers need
+// no lock — the page list is swapped atomically on growth and slots are
+// published through each page's used counter.
 type Heap struct {
 	def     *schema.Table
-	pages   []*page
+	pages   atomic.Pointer[[]*page]
 	rowSize int // estimated bytes per row, from the schema
-	live    int64
-	version int64 // bumped on every mutation; used by plan/stat invalidation
+	live    atomic.Int64
+	version atomic.Int64 // bumped on every committed mutation; used by plan/stat invalidation
 }
 
 // NewHeap creates an empty heap for the given table definition.
 func NewHeap(def *schema.Table) *Heap {
-	return &Heap{def: def, rowSize: estimateRowSize(def)}
+	h := &Heap{def: def, rowSize: estimateRowSize(def)}
+	h.pages.Store(&[]*page{})
+	return h
 }
 
 func estimateRowSize(def *schema.Table) int {
@@ -128,22 +209,26 @@ func estimateRowSize(def *schema.Table) int {
 // Def returns the table definition this heap stores rows for.
 func (h *Heap) Def() *schema.Table { return h.def }
 
-// RowCount returns the number of live rows.
-func (h *Heap) RowCount() int64 { return h.live }
+// RowCount returns the number of rows visible to the latest snapshot.
+func (h *Heap) RowCount() int64 { return h.live.Load() }
 
 // PageCount returns the number of allocated pages.
-func (h *Heap) PageCount() int64 { return int64(len(h.pages)) }
+func (h *Heap) PageCount() int64 { return int64(len(*h.pages.Load())) }
 
-// Version returns a counter that increases on every mutation.
-func (h *Heap) Version() int64 { return h.version }
+// Version returns a counter that increases on every committed mutation.
+func (h *Heap) Version() int64 { return h.version.Load() }
 
 // bump is the single place the mutation counter advances: exactly +1 per
-// successful Insert/Update/Delete/Truncate, and never on a failed mutation
-// (bad RowID, dead slot). The WAL relies on this invariant — replaying N
-// logged mutations onto a snapshot at version V must land the heap at
-// exactly V+N, so recovered VerifiedVersion/ModsSince bookkeeping in the
-// soft-constraint registry stays meaningful.
-func (h *Heap) bump() { h.version++ }
+// committed row effect — a committed insert (stamped at commit time, or
+// installed committed by the legacy Insert and by WAL replay) and a
+// committed delete (an UPDATE is a delete plus an insert, so it counts 2).
+// Uncommitted installs, aborts, and rollbacks never bump. The WAL relies on
+// this invariant: replaying the committed groups of a log onto a snapshot
+// at version V lands the heap at exactly the pre-crash version, aborted
+// transactions contributing zero on both sides, so recovered
+// VerifiedVersion/ModsSince bookkeeping in the soft-constraint registry
+// stays meaningful.
+func (h *Heap) bump() { h.version.Add(1) }
 
 // RowsPerPage reports how many rows of this table fit a page.
 func (h *Heap) RowsPerPage() int {
@@ -154,41 +239,231 @@ func (h *Heap) RowsPerPage() int {
 	return n
 }
 
-// Insert appends a row (already schema-validated by the caller) and returns
-// its RowID.
-func (h *Heap) Insert(row types.Row) RowID {
-	h.bump()
-	h.live++
-	capacity := h.RowsPerPage()
-	var p *page
-	if n := len(h.pages); n > 0 && len(h.pages[n-1].slots) < capacity {
-		p = h.pages[n-1]
-	} else {
-		p = &page{}
-		h.pages = append(h.pages, p)
-	}
-	p.slots = append(p.slots, slot{row: row})
-	p.bytes += h.rowSize
-	p.live++
-	// Extend the page synopsis copy-on-write: inserts only widen min/max,
-	// so merging the new row into a fresh snapshot is exact.
-	p.syn.Store(p.syn.Load().extend(row, len(h.def.Columns)))
-	return RowID{Page: int32(len(h.pages) - 1), Slot: int32(len(p.slots) - 1)}
+// pageList loads the published page list.
+func (h *Heap) pageList() []*page { return *h.pages.Load() }
+
+// grow appends a fresh page and republishes the page list.
+func (h *Heap) grow() *page {
+	old := h.pageList()
+	p := &page{slots: make([]slot, h.RowsPerPage())}
+	next := make([]*page, len(old)+1)
+	copy(next, old)
+	next[len(old)] = p
+	h.pages.Store(&next)
+	return p
 }
 
-// Fetch returns the row at id, counting one page read and one row read.
-// The second return is false if the row was deleted or the ID is invalid.
+// install appends a version with the given begin stamp to the last page
+// (growing if full) and publishes it. It does the bookkeeping shared by all
+// insert paths: synopsis extension for non-aborted versions, and live/
+// version accounting for committed ones.
+func (h *Heap) install(row types.Row, begin int64) RowID {
+	pages := h.pageList()
+	var p *page
+	if n := len(pages); n > 0 && int(pages[n-1].used.Load()) < len(pages[n-1].slots) {
+		p = pages[n-1]
+	} else {
+		p = h.grow()
+	}
+	si := p.used.Load()
+	s := &p.slots[si]
+	s.row = row
+	s.begin.Store(begin)
+	s.end.Store(0)
+	p.used.Store(si + 1) // publish: row and stamps are written
+	p.bytes += h.rowSize
+	if begin != Aborted {
+		// Extend the page synopsis copy-on-write: inserts only widen min/max,
+		// so merging the new row into a fresh snapshot is exact. Uncommitted
+		// versions are included eagerly — the synopsis must cover them the
+		// moment their transaction's own scans can see them — and a rollback
+		// recomputes the page synopsis to shed them again.
+		p.syn.Store(p.syn.Load().extend(row, len(h.def.Columns)))
+	}
+	if begin > 0 && begin != Aborted {
+		h.live.Add(1)
+		h.bump()
+	}
+	return RowID{Page: int32(len(*h.pages.Load()) - 1), Slot: int32(si)}
+}
+
+// Insert appends a row (already schema-validated by the caller) visible to
+// every snapshot — the legacy non-transactional write used by maintenance
+// paths (summary tables, bulk loads, tests). Transactional inserts go
+// through InsertVersion + SetBegin.
+func (h *Heap) Insert(row types.Row) RowID {
+	return h.install(row, CommittedMin)
+}
+
+// InsertVersion appends an uncommitted version owned by transaction tid.
+// The version is invisible to every snapshot until SetBegin stamps it with
+// a commit timestamp (AbortInsert retires it instead). No version bump
+// happens until the commit stamp.
+func (h *Heap) InsertVersion(row types.Row, tid int64) RowID {
+	return h.install(row, -tid)
+}
+
+// InsertAtRID places a version at exactly rid — the WAL replay path, which
+// must reproduce the pre-crash physical layout so later RowIDs (and the
+// index entries pointing at them) stay stable. Gaps before rid (slots that
+// belonged to transactions whose records the log lost or that replay in a
+// different order) are filled with aborted placeholders. begin is either a
+// commit timestamp or Aborted (replaying a rolled-back transaction's
+// inserts keeps layout parity with the live heap, where the slots exist but
+// are aborted). A slot behind the tail can only be claimed if it is still an
+// aborted gap-fill placeholder: transactions commit in an order different
+// from their slot order, so a later-committing transaction's records can
+// land on slots an earlier commit's gap-fill already padded. Replay is
+// single-threaded, so the in-place resurrection is safe. It returns false
+// if rid is behind the tail and genuinely occupied.
+func (h *Heap) InsertAtRID(row types.Row, rid RowID, begin int64) bool {
+	for {
+		pages := h.pageList()
+		tailPage := len(pages) - 1
+		var tailUsed int32
+		if tailPage >= 0 {
+			tailUsed = pages[tailPage].used.Load()
+		}
+		switch {
+		case int(rid.Page) < tailPage,
+			int(rid.Page) == tailPage && rid.Slot < tailUsed:
+			s := h.locate(rid)
+			if s == nil || s.begin.Load() != Aborted || s.row != nil {
+				return false // behind the tail: slot genuinely occupied
+			}
+			if begin == Aborted {
+				return true // placeholder already in place
+			}
+			s.row = row
+			s.begin.Store(begin)
+			s.end.Store(0)
+			p := pages[rid.Page]
+			p.syn.Store(p.syn.Load().extend(row, len(h.def.Columns)))
+			if begin > 0 {
+				h.live.Add(1)
+				h.bump()
+			}
+			return true
+		case int(rid.Page) == tailPage && rid.Slot < int32(len(pages[tailPage].slots)):
+			p := pages[tailPage]
+			// Fill any gap on this page, then the target slot itself.
+			for p.used.Load() < rid.Slot {
+				h.install(nil, Aborted)
+			}
+			h.install(row, begin)
+			return true
+		case int(rid.Page) == tailPage:
+			// Page is full but used < len never reaches here; defensive.
+			h.grow()
+		default:
+			// rid is on a later page: pad the current tail page with aborted
+			// placeholders, then grow.
+			if tailPage >= 0 {
+				p := pages[tailPage]
+				for int(p.used.Load()) < len(p.slots) {
+					h.install(nil, Aborted)
+				}
+			}
+			h.grow()
+		}
+	}
+}
+
+// locate returns the slot for id, or nil when id is invalid or not yet
+// published.
+func (h *Heap) locate(id RowID) *slot {
+	pages := h.pageList()
+	if int(id.Page) >= len(pages) {
+		return nil
+	}
+	p := pages[id.Page]
+	if id.Slot >= p.used.Load() {
+		return nil
+	}
+	return &p.slots[id.Slot]
+}
+
+// Meta returns the begin/end stamps of the version at id.
+func (h *Heap) Meta(id RowID) (begin, end int64, ok bool) {
+	s := h.locate(id)
+	if s == nil {
+		return 0, 0, false
+	}
+	return s.begin.Load(), s.end.Load(), true
+}
+
+// SetBegin commit-stamps an uncommitted insert: the version becomes
+// visible to every snapshot at or after ts. This is the committed-insert
+// version bump.
+func (h *Heap) SetBegin(id RowID, ts int64) bool {
+	s := h.locate(id)
+	if s == nil || s.begin.Load() >= 0 {
+		return false
+	}
+	s.begin.Store(ts)
+	h.live.Add(1)
+	h.bump()
+	return true
+}
+
+// AbortInsert retires an uncommitted insert: the version becomes invisible
+// to every snapshot, and the page synopsis is recomputed so the rolled-back
+// values stop widening it (keeping post-abort prune behavior identical to a
+// database that never ran the transaction). No version bump — rollbacks
+// leave the mutation counter exactly where the transaction found it.
+func (h *Heap) AbortInsert(id RowID) bool {
+	s := h.locate(id)
+	if s == nil || s.begin.Load() >= 0 {
+		return false
+	}
+	s.begin.Store(Aborted)
+	p := h.pageList()[id.Page]
+	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
+	return true
+}
+
+// SetEnd stamps the end of the version at id: negative (-txnID) while the
+// delete is uncommitted (no bump, no live change — the transaction may
+// abort), positive once committed (the committed-delete version bump).
+// Committing a delete restamps the same slot from -txnID to the commit
+// timestamp.
+func (h *Heap) SetEnd(id RowID, e int64) bool {
+	s := h.locate(id)
+	if s == nil {
+		return false
+	}
+	s.end.Store(e)
+	if e > 0 {
+		h.live.Add(-1)
+		h.bump()
+	}
+	return true
+}
+
+// ClearEnd rolls back an uncommitted delete: the version is the latest
+// again. No version bump.
+func (h *Heap) ClearEnd(id RowID) bool {
+	s := h.locate(id)
+	if s == nil {
+		return false
+	}
+	s.end.Store(0)
+	return true
+}
+
+// Fetch returns the row at id as seen by the latest snapshot, counting one
+// page read and one row read. The second return is false if the version is
+// not visible or the ID is invalid.
 func (h *Heap) Fetch(id RowID, c *Counters) (types.Row, bool) {
+	return h.FetchAt(id, SnapLatest, 0, c)
+}
+
+// FetchAt returns the row at id as seen from snapshot snap by transaction
+// tid, counting one page read and (when visible) one row read.
+func (h *Heap) FetchAt(id RowID, snap, tid int64, c *Counters) (types.Row, bool) {
 	c.AddPages(1)
-	if int(id.Page) >= len(h.pages) {
-		return nil, false
-	}
-	p := h.pages[id.Page]
-	if int(id.Slot) >= len(p.slots) {
-		return nil, false
-	}
-	s := p.slots[id.Slot]
-	if s.dead {
+	s := h.locate(id)
+	if s == nil || !Visible(s.begin.Load(), s.end.Load(), snap, tid) {
 		return nil, false
 	}
 	c.AddRows(1)
@@ -196,82 +471,158 @@ func (h *Heap) Fetch(id RowID, c *Counters) (types.Row, bool) {
 }
 
 // Get returns the row at id without touching counters (catalog/maintenance
-// use). The second return is false for dead or invalid IDs.
+// use). The second return is false for invisible or invalid IDs.
 func (h *Heap) Get(id RowID) (types.Row, bool) { return h.Fetch(id, nil) }
 
-// Delete marks the row at id dead. It reports whether a live row was
-// removed.
+// GetAt is Get from an explicit snapshot.
+func (h *Heap) GetAt(id RowID, snap, tid int64) (types.Row, bool) {
+	s := h.locate(id)
+	if s == nil || !Visible(s.begin.Load(), s.end.Load(), snap, tid) {
+		return nil, false
+	}
+	return s.row, true
+}
+
+// GetAny returns the row at id if any committed-state reader could still
+// see it (not aborted, not committed-ended) — the "dirty read" uniqueness
+// and FK checks use so concurrent transactions cannot both claim a key.
+func (h *Heap) GetAny(id RowID) (types.Row, bool) {
+	s := h.locate(id)
+	if s == nil || !visibleAnyCommitted(s.begin.Load(), s.end.Load()) {
+		return nil, false
+	}
+	return s.row, true
+}
+
+// Delete physically retires the version at id for every snapshot — the
+// legacy non-transactional removal used by maintenance paths (summary
+// tables). It reports whether a latest-visible version was removed.
+// Transactional deletes use SetEnd so old snapshots keep seeing the row.
 func (h *Heap) Delete(id RowID) bool {
-	if int(id.Page) >= len(h.pages) {
+	s := h.locate(id)
+	if s == nil || !Visible(s.begin.Load(), s.end.Load(), SnapLatest, 0) {
 		return false
 	}
-	p := h.pages[id.Page]
-	if int(id.Slot) >= len(p.slots) || p.slots[id.Slot].dead {
-		return false
-	}
-	p.slots[id.Slot].dead = true
-	p.live--
-	h.live--
+	s.begin.Store(Aborted)
+	h.live.Add(-1)
 	h.bump()
-	// Deletes can shrink min/max, so recompute the page synopsis from the
-	// surviving slots and republish.
+	// Physical removal can shrink min/max, so recompute the page synopsis
+	// from the surviving versions and republish.
+	p := h.pageList()[id.Page]
 	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
 	return true
 }
 
-// Update replaces the row at id in place. It reports whether a live row was
-// updated.
+// Update replaces the row at id in place — the legacy non-transactional
+// write used by maintenance paths and single-threaded replay. It is NOT
+// safe against concurrent readers (the row field is rewritten in place);
+// callers hold the engine's exclusive lock. Transactional updates are a
+// SetEnd of the old version plus an InsertVersion of the new one.
 func (h *Heap) Update(id RowID, row types.Row) bool {
-	if int(id.Page) >= len(h.pages) {
+	s := h.locate(id)
+	if s == nil || !Visible(s.begin.Load(), s.end.Load(), SnapLatest, 0) {
 		return false
 	}
-	p := h.pages[id.Page]
-	if int(id.Slot) >= len(p.slots) || p.slots[id.Slot].dead {
-		return false
-	}
-	p.slots[id.Slot].row = row
+	s.row = row
 	h.bump()
+	p := h.pageList()[id.Page]
 	p.syn.Store(computeSynopsis(p, len(h.def.Columns)))
 	return true
 }
 
-// Scan iterates all live rows in storage order, counting one page read per
-// page touched and one row read per live row. Iteration stops early when fn
-// returns false.
+// Scan iterates rows visible to the latest snapshot in storage order,
+// counting one page read per page touched and one row read per visible row.
+// Iteration stops early when fn returns false.
 func (h *Heap) Scan(c *Counters, fn func(id RowID, row types.Row) bool) {
-	h.ScanRange(0, len(h.pages), c, fn)
+	h.ScanRangeAt(0, int(h.PageCount()), SnapLatest, 0, c, fn)
 }
 
-// ScanRange iterates live rows of pages [pageLo, pageHi) in storage order,
-// with the same per-page and per-row accounting as Scan. Parallel scans
-// split the heap into disjoint contiguous page ranges so the sum of the
-// partitions' charges equals a full serial Scan exactly.
+// ScanAt is Scan from an explicit snapshot.
+func (h *Heap) ScanAt(snap, tid int64, c *Counters, fn func(id RowID, row types.Row) bool) {
+	h.ScanRangeAt(0, int(h.PageCount()), snap, tid, c, fn)
+}
+
+// ScanRange iterates latest-visible rows of pages [pageLo, pageHi) in
+// storage order, with the same per-page and per-row accounting as Scan.
+// Parallel scans split the heap into disjoint contiguous page ranges so the
+// sum of the partitions' charges equals a full serial Scan exactly.
 func (h *Heap) ScanRange(pageLo, pageHi int, c *Counters, fn func(id RowID, row types.Row) bool) {
+	h.ScanRangeAt(pageLo, pageHi, SnapLatest, 0, c, fn)
+}
+
+// ScanRangeAt is ScanRange from an explicit snapshot.
+func (h *Heap) ScanRangeAt(pageLo, pageHi int, snap, tid int64, c *Counters, fn func(id RowID, row types.Row) bool) {
+	pages := h.pageList()
 	if pageLo < 0 {
 		pageLo = 0
 	}
-	if pageHi > len(h.pages) {
-		pageHi = len(h.pages)
+	if pageHi > len(pages) {
+		pageHi = len(pages)
 	}
 	for pi := pageLo; pi < pageHi; pi++ {
-		p := h.pages[pi]
+		p := pages[pi]
 		c.AddPages(1)
-		for si := range p.slots {
+		n := p.used.Load()
+		for si := int32(0); si < n; si++ {
 			s := &p.slots[si]
-			if s.dead {
+			if !Visible(s.begin.Load(), s.end.Load(), snap, tid) {
 				continue
 			}
 			c.AddRows(1)
-			if !fn(RowID{Page: int32(pi), Slot: int32(si)}, s.row) {
+			if !fn(RowID{Page: int32(pi), Slot: si}, s.row) {
 				return
 			}
 		}
 	}
 }
 
-// ScanAll collects every live row; convenience for miners and tests.
+// ScanDirty iterates every version a committed-state reader could still
+// see — committed-live rows plus other transactions' uncommitted inserts
+// (see visibleAnyCommitted). Uniqueness and FK checks on unindexed tables
+// use it so two in-flight transactions cannot both claim a key. No counter
+// charges: constraint checks are not query I/O.
+func (h *Heap) ScanDirty(fn func(id RowID, row types.Row) bool) {
+	pages := h.pageList()
+	for pi, p := range pages {
+		n := p.used.Load()
+		for si := int32(0); si < n; si++ {
+			s := &p.slots[si]
+			if !visibleAnyCommitted(s.begin.Load(), s.end.Load()) {
+				continue
+			}
+			if !fn(RowID{Page: int32(pi), Slot: si}, s.row) {
+				return
+			}
+		}
+	}
+}
+
+// ScanVersions iterates every version physically present in the heap —
+// live, committed-dead, and uncommitted alike; only aborted placeholders
+// (which carry no payload) are skipped. Index rebuilds use it: the live
+// engine leaves a committed-dead version's index entries in place until
+// Vacuum, so a rebuilt index must carry those entries too or a restored
+// database's physical state would diverge from a never-restored twin's.
+func (h *Heap) ScanVersions(fn func(id RowID, row types.Row) bool) {
+	pages := h.pageList()
+	for pi, p := range pages {
+		n := p.used.Load()
+		for si := int32(0); si < n; si++ {
+			s := &p.slots[si]
+			if s.begin.Load() == Aborted || s.row == nil {
+				continue
+			}
+			if !fn(RowID{Page: int32(pi), Slot: si}, s.row) {
+				return
+			}
+		}
+	}
+}
+
+// ScanAll collects every latest-visible row; convenience for miners and
+// tests.
 func (h *Heap) ScanAll() []types.Row {
-	out := make([]types.Row, 0, h.live)
+	out := make([]types.Row, 0, h.live.Load())
 	h.Scan(nil, func(_ RowID, row types.Row) bool {
 		out = append(out, row)
 		return true
@@ -279,18 +630,57 @@ func (h *Heap) ScanAll() []types.Row {
 	return out
 }
 
-// Truncate removes all rows and pages. Like every other mutation it bumps
-// the version exactly once, even when the heap was already empty, so a
-// logged truncate replays to the same version.
+// Truncate removes all rows and pages. Like every other committed mutation
+// it bumps the version exactly once, even when the heap was already empty,
+// so a logged truncate replays to the same version.
 func (h *Heap) Truncate() {
-	h.pages = nil
-	h.live = 0
+	h.pages.Store(&[]*page{})
+	h.live.Store(0)
 	h.bump()
 }
 
+// Vacuum reclaims versions no active snapshot can see: aborted versions
+// and versions whose committed end stamp is at or below horizon (the
+// minimum snapshot any reader or transaction still holds). Reclaimed slots
+// stay allocated — later RowIDs must not shift — but drop their row
+// payload and become aborted placeholders, and every touched page's
+// synopsis is recomputed from the survivors. The caller must exclude
+// concurrent readers (rows are nilled in place). Returns the number of
+// versions reclaimed.
+func (h *Heap) Vacuum(horizon int64) int {
+	reclaimed := 0
+	ncols := len(h.def.Columns)
+	for _, p := range h.pageList() {
+		touched := false
+		n := p.used.Load()
+		for si := int32(0); si < n; si++ {
+			s := &p.slots[si]
+			b, e := s.begin.Load(), s.end.Load()
+			if b == Aborted {
+				if s.row != nil {
+					s.row = nil
+					touched = true
+				}
+				continue
+			}
+			if b > 0 && e > 0 && e <= horizon {
+				s.begin.Store(Aborted)
+				s.row = nil
+				reclaimed++
+				touched = true
+			}
+		}
+		if touched {
+			p.syn.Store(computeSynopsis(p, ncols))
+		}
+	}
+	return reclaimed
+}
+
 // SlotData is one slot of a page dump: the row and its tombstone flag.
-// Dead slots are part of the physical layout — they keep later RowIDs
-// stable — so snapshots must carry them.
+// Dead slots (versions invisible to the latest snapshot: aborted,
+// committed-ended, or placeholders) are part of the physical layout — they
+// keep later RowIDs stable — so snapshots must carry them.
 type SlotData struct {
 	Row  types.Row
 	Dead bool
@@ -300,13 +690,26 @@ type SlotData struct {
 // page, in page order, including dead slots. Rows are aliased, not copied;
 // the caller must treat them as immutable (engine rows are copy-on-write).
 // Checkpoint snapshots and the crash-differential tests use this to compare
-// and reconstruct heaps byte-for-byte rather than just live-row-for-row.
+// and reconstruct heaps slot-for-slot rather than just live-row-for-row.
+// Callers run at a quiescent point (no open write transactions), so every
+// slot is either latest-visible or dead.
 func (h *Heap) DumpPages() [][]SlotData {
-	out := make([][]SlotData, len(h.pages))
-	for pi, p := range h.pages {
-		ps := make([]SlotData, len(p.slots))
-		for si, s := range p.slots {
-			ps[si] = SlotData{Row: s.row, Dead: s.dead}
+	pages := h.pageList()
+	out := make([][]SlotData, len(pages))
+	for pi, p := range pages {
+		n := p.used.Load()
+		ps := make([]SlotData, n)
+		for si := int32(0); si < n; si++ {
+			s := &p.slots[si]
+			dead := !Visible(s.begin.Load(), s.end.Load(), SnapLatest, 0)
+			row := s.row
+			if dead {
+				// Version payloads are not part of the durable state — a
+				// vacuumed heap and an unvacuumed one must checkpoint
+				// identically.
+				row = nil
+			}
+			ps[si] = SlotData{Row: row, Dead: dead}
 		}
 		out[pi] = ps
 	}
@@ -315,24 +718,34 @@ func (h *Heap) DumpPages() [][]SlotData {
 
 // RebuildHeap reconstructs a heap from a DumpPages layout and a version
 // counter: pages and slots land exactly where the dump says (preserving
-// RowID stability across dead slots), per-page byte/live accounting is
-// recomputed, and every page synopsis is rebuilt and published — the
-// "re-arm zone maps" step of crash recovery.
+// RowID stability across dead slots), live accounting is recomputed, and
+// every page synopsis is rebuilt and published — the "re-arm zone maps"
+// step of crash recovery. Dead slots come back as aborted placeholders;
+// live ones as committed-from-the-beginning versions (pre-snapshot history
+// does not survive a restart, and no pre-restart snapshot can either).
 func RebuildHeap(def *schema.Table, pages [][]SlotData, version int64) *Heap {
 	h := NewHeap(def)
-	h.version = version
 	for _, ps := range pages {
-		p := &page{slots: make([]slot, len(ps))}
-		for si, s := range ps {
-			p.slots[si] = slot{row: s.Row, dead: s.Dead}
-			p.bytes += h.rowSize
-			if !s.Dead {
-				p.live++
-				h.live++
+		if len(ps) == 0 {
+			h.grow()
+			continue
+		}
+		for _, s := range ps {
+			if s.Dead {
+				h.install(nil, Aborted)
+			} else {
+				h.install(s.Row, CommittedMin)
 			}
 		}
-		p.syn.Store(computeSynopsis(p, len(def.Columns)))
-		h.pages = append(h.pages, p)
+		// Dumped pages may be shorter than a full page (the tail page);
+		// rebuild must not let the next page's rows slide into the gap, so
+		// only the final dumped page may be partial. install() fills pages
+		// in order, which preserves this as long as dumps came from
+		// DumpPages (pages are full except the last).
 	}
+	h.version.Store(version)
+	// install() counted live rows; recompute synopses is already done per
+	// install via extend, but dead placeholders skipped extension, so the
+	// published synopses match computeSynopsis over the live slots.
 	return h
 }

@@ -63,12 +63,17 @@ func mergeDatum(cs *ColSynopsis, d types.Datum) {
 	}
 }
 
-// computeSynopsis builds a synopsis from scratch over a page's live slots.
+// computeSynopsis builds a synopsis from scratch over a page's non-aborted
+// slots. Committed-ended versions are included: a snapshot older than the
+// ending transaction may still need to see them, so the synopsis stays
+// conservative (only Vacuum, which knows the reader horizon, truly sheds
+// them by marking the slots aborted).
 func computeSynopsis(p *page, ncols int) *PageSynopsis {
 	syn := &PageSynopsis{Cols: make([]ColSynopsis, ncols)}
-	for si := range p.slots {
+	n := p.used.Load()
+	for si := int32(0); si < n; si++ {
 		s := &p.slots[si]
-		if s.dead {
+		if s.begin.Load() == Aborted {
 			continue
 		}
 		syn.Rows++
@@ -86,10 +91,11 @@ func computeSynopsis(p *page, ncols int) *PageSynopsis {
 // does not exist. The returned snapshot is immutable and safe to read
 // concurrently with writers (which publish replacements by pointer swap).
 func (h *Heap) Synopsis(pi int) *PageSynopsis {
-	if pi < 0 || pi >= len(h.pages) {
+	pages := h.pageList()
+	if pi < 0 || pi >= len(pages) {
 		return nil
 	}
-	return h.pages[pi].syn.Load()
+	return pages[pi].syn.Load()
 }
 
 // ScanPages iterates pages [pageLo, pageHi). For each page it first offers
@@ -107,15 +113,22 @@ func (h *Heap) Synopsis(pi int) *PageSynopsis {
 // mid-batch has already been charged for the whole page, mirroring the page
 // model (touching any row of a page faults the full page in).
 func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsis) bool, fn func(rows []types.Row, syn *PageSynopsis) bool) {
+	h.ScanPagesAt(pageLo, pageHi, SnapLatest, 0, c, skip, fn)
+}
+
+// ScanPagesAt is ScanPages from an explicit snapshot: the gathered batch
+// holds the rows visible at snap to transaction tid.
+func (h *Heap) ScanPagesAt(pageLo, pageHi int, snap, tid int64, c *Counters, skip func(*PageSynopsis) bool, fn func(rows []types.Row, syn *PageSynopsis) bool) {
+	pages := h.pageList()
 	if pageLo < 0 {
 		pageLo = 0
 	}
-	if pageHi > len(h.pages) {
-		pageHi = len(h.pages)
+	if pageHi > len(pages) {
+		pageHi = len(pages)
 	}
 	var buf []types.Row
 	for pi := pageLo; pi < pageHi; pi++ {
-		p := h.pages[pi]
+		p := pages[pi]
 		syn := p.syn.Load()
 		if skip != nil && syn != nil && skip(syn) {
 			c.AddSkipped(1)
@@ -123,9 +136,10 @@ func (h *Heap) ScanPages(pageLo, pageHi int, c *Counters, skip func(*PageSynopsi
 		}
 		c.AddPages(1)
 		buf = buf[:0]
-		for si := range p.slots {
+		n := p.used.Load()
+		for si := int32(0); si < n; si++ {
 			s := &p.slots[si]
-			if s.dead {
+			if !Visible(s.begin.Load(), s.end.Load(), snap, tid) {
 				continue
 			}
 			buf = append(buf, s.row)

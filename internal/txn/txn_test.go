@@ -1,0 +1,127 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestManagerSnapshotAndCommitClock(t *testing.T) {
+	m := NewManager()
+	if got := m.Snapshot(); got != 1 {
+		t.Fatalf("fresh clock = %d, want 1 (storage.CommittedMin)", got)
+	}
+	ts := m.PrepareCommit()
+	if ts != 2 {
+		t.Fatalf("PrepareCommit = %d, want 2", ts)
+	}
+	// Reserved but unpublished: snapshots must not include it.
+	if got := m.Snapshot(); got != 1 {
+		t.Fatalf("snapshot after PrepareCommit = %d, want 1 (commit not yet published)", got)
+	}
+	m.Publish(ts)
+	if got := m.Snapshot(); got != ts {
+		t.Fatalf("snapshot after Publish = %d, want %d", got, ts)
+	}
+}
+
+func TestManagerBeginFinishAndActiveWrites(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if a.ID == b.ID || a.ID <= 0 || b.ID <= 0 {
+		t.Fatalf("transaction IDs must be unique and positive: %d, %d", a.ID, b.ID)
+	}
+	if a.Snap != m.Snapshot() {
+		t.Fatalf("Begin snapshot = %d, want current clock %d", a.Snap, m.Snapshot())
+	}
+	if got := m.ActiveWrites(); got != 2 {
+		t.Fatalf("ActiveWrites = %d, want 2", got)
+	}
+	m.Finish(a)
+	m.Finish(b)
+	m.Finish(nil) // must be a no-op
+	if got := m.ActiveWrites(); got != 0 {
+		t.Fatalf("ActiveWrites after Finish = %d, want 0", got)
+	}
+}
+
+func TestManagerHorizonTracksOldestPin(t *testing.T) {
+	m := NewManager()
+	old := m.Snapshot()
+	m.Pin(old)
+	m.Pin(old) // two readers on the same snapshot
+	ts := m.PrepareCommit()
+	m.Publish(ts)
+	if got := m.Horizon(); got != old {
+		t.Fatalf("Horizon with pinned old snapshot = %d, want %d", got, old)
+	}
+	m.Unpin(old)
+	if got := m.Horizon(); got != old {
+		t.Fatalf("Horizon with one pin remaining = %d, want %d", got, old)
+	}
+	m.Unpin(old)
+	if got := m.Horizon(); got != ts {
+		t.Fatalf("Horizon with no pins = %d, want current clock %d", got, ts)
+	}
+	// An open write transaction pins its snapshot too.
+	tx := m.Begin()
+	ts2 := m.PrepareCommit()
+	m.Publish(ts2)
+	if got := m.Horizon(); got != tx.Snap {
+		t.Fatalf("Horizon with open txn = %d, want its snapshot %d", got, tx.Snap)
+	}
+	m.Finish(tx)
+	if got := m.Horizon(); got != ts2 {
+		t.Fatalf("Horizon after Finish = %d, want %d", got, ts2)
+	}
+}
+
+func TestManagerSeedIDs(t *testing.T) {
+	m := NewManager()
+	m.SeedIDs(40)
+	if tx := m.Begin(); tx.ID != 41 {
+		t.Fatalf("ID after SeedIDs(40) = %d, want 41", tx.ID)
+	}
+	m.SeedIDs(10) // seeding backwards must never reuse IDs
+	if tx := m.Begin(); tx.ID != 42 {
+		t.Fatalf("ID after backwards seed = %d, want 42", tx.ID)
+	}
+}
+
+func TestManagerConcurrentHandout(t *testing.T) {
+	m := NewManager()
+	const goroutines = 8
+	const perG = 200
+	ids := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tx := m.Begin()
+				ids[g] = append(ids[g], tx.ID)
+				snap := m.Snapshot()
+				m.Pin(snap)
+				m.Unpin(snap)
+				m.Finish(tx)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, chunk := range ids {
+		for _, id := range chunk {
+			if seen[id] {
+				t.Fatalf("duplicate transaction ID %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if got := m.ActiveWrites(); got != 0 {
+		t.Fatalf("ActiveWrites after drain = %d, want 0", got)
+	}
+	if got, want := m.Horizon(), m.Snapshot(); got != want {
+		t.Fatalf("Horizon after drain = %d, want clock %d", got, want)
+	}
+}

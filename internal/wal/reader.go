@@ -20,11 +20,15 @@ type ScanResult struct {
 	// ValidBytes is the length of the longest well-formed prefix.
 	ValidBytes int64
 	// CommittedBytes is the length of the prefix ending at the last commit
-	// record — the last consistent statement boundary. Recovery truncates
-	// the file here before reopening the writer, so a leftover uncommitted
-	// group can never be extended into a decodable-but-wrong group by later
-	// appends.
+	// or abort record — the last consistent group boundary. Recovery
+	// truncates the file here before reopening the writer, so a leftover
+	// unterminated group can never be extended into a decodable-but-wrong
+	// group by later appends.
 	CommittedBytes int64
+	// MaxTxnID is the highest transaction ID seen on any record. The engine
+	// seeds its transaction-ID allocator past it so a new transaction can
+	// never collide with an unterminated group orphaned in the kept prefix.
+	MaxTxnID int64
 	// Tail is non-nil when the log ends in a torn or corrupt record: a
 	// KindRecovery QueryError describing where and why the scan stopped.
 	// A torn tail is not fatal — the valid prefix is still consistent —
@@ -92,8 +96,11 @@ func ScanLog(path string, inj *fault.Injector, fn func(*Record) error) (*ScanRes
 			res.LastLSN = rec.LSN
 		}
 		res.ValidBytes = off
-		if rec.Type == TypeCommit {
+		if rec.Type == TypeCommit || rec.Type == TypeAbort {
 			res.CommittedBytes = off
+		}
+		if rec.TxnID > res.MaxTxnID {
+			res.MaxTxnID = rec.TxnID
 		}
 		if err := fn(rec); err != nil {
 			return res, err

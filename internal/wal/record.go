@@ -9,18 +9,22 @@
 //
 // and every payload is
 //
-//	[type byte] [uvarint LSN] [type-specific body]
+//	[type byte] [uvarint LSN] [uvarint txnID] [type-specific body]
 //
 // built from the internal/wire/codec primitives, so a logged row image is
 // byte-identical to the same row on the client wire. The CRC covers the
 // payload only; a torn length prefix, a short payload, and a corrupt
 // payload are all detected and classified as a torn tail by the reader.
 //
-// Durability protocol: the engine appends one statement's records plus a
-// TypeCommit terminator as a single buffered write (group commit), fsync'd
-// per the writer's SyncPolicy. Recovery replays only record groups closed
-// by a commit record, so a crash mid-append loses at most the in-flight
-// statement — never a prefix of one.
+// Durability protocol: an autocommit statement's records plus a TypeCommit
+// terminator land as a single buffered write (group commit), fsync'd per
+// the writer's SyncPolicy. Explicit transactions stream their statements'
+// records (tagged with the transaction's ID) as they execute and close the
+// group with a TypeCommit or TypeAbort carrying the same ID. Recovery
+// buffers records per transaction ID and replays only groups closed by a
+// commit record; aborted and unterminated groups are discarded, so a crash
+// mid-transaction loses exactly the uncommitted work — never a committed
+// prefix.
 package wal
 
 import (
@@ -53,6 +57,13 @@ const (
 	TypeCommit Type = 6
 	// TypeTruncate logs a whole-table truncate (heap and indexes emptied).
 	TypeTruncate Type = 7
+	// TypeBegin marks the first write of an explicit transaction; purely
+	// informational for log readers (recovery keys groups off record TxnIDs).
+	TypeBegin Type = 8
+	// TypeAbort closes a transaction's record group as rolled back; recovery
+	// discards the group. Like TypeCommit it is a consistent boundary for
+	// torn-tail truncation.
+	TypeAbort Type = 9
 )
 
 // String names the record type.
@@ -72,6 +83,10 @@ func (t Type) String() string {
 		return "commit"
 	case TypeTruncate:
 		return "truncate"
+	case TypeBegin:
+		return "begin"
+	case TypeAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("Type(%d)", byte(t))
 	}
@@ -86,9 +101,15 @@ type Record struct {
 	LSN uint64
 	// Type selects the body layout.
 	Type Type
+	// TxnID tags the record with its explicit transaction, or 0 for
+	// autocommit/utility record groups. Recovery buffers records per TxnID
+	// and applies a group only when its TypeCommit arrives.
+	TxnID int64
 	// Table names the target table (Insert/Update/Delete/Truncate).
 	Table string
-	// RID locates the row (Update/Delete).
+	// RID locates the row (Insert/Update/Delete). For inserts it records
+	// the slot the live process appended to, so replay reproduces the heap
+	// layout exactly — gaps left by aborted transactions included.
 	RID storage.RowID
 	// Row is the post-image (Insert/Update).
 	Row types.Row
@@ -107,10 +128,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 func appendPayload(b []byte, r *Record) ([]byte, error) {
 	b = append(b, byte(r.Type))
 	b = codec.AppendUvarint(b, r.LSN)
+	b = codec.AppendUvarint(b, uint64(r.TxnID))
 	var err error
 	switch r.Type {
 	case TypeInsert:
 		b = codec.AppendString(b, r.Table)
+		b = codec.AppendVarint(b, int64(r.RID.Page))
+		b = codec.AppendVarint(b, int64(r.RID.Slot))
 		if b, err = codec.AppendRow(b, r.Row); err != nil {
 			return nil, err
 		}
@@ -130,7 +154,7 @@ func appendPayload(b []byte, r *Record) ([]byte, error) {
 		b = codec.AppendBool(b, r.Applied)
 	case TypeSoft:
 		b = codec.AppendBytes(b, r.Blob)
-	case TypeCommit:
+	case TypeCommit, TypeBegin, TypeAbort:
 	case TypeTruncate:
 		b = codec.AppendString(b, r.Table)
 	default:
@@ -157,9 +181,12 @@ func DecodeRecord(payload []byte) (*Record, error) {
 	d := codec.NewDecoder(payload)
 	r := &Record{Type: Type(d.Byte("record type"))}
 	r.LSN = d.Uvarint("record lsn")
+	r.TxnID = int64(d.Uvarint("record txn id"))
 	switch r.Type {
 	case TypeInsert:
 		r.Table = d.String("insert table")
+		r.RID.Page = int32(d.Varint("insert page"))
+		r.RID.Slot = int32(d.Varint("insert slot"))
 		r.Row = d.Row("insert row")
 	case TypeUpdate:
 		r.Table = d.String("update table")
@@ -175,7 +202,7 @@ func DecodeRecord(payload []byte) (*Record, error) {
 		r.Applied = d.Bool("ddl applied")
 	case TypeSoft:
 		r.Blob = d.Bytes("soft blob")
-	case TypeCommit:
+	case TypeCommit, TypeBegin, TypeAbort:
 	case TypeTruncate:
 		r.Table = d.String("truncate table")
 	default:

@@ -98,14 +98,9 @@ func (w *Writer) Bytes() int64 { return w.bytes }
 // Fsyncs returns how many fsyncs the writer has performed.
 func (w *Writer) Fsyncs() int64 { return w.fsyncs }
 
-// Commit assigns LSNs to recs, appends them plus a TypeCommit terminator
-// as one buffered write, and applies the sync policy. It returns the bytes
-// appended and whether an fsync ran. On failure the writer latches and the
-// log tail is garbage until the next recovery.
-func (w *Writer) Commit(recs []*Record) (int64, bool, error) {
-	if w.err != nil {
-		return 0, false, w.err
-	}
+// encodeGroup assigns LSNs to recs and encodes them into one buffer. On
+// encode failure the writer latches.
+func (w *Writer) encodeGroup(recs []*Record) ([]byte, error) {
 	var buf []byte
 	var err error
 	for _, r := range recs {
@@ -113,16 +108,14 @@ func (w *Writer) Commit(recs []*Record) (int64, bool, error) {
 		w.nextLSN++
 		if buf, err = AppendRecord(buf, r); err != nil {
 			w.err = err
-			return 0, false, err
+			return nil, err
 		}
 	}
-	commit := &Record{Type: TypeCommit, LSN: w.nextLSN}
-	w.nextLSN++
-	if buf, err = AppendRecord(buf, commit); err != nil {
-		w.err = err
-		return 0, false, err
-	}
+	return buf, nil
+}
 
+// write pushes an encoded buffer through the fault injector to the file.
+func (w *Writer) write(buf []byte) (int64, error) {
 	allowed, ferr := w.opts.Fault.WALWriteAllow(len(buf))
 	if allowed > 0 {
 		if _, werr := w.f.Write(buf[:allowed]); werr != nil && ferr == nil {
@@ -132,9 +125,13 @@ func (w *Writer) Commit(recs []*Record) (int64, bool, error) {
 	w.bytes += int64(allowed)
 	if ferr != nil {
 		w.err = fmt.Errorf("wal: append: %w", ferr)
-		return int64(allowed), false, w.err
+		return int64(allowed), w.err
 	}
+	return int64(allowed), nil
+}
 
+// policySync applies the sync policy after a terminator record landed.
+func (w *Writer) policySync() (bool, error) {
 	synced := false
 	switch w.opts.Policy {
 	case SyncAlways:
@@ -144,10 +141,87 @@ func (w *Writer) Commit(recs []*Record) (int64, bool, error) {
 	}
 	if synced {
 		if err := w.Sync(); err != nil {
-			return int64(allowed), false, err
+			return false, err
 		}
 	}
-	return int64(allowed), synced, nil
+	return synced, nil
+}
+
+// Append assigns LSNs to recs and appends them as one buffered write with
+// no terminator and no fsync — the streaming path for an open transaction's
+// statements. The records stay invisible to recovery until a later
+// CommitTxn closes the group.
+func (w *Writer) Append(recs []*Record) (int64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	buf, err := w.encodeGroup(recs)
+	if err != nil {
+		return 0, err
+	}
+	return w.write(buf)
+}
+
+// Commit assigns LSNs to recs, appends them plus a TypeCommit terminator
+// as one buffered write, and applies the sync policy. It returns the bytes
+// appended and whether an fsync ran. On failure the writer latches and the
+// log tail is garbage until the next recovery.
+func (w *Writer) Commit(recs []*Record) (int64, bool, error) {
+	return w.CommitTxn(0, recs)
+}
+
+// CommitTxn is Commit with the terminator tagged by an explicit
+// transaction's ID; recovery applies that transaction's streamed records
+// when it sees the tagged commit. txnID 0 is the autocommit group path.
+func (w *Writer) CommitTxn(txnID int64, recs []*Record) (int64, bool, error) {
+	return w.terminate(&Record{Type: TypeCommit, TxnID: txnID}, recs)
+}
+
+// Abort appends a TypeAbort terminator for txnID and applies the sync
+// policy. Recovery discards the transaction's streamed records; the abort
+// record only re-establishes a consistent truncation boundary.
+func (w *Writer) Abort(txnID int64) (int64, bool, error) {
+	return w.terminate(&Record{Type: TypeAbort, TxnID: txnID}, nil)
+}
+
+func (w *Writer) terminate(term *Record, recs []*Record) (int64, bool, error) {
+	if w.err != nil {
+		return 0, false, w.err
+	}
+	buf, err := w.encodeGroup(recs)
+	if err != nil {
+		return 0, false, err
+	}
+	term.LSN = w.nextLSN
+	w.nextLSN++
+	if buf, err = AppendRecord(buf, term); err != nil {
+		w.err = err
+		return 0, false, err
+	}
+	pre := int64(-1)
+	if st, serr := w.f.Stat(); serr == nil {
+		pre = st.Size()
+	}
+	n, err := w.write(buf)
+	if err != nil {
+		return n, false, err
+	}
+	synced, err := w.policySync()
+	if err != nil {
+		// The terminator reached the OS but not the platter; the caller
+		// will report the commit failed and roll back in memory, so a
+		// later recovery must not replay it. Best effort, claw this
+		// call's bytes back out of the file — the group reverts to an
+		// unterminated stream, which recovery discards either way.
+		if pre >= 0 {
+			_ = w.f.Truncate(pre)
+		}
+		return n, false, err
+	}
+	return n, synced, nil
 }
 
 // Sync forces an fsync regardless of policy (checkpoints, clean shutdown).
