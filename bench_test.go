@@ -18,6 +18,7 @@ import (
 	"softdb/internal/expr"
 	"softdb/internal/mining"
 	"softdb/internal/server"
+	"softdb/internal/shard"
 	"softdb/internal/softc"
 	"softdb/internal/types"
 	"softdb/internal/vec"
@@ -951,4 +952,101 @@ func BenchmarkV1Kernels(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nRows), "ns/row")
 		})
 	}
+}
+
+// BenchmarkS2Router measures the constraint-aware shard router's zone-map
+// analogy (experiment S2): a query whose predicate lies inside exactly one
+// shard's synced value range, with registry pruning on (pruned) and off
+// (broadcast). The shards/op metric is the number of shards contacted per
+// statement; scbench's trajectory check gates pruned < broadcast — the
+// regression it catches is the registry silently no longer excluding
+// shards.
+func BenchmarkS2Router(b *testing.B) {
+	const shards, rows = 4, 8000
+	addrs := make([]string, 0, shards)
+	for i := 0; i < shards; i++ {
+		db := engine.Open()
+		db.NoIndexes = true
+		srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+		addr, err := srv.Listen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		addrs = append(addrs, addr.String())
+	}
+	spec, err := shard.ParseSpec(fmt.Sprintf("events=range(k:%d,%d,%d)", rows/4, rows/2, 3*rows/4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := shard.New(shard.Config{
+		Addrs: addrs, Specs: []shard.Spec{spec},
+		TrackCols:   []string{"events.v"},
+		DialTimeout: 5 * time.Second, DialAttempts: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	sess := r.NewSession()
+	defer sess.Close()
+	ctx := context.Background()
+	if _, err := sess.Exec(ctx, "CREATE TABLE events (k INT NOT NULL, v INT)"); err != nil {
+		b.Fatal(err)
+	}
+	var vals []string
+	for i := 0; i < rows; i++ {
+		k := (i * 10007) % rows
+		vals = append(vals, fmt.Sprintf("(%d, %d)", k, k))
+		if len(vals) == 200 || i == rows-1 {
+			if _, err := sess.Exec(ctx, "INSERT INTO events VALUES "+joinComma(vals)); err != nil {
+				b.Fatal(err)
+			}
+			vals = vals[:0]
+		}
+	}
+	if _, err := sess.Exec(ctx, "ROUTER SYNC"); err != nil {
+		b.Fatal(err)
+	}
+	// The measured statement: a value band covered only by the last
+	// shard's synced range.
+	q := fmt.Sprintf("SELECT COUNT(*) AS n, SUM(v) AS s FROM events WHERE v >= %d AND v <= %d", rows-rows/8, rows-1)
+	for _, mode := range []string{"pruned", "broadcast"} {
+		b.Run(mode, func(b *testing.B) {
+			if err := sess.Set("shard_prune", map[string]string{"pruned": "on", "broadcast": "off"}[mode]); err != nil {
+				b.Fatal(err)
+			}
+			before := r.ShardQueryCounts()
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Exec(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var contacted int64
+			for i, c := range r.ShardQueryCounts() {
+				contacted += c - before[i]
+			}
+			b.ReportMetric(float64(contacted)/float64(b.N), "shards/op")
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+		})
+	}
+}
+
+func joinComma(vals []string) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += ", "
+		}
+		out += v
+	}
+	return out
 }

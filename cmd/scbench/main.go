@@ -272,6 +272,23 @@ func checkTrajectory(results []benchResult) error {
 	if bestV1 > 0 && bestV1 < 1.5 {
 		failures = append(failures, fmt.Sprintf("V1: no typed kernel beats the tree-walk anymore (best %.2fx); predicate compilation has stopped specializing", bestV1))
 	}
+	// S2: the shard-router benchmark must show registry pruning still
+	// excluding shards — a pruned one-shard-band query contacting as many
+	// shards as a broadcast means the registry silently stopped firing,
+	// which is the regression this gate catches. Throughput stays
+	// informational (host-bound).
+	prShards, okPr := metric("S2Router/pruned", "shards/op")
+	bcShards, okBc := metric("S2Router/broadcast", "shards/op")
+	switch {
+	case !okPr || !okBc:
+		failures = append(failures, "S2: missing S2Router benchmark (pruned and broadcast must both report shards/op)")
+	case prShards >= bcShards:
+		failures = append(failures, fmt.Sprintf("S2: shard pruning no longer excludes shards: %.1f >= %.1f shards/op", prShards, bcShards))
+	default:
+		prQPS, _ := metric("S2Router/pruned", "qps")
+		bcQPS, _ := metric("S2Router/broadcast", "qps")
+		fmt.Printf("trajectory S2: ok (pruned contacts %.1f shards/op vs %.1f broadcast; %.0f vs %.0f stmt/s informational)\n", prShards, bcShards, prQPS, bcQPS)
+	}
 	// T1: reader p99 under a concurrent insert flood must stay within a
 	// small factor of the read-only p99. Before MVCC snapshot isolation a
 	// writer serialized behind each materializing scan and later readers

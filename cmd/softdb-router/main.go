@@ -1,0 +1,158 @@
+// Command softdb-router runs a shard router: a wire-protocol server that
+// fronts N softdbd shards, routing writes by partition key, fanning reads
+// out, and pruning whole shards through its constraint registry (see
+// internal/shard).
+//
+// Topology is static flags: -shard (repeatable, in shard-ID order),
+// -partition declaring each partitioned table, -hole declaring verified
+// value gaps, -track adding non-key columns to range characterization.
+// With -sync the router runs ROUTER SYNC once at startup (and every
+// -sync-interval when set), installing the shard-side soft constraints
+// that back the registry.
+//
+// -addr ":0" picks an ephemeral port; the actual bound address is printed
+// on stdout (first line, "listening on ADDR") so scripts and CI can
+// scrape it. -debug-addr serves /metrics and /debug/shards. SIGINT and
+// SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softdb/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7660", "TCP listen address for the wire protocol (:0 = ephemeral)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/shards on this address")
+	noPrune := flag.Bool("no-shard-prune", false, "disable registry-based shard pruning (partition routing still applies)")
+	doSync := flag.Bool("sync", false, "run ROUTER SYNC once at startup")
+	syncInterval := flag.Duration("sync-interval", 0, "re-run ROUTER SYNC on this period (0 = only on demand)")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "per-attempt shard dial-and-handshake timeout")
+	dialAttempts := flag.Int("dial-attempts", 3, "shard dial attempts before reporting shard-unreachable")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close client connections idle this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight work on shutdown")
+
+	cfg := shard.Config{}
+	flag.Func("shard", "shard server address (repeat, in shard-ID order)", func(v string) error {
+		cfg.Addrs = append(cfg.Addrs, v)
+		return nil
+	})
+	flag.Func("partition", "partition spec: table=hash(col) or table=range(col:b1,b2,...) (repeatable)", func(v string) error {
+		sp, err := shard.ParseSpec(v)
+		if err != nil {
+			return err
+		}
+		cfg.Specs = append(cfg.Specs, sp)
+		return nil
+	})
+	flag.Func("hole", "declared value gap: shard:table.column:lo,hi — verified at sync (repeatable)", func(v string) error {
+		h, err := shard.ParseHole(v)
+		if err != nil {
+			return err
+		}
+		cfg.Holes = append(cfg.Holes, h)
+		return nil
+	})
+	flag.Func("track", "extra table.column whose per-shard range ROUTER SYNC characterizes (repeatable)", func(v string) error {
+		cfg.TrackCols = append(cfg.TrackCols, v)
+		return nil
+	})
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	cfg.NoPrune = *noPrune
+	cfg.DialTimeout = *dialTimeout
+	cfg.DialAttempts = *dialAttempts
+	cfg.Logger = logger
+
+	r, err := shard.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer r.Close()
+
+	if *doSync || *syncInterval > 0 {
+		res, err := r.Sync(context.Background())
+		if err != nil {
+			fail(fmt.Errorf("startup sync: %w", err))
+		}
+		for _, n := range res.Notices {
+			logger.Info("sync", "notice", n)
+		}
+	}
+	if *syncInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*syncInterval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := r.Sync(context.Background()); err != nil {
+					logger.Warn("periodic sync failed", "err", err)
+				}
+			}
+		}()
+	}
+
+	fe := shard.NewFrontend(r, shard.FrontendConfig{
+		Addr:        *addr,
+		IdleTimeout: *idleTimeout,
+		Logger:      logger,
+	})
+	bound, err := fe.Listen()
+	if err != nil {
+		fail(err)
+	}
+	// First line on stdout so wrappers can scrape the ephemeral port.
+	fmt.Printf("listening on %s\n", bound)
+	logger.Info("router up", "shards", r.Shards())
+
+	if *debugAddr != "" {
+		lis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		dsrv := &http.Server{
+			Handler:           r.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		go func() {
+			if err := dsrv.Serve(lis); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		fmt.Printf("debug listener on http://%s (/metrics, /debug/shards)\n", lis.Addr())
+	}
+
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		logger.Info("draining", "timeout", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := fe.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete; connections force-closed", "err", err)
+		}
+	}()
+
+	if err := fe.Serve(); err != nil {
+		fail(err)
+	}
+	logger.Info("router stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "softdb-router:", err)
+	os.Exit(1)
+}

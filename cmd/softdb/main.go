@@ -105,6 +105,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "statements between automatic checkpoints (0 = default, <0 = disabled)")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+	vacuumInterval := flag.Duration("vacuum-interval", 0, "run background vacuum on this period (0 = off)")
 	flag.Parse()
 
 	if *connect != "" {
@@ -146,6 +147,8 @@ func main() {
 	db.SetTracing(*trace)
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})))
+	stopVacuum := db.StartVacuum(*vacuumInterval)
+	defer stopVacuum()
 	if *debugAddr != "" {
 		lis, err := net.Listen("tcp", *debugAddr)
 		if err != nil {

@@ -53,6 +53,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "statements between automatic checkpoints (0 = default, <0 = disabled)")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
 	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "minimum gap between fsyncs under -wal-sync=interval")
+	vacuumInterval := flag.Duration("vacuum-interval", 0, "run background vacuum on this period (0 = off)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
@@ -107,6 +108,8 @@ func main() {
 	db.SetTracing(*trace)
 	db.SetSlowQueryThreshold(*slowQuery)
 	db.SetLogger(logger)
+	stopVacuum := db.StartVacuum(*vacuumInterval)
+	defer stopVacuum()
 
 	if args := flag.Args(); len(args) > 0 && preloaded {
 		logger.Info("skipping preload script; data directory already holds state", "script", args[0])

@@ -127,6 +127,7 @@ func All() []Experiment {
 		{"P2", "zone-map page pruning from synopses and soft constraints", func() (*Report, error) { return P2Prune(20000) }},
 		{"R1", "query lifecycle: cancellation latency and context-check overhead", func() (*Report, error) { return R1Robustness(100000) }},
 		{"S1", "network server: concurrent clients, parity, load shedding", func() (*Report, error) { return S1Server(DefaultS1) }},
+		{"S2", "constraint-aware shard router: scaling, shard pruning, invalidation", func() (*Report, error) { return S2Router(DefaultS2) }},
 		{"D1", "durability: fsync policy overhead and recovery-time scaling", func() (*Report, error) { return D1Recovery(2000, DefaultD1Sweep) }},
 		{"O2", "constraint-economy ledger: overhead and net-benefit ranking", func() (*Report, error) { return O2Economy(20000, 40) }},
 		{"V1", "vectorized kernels: typed tight loops vs per-row tree-walk", func() (*Report, error) { return V1Kernels(65536) }},

@@ -546,3 +546,40 @@ func TestD1Shape(t *testing.T) {
 		}
 	}
 }
+
+func TestS2Shape(t *testing.T) {
+	// Smoke scale: the semantic phases (parity, shard-prune contact
+	// counts, invalidation) are hard criteria; the scaling speedup is
+	// reported but not gated — 1-shard vs 2-shard wall times at this size
+	// are timer-noise-bound on a loaded CI machine (scbench's full-scale
+	// run carries the >= 1.5x bar).
+	rep, err := S2Router(S2Config{Rows: 6000, Ops: 15, Shards: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(phase, configPrefix string) []string {
+		t.Helper()
+		for _, row := range rep.Rows {
+			if row[0] == phase && strings.HasPrefix(row[1], configPrefix) {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s* in %v", phase, configPrefix, rep.Rows)
+		return nil
+	}
+	for _, n := range []string{"shards=1", "shards=4"} {
+		if got := find("parity", n)[2]; got != "match=true" {
+			t.Errorf("%s parity: %s", n, got)
+		}
+	}
+	prune := find("shard-prune", "")
+	if prune[2] != "contacted 1 pruned vs 4 broadcast" {
+		t.Errorf("shard-prune contacts: %s", prune[2])
+	}
+	if !strings.Contains(prune[3], "hash match=true") {
+		t.Errorf("pruned result must be byte-identical to broadcast: %s", prune[3])
+	}
+	if got := find("invalidation", "")[2]; got != "retired=1 visible=true" {
+		t.Errorf("invalidation: %s", got)
+	}
+}

@@ -3,6 +3,9 @@ package client_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +15,7 @@ import (
 	"softdb/internal/fault"
 	"softdb/internal/server"
 	"softdb/internal/types"
+	"softdb/internal/wire"
 )
 
 // slowDB builds a table wide enough that the injected per-page stall
@@ -107,5 +111,102 @@ func TestClientKind(t *testing.T) {
 	qe := &exec.QueryError{Op: "scan", Kind: exec.KindMemBudget, Err: errors.New("over budget")}
 	if client.Kind(qe) != exec.KindMemBudget {
 		t.Fatal("local QueryError kinds pass through")
+	}
+}
+
+// TestClientKindShardErrors: the three router-originated kinds classify
+// identically whether they arrive as local QueryErrors (embedded router)
+// or as wire errors (router behind the TCP front end).
+func TestClientKindShardErrors(t *testing.T) {
+	kinds := []exec.ErrKind{exec.KindWrongShard, exec.KindMultiShardTxn, exec.KindShardUnreachable}
+	for _, k := range kinds {
+		local := &exec.QueryError{Op: "router", Kind: k, Err: errors.New("boom")}
+		if got := client.Kind(local); got != k {
+			t.Errorf("QueryError %s classified as %s", k, got)
+		}
+		remote := wire.ErrorFrom(local)
+		if got := client.Kind(remote); got != k {
+			t.Errorf("wire.Error %s classified as %s", k, got)
+		}
+		// Wrapped once more (fmt.Errorf with %w), still classifies.
+		if got := client.Kind(fmt.Errorf("fan-out: %w", remote)); got != k {
+			t.Errorf("wrapped wire.Error %s classified as %s", k, got)
+		}
+	}
+}
+
+// TestDialerRetriesUntilServerUp: a Dialer pointed at a listener that
+// starts accepting after the first attempt eventually connects.
+func TestDialerRetriesUntilServerUp(t *testing.T) {
+	// Reserve a port, then close the listener so the first dial fails.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	db := engine.Open()
+	started := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		s := server.New(db, server.Config{Addr: addr})
+		if _, err := s.Listen(); err != nil {
+			close(started)
+			return
+		}
+		go s.Serve()
+		close(started)
+	}()
+	d := client.Dialer{Addr: addr, BaseBackoff: 30 * time.Millisecond, MaxAttempts: 10}
+	c, err := d.Dial(context.Background())
+	if err != nil {
+		t.Fatalf("dial with retries: %v", err)
+	}
+	defer c.Close()
+	<-started
+	if _, err := c.Query(context.Background(), "CREATE TABLE dial_t (a INT)"); err != nil {
+		t.Fatalf("query over retried conn: %v", err)
+	}
+}
+
+// TestDialerAttemptsExhausted: a dead address fails after MaxAttempts
+// with the last dial error wrapped.
+func TestDialerAttemptsExhausted(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	d := client.Dialer{Addr: addr, MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	start := time.Now()
+	if _, err := d.Dial(context.Background()); err == nil {
+		t.Fatal("dial of a dead address should fail")
+	} else if !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("exhausting 2 attempts should be quick")
+	}
+}
+
+// TestDialerContextCancel: cancellation interrupts the backoff sleep.
+func TestDialerContextCancel(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	d := client.Dialer{Addr: addr, MaxAttempts: 100, BaseBackoff: 50 * time.Millisecond}
+	_, err = d.Dial(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled dial should surface context.Canceled: %v", err)
 	}
 }

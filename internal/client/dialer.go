@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Dialer connects to one softdb server with retry and exponential
+// backoff. The shard router keeps one Dialer per shard: a shard that is
+// restarting gets a few quick retries before the router declares it
+// unreachable, and the same helper serves any client that wants
+// reconnect-on-broken-conn semantics without hand-rolling the loop.
+//
+// The zero value is not useful; set Addr. All other fields have working
+// defaults.
+type Dialer struct {
+	// Addr is the server address to dial.
+	Addr string
+	// ConnectTimeout bounds each individual dial-and-handshake attempt.
+	// Default 5s.
+	ConnectTimeout time.Duration
+	// MaxAttempts is how many dials to try before giving up. Default 3.
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed attempt; it doubles
+	// each retry. Default 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Default 1s.
+	MaxBackoff time.Duration
+}
+
+func (d Dialer) connectTimeout() time.Duration {
+	if d.ConnectTimeout > 0 {
+		return d.ConnectTimeout
+	}
+	return 5 * time.Second
+}
+
+func (d Dialer) maxAttempts() int {
+	if d.MaxAttempts > 0 {
+		return d.MaxAttempts
+	}
+	return 3
+}
+
+func (d Dialer) baseBackoff() time.Duration {
+	if d.BaseBackoff > 0 {
+		return d.BaseBackoff
+	}
+	return 25 * time.Millisecond
+}
+
+func (d Dialer) maxBackoff() time.Duration {
+	if d.MaxBackoff > 0 {
+		return d.MaxBackoff
+	}
+	return time.Second
+}
+
+// Dial attempts to connect until an attempt succeeds, MaxAttempts fail,
+// or ctx fires. The returned error wraps the last attempt's failure.
+func (d Dialer) Dial(ctx context.Context) (*Conn, error) {
+	var lastErr error
+	backoff := d.baseBackoff()
+	for attempt := 0; attempt < d.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("client: dial %s: %w (last error: %w)", d.Addr, ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > d.maxBackoff() {
+				backoff = d.maxBackoff()
+			}
+		}
+		c, err := ConnectTimeout(d.Addr, d.connectTimeout())
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("client: dial %s: attempts exhausted: %w", d.Addr, lastErr)
+}

@@ -34,6 +34,12 @@ const shortRowCostUnits = 0.005
 // encode-plus-buffered-append, not an fsync.
 const walRecordMicros = 10.0
 
+// shardPruneCostUnits prices one whole shard the router excluded from a
+// fan-out: a saved network round trip plus a remote scan, far heavier than
+// one skipped page. The router credits these into its own ledger; a plain
+// engine never accrues them.
+const shardPruneCostUnits = 50.0
+
 // maxShadowPlans bounds how many masked re-optimizations one planning pass
 // performs: shadow costing is linear in the number of distinct constraints
 // consulted, and a pathological query touching dozens should not stall
@@ -293,6 +299,7 @@ func (db *Database) constraintEconomyLocked() []obs.EconomyRow {
 // arbitrary exchange rate dominate the ranking.
 func netBenefitMicros(r *obs.EconomyRow) float64 {
 	benefit := costUnitMicros * (float64(r.PagesSkipped) +
+		shardPruneCostUnits*float64(r.ShardsPruned) +
 		rewriteRowCostUnits*float64(r.RewriteRows) +
 		shortRowCostUnits*float64(r.RowsShort) +
 		float64(r.CostDeltaMilli)/1000)
@@ -332,7 +339,7 @@ func (db *Database) showConstraintsEconomy() *Result {
 	rows := db.constraintEconomyLocked()
 	res := &Result{Columns: []string{
 		"constraint", "kind", "mode", "active",
-		"pages_skipped", "rows_short_circuited", "rewrite_rows", "cost_delta", "qerr_delta",
+		"pages_skipped", "shards_pruned", "rows_short_circuited", "rewrite_rows", "cost_delta", "qerr_delta",
 		"maint_us", "refresh_us", "exc_bytes", "wal_records",
 		"net_benefit_us",
 	}}
@@ -343,6 +350,7 @@ func (db *Database) showConstraintsEconomy() *Result {
 			types.NewString(r.Mode),
 			types.NewBool(r.Active),
 			types.NewInt(r.PagesSkipped),
+			types.NewInt(r.ShardsPruned),
 			types.NewInt(r.RowsShort),
 			types.NewInt(r.RewriteRows),
 			types.NewFloat(float64(r.CostDeltaMilli) / 1000),

@@ -277,7 +277,7 @@ func TestEconomySurfacesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCols := "constraint kind mode active pages_skipped rows_short_circuited rewrite_rows cost_delta qerr_delta maint_us refresh_us exc_bytes wal_records net_benefit_us"
+	wantCols := "constraint kind mode active pages_skipped shards_pruned rows_short_circuited rewrite_rows cost_delta qerr_delta maint_us refresh_us exc_bytes wal_records net_benefit_us"
 	if got := strings.Join(res.Columns, " "); got != wantCols {
 		t.Errorf("SHOW columns = %q, want %q", got, wantCols)
 	}

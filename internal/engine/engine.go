@@ -430,6 +430,15 @@ func (db *Database) execStmtCtx(ctx context.Context, stmt sql.Statement, cacheKe
 		}
 		return db.query(ctx, inner, stripExplainPrefix(cacheKey), mode, st, sess)
 	case *sql.Show:
+		if s.Shards {
+			// A plain engine is a topology of one. The shard router
+			// intercepts SHOW SHARDS before it reaches any engine and
+			// answers with its real topology and constraint registry; the
+			// shared column shape keeps clients uniform.
+			return &Result{
+				Columns: []string{"shard", "addr", "state", "table", "column", "kind", "range", "constraint"},
+			}, nil
+		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		return db.showConstraintsEconomy(), nil

@@ -342,7 +342,9 @@ func (db *Database) rollbackStmt(sess *Session) (*Result, error) {
 // reclaimed slots are swept in the same pass, restoring the
 // one-entry-per-version invariant the write path relaxes (commit-time
 // deletes leave entries behind for exactly this pass to collect).
-// Explicit-only: the engine never vacuums behind a query's back.
+// Runs only when called — directly, or on a timer via StartVacuum; the
+// engine never vacuums behind a query's back mid-statement (the exclusive
+// lock here serializes against the statement paths).
 func (db *Database) Vacuum() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Metric families the background vacuum exports.
+const (
+	mVacuumRuns      = "softdb_vacuum_runs_total"
+	mVacuumReclaimed = "softdb_vacuum_versions_reclaimed_total"
+)
+
+// StartVacuum runs Vacuum in a background goroutine every interval,
+// skipping ticks on which the transaction manager's horizon has not
+// advanced since the last pass (nothing new can be reclaimable, so the
+// exclusive lock is not worth taking). It returns a stop function that
+// halts the goroutine and waits for an in-flight pass to finish; calling
+// stop more than once is safe.
+//
+// This turns Vacuum from explicit-only maintenance into a steady-state
+// property: under a sustained update load the dead-version count stays
+// bounded by what accumulates within one interval plus whatever the oldest
+// pinned snapshot holds alive (see TestBackgroundVacuumBoundsDeadVersions).
+func (db *Database) StartVacuum(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	r := db.Metrics()
+	r.Describe(mVacuumRuns, "counter", "Background vacuum passes executed.")
+	r.Describe(mVacuumReclaimed, "counter", "Row versions reclaimed by background vacuum.")
+	runs := r.Counter(mVacuumRuns)
+	reclaimed := r.Counter(mVacuumReclaimed)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		// Start below any real horizon so the first tick always vacuums:
+		// aborted slots are reclaimable regardless of horizon movement.
+		lastHorizon := int64(-1)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			h := db.txnMgr.Horizon()
+			if h == lastHorizon {
+				continue
+			}
+			lastHorizon = h
+			n := db.Vacuum()
+			runs.Inc()
+			reclaimed.Add(int64(n))
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

@@ -41,6 +41,19 @@ const (
 	// already ended (committed after this transaction's snapshot, or still
 	// in flight). The losing transaction must roll back and retry.
 	KindConflict ErrKind = "conflict"
+	// KindWrongShard: a statement inside an open transaction routed to a
+	// different shard than the one the transaction is pinned to. Like
+	// KindBusy, the engine never produces it; the shard router does, and
+	// defining it here keeps local and remote callers in one kind space.
+	KindWrongShard ErrKind = "wrong-shard"
+	// KindMultiShardTxn: a write (or a statement inside a transaction)
+	// that would have to touch more than one shard. The router rejects
+	// these rather than faking cross-shard atomicity.
+	KindMultiShardTxn ErrKind = "multi-shard-txn"
+	// KindShardUnreachable: the router could not reach a shard the
+	// statement needs — dial (with backoff) failed or the shard connection
+	// broke mid-statement.
+	KindShardUnreachable ErrKind = "shard-unreachable"
 )
 
 // ErrMemBudget is wrapped by every budget-exceeded QueryError so callers

@@ -14,6 +14,7 @@ import (
 // milli-units so they stay integer counters.
 const (
 	MetricBenefitPagesSkipped = "softdb_constraint_benefit_pages_skipped_total"
+	MetricBenefitShardsPruned = "softdb_constraint_benefit_shards_pruned_total"
 	MetricBenefitRowsShort    = "softdb_constraint_benefit_rows_short_circuited_total"
 	MetricBenefitRewriteRows  = "softdb_constraint_benefit_rewrite_rows_total"
 	MetricBenefitCostDelta    = "softdb_constraint_benefit_cost_delta_milli_total"
@@ -34,6 +35,7 @@ const (
 // counters.
 type ledgerEntry struct {
 	pagesSkipped  *Counter
+	shardsPruned  *Counter
 	rowsShort     *Counter
 	rewriteRows   *Counter
 	costDelta     *Counter // milli optimizer-cost units
@@ -65,6 +67,7 @@ type Economy struct {
 // ledger whose credits vanish (every resolved metric is nil).
 func NewEconomy(reg *Registry) *Economy {
 	reg.Describe(MetricBenefitPagesSkipped, "counter", "heap pages skipped by prune predicates attributed to this constraint")
+	reg.Describe(MetricBenefitShardsPruned, "counter", "whole shards the router pruned from fan-out because this constraint proved them empty for the predicate")
 	reg.Describe(MetricBenefitRowsShort, "counter", "rows whose per-row filter evaluation a page-level synopsis proof short-circuited, attributed to this constraint")
 	reg.Describe(MetricBenefitRewriteRows, "counter", "rows eliminated at plan time by rewrites this constraint drove")
 	reg.Describe(MetricBenefitCostDelta, "counter", "estimated plan-cost increase (milli cost units) had this constraint been masked")
@@ -99,6 +102,7 @@ func (e *Economy) entry(name string) *ledgerEntry {
 	}
 	le = &ledgerEntry{
 		pagesSkipped:  e.reg.Counter(MetricBenefitPagesSkipped, "constraint", name),
+		shardsPruned:  e.reg.Counter(MetricBenefitShardsPruned, "constraint", name),
 		rowsShort:     e.reg.Counter(MetricBenefitRowsShort, "constraint", name),
 		rewriteRows:   e.reg.Counter(MetricBenefitRewriteRows, "constraint", name),
 		costDelta:     e.reg.Counter(MetricBenefitCostDelta, "constraint", name),
@@ -120,6 +124,17 @@ func (e *Economy) CreditPagesSkipped(name string, n int64) {
 		return
 	}
 	e.entry(name).pagesSkipped.Add(n)
+}
+
+// CreditShardsPruned credits n whole shards the router excluded from a
+// query's fan-out because the named constraint (a shard-local value range
+// or proven hole in the router's registry) proved the predicate cannot
+// match there — the shard-granularity analog of CreditPagesSkipped.
+func (e *Economy) CreditShardsPruned(name string, n int64) {
+	if e == nil || name == "" || n <= 0 {
+		return
+	}
+	e.entry(name).shardsPruned.Add(n)
 }
 
 // CreditRowsShortCircuited credits n rows whose per-row predicate
@@ -214,6 +229,7 @@ type EconomyRow struct {
 	Mode           string  `json:"mode,omitempty"`
 	Active         bool    `json:"active"`
 	PagesSkipped   int64   `json:"pages_skipped"`
+	ShardsPruned   int64   `json:"shards_pruned"`
 	RowsShort      int64   `json:"rows_short_circuited"`
 	RewriteRows    int64   `json:"rewrite_rows"`
 	CostDeltaMilli int64   `json:"cost_delta_milli"`
@@ -249,6 +265,7 @@ func (e *Economy) Snapshot() []EconomyRow {
 		out = append(out, EconomyRow{
 			Name:           name,
 			PagesSkipped:   le.pagesSkipped.Value(),
+			ShardsPruned:   le.shardsPruned.Value(),
 			RowsShort:      le.rowsShort.Value(),
 			RewriteRows:    le.rewriteRows.Value(),
 			CostDeltaMilli: le.costDelta.Value(),

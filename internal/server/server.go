@@ -319,27 +319,7 @@ func (s *Server) handleQuery(sess *engine.Session, q wire.Query, bw *bufio.Write
 	if err != nil {
 		return s.writeError(bw, err)
 	}
-	if len(res.Columns) > 0 {
-		if wire.WriteFrame(bw, wire.FrameRowDesc, wire.AppendColumns(nil, res.Columns)) != nil {
-			return false
-		}
-		for off := 0; off < len(res.Rows); off += wire.RowBatchSize {
-			end := min(off+wire.RowBatchSize, len(res.Rows))
-			payload, err := wire.AppendRows(nil, res.Rows[off:end])
-			if err != nil {
-				return s.writeError(bw, err)
-			}
-			if wire.WriteFrame(bw, wire.FrameRowBatch, payload) != nil {
-				return false
-			}
-		}
-	}
-	for _, n := range res.Notices {
-		if wire.WriteFrame(bw, wire.FrameNotice, []byte(n)) != nil {
-			return false
-		}
-	}
-	if wire.WriteFrame(bw, wire.FrameDone, wire.AppendDone(nil, wire.Done{RowsAffected: res.RowsAffected})) != nil {
+	if wire.WriteResponse(bw, res.Columns, res.Rows, res.Notices, res.RowsAffected) != nil {
 		return false
 	}
 	return bw.Flush() == nil

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"softdb/internal/expr"
+)
+
+// EntryKind distinguishes the two characterization shapes the registry
+// holds per (shard, table, column).
+type EntryKind int
+
+const (
+	// KindRange: the shard's rows for this column all lie inside Iv.
+	// A predicate disjoint with Iv prunes the shard.
+	KindRange EntryKind = iota
+	// KindHole: the shard provably holds no row with this column inside
+	// Iv. A predicate covered by Iv prunes the shard.
+	KindHole
+)
+
+func (k EntryKind) String() string {
+	if k == KindHole {
+		return "hole"
+	}
+	return "range"
+}
+
+// Entry is one shard-local data characterization: a value range or a
+// proven hole over one column, backed by a soft absolute CHECK constraint
+// installed on the shard itself. The backing ASC is what makes the entry
+// safe to trust across writes the router never saw the inside of: any
+// violating write deactivates the shard-side constraint and emits the
+// deactivation notice, which the router absorbs (RetireConstraint) from
+// that write's own response.
+type Entry struct {
+	Shard  int
+	Table  string // lower-case
+	Column string // lower-case
+	Kind   EntryKind
+	Iv     expr.Interval
+	// Constraint is the backing shard-side ASC's name; empty for entries
+	// derived from authoritative partition bounds (not retirable).
+	Constraint string
+	// Active: retired entries stay visible in SHOW SHARDS but never prune.
+	Active bool
+}
+
+// Registry is the router's map of shard-local characterizations. Safe for
+// concurrent use: queries consult it on every routing decision while
+// write responses retire entries through it.
+type Registry struct {
+	mu      sync.RWMutex
+	entries []*Entry
+	// byConstraint indexes retirable entries: notice absorption resolves
+	// the constraint name a shard reported without scanning.
+	byConstraint map[string]*Entry
+	retired      int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byConstraint: map[string]*Entry{}}
+}
+
+// Install adds (or replaces) an entry. Replacement key: same shard,
+// table, column, kind, and constraint-backing status — a re-sync refresh
+// supersedes the previous generation's entry.
+func (r *Registry) Install(e Entry) {
+	e.Table = strings.ToLower(e.Table)
+	e.Column = strings.ToLower(e.Column)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, old := range r.entries {
+		if old.Shard == e.Shard && old.Table == e.Table && old.Column == e.Column &&
+			old.Kind == e.Kind && (old.Constraint == "") == (e.Constraint == "") {
+			if old.Constraint != "" {
+				delete(r.byConstraint, strings.ToLower(old.Constraint))
+			}
+			r.entries[i] = &e
+			if e.Constraint != "" {
+				r.byConstraint[strings.ToLower(e.Constraint)] = &e
+			}
+			return
+		}
+	}
+	r.entries = append(r.entries, &e)
+	if e.Constraint != "" {
+		r.byConstraint[strings.ToLower(e.Constraint)] = &e
+	}
+}
+
+// RetireConstraint deactivates the entry backed by the named shard-side
+// constraint, reporting whether an active entry was retired.
+func (r *Registry) RetireConstraint(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byConstraint[strings.ToLower(name)]
+	if !ok || !e.Active {
+		return false
+	}
+	e.Active = false
+	r.retired++
+	return true
+}
+
+// DropTable removes every entry for a table, on DROP TABLE or CREATE
+// TABLE through the router: stale characterizations of a dropped table
+// must never prune queries against a later table of the same name.
+func (r *Registry) DropTable(table string) {
+	table = strings.ToLower(table)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.Table == table {
+			if e.Constraint != "" {
+				delete(r.byConstraint, strings.ToLower(e.Constraint))
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.entries = kept
+}
+
+// Retired returns how many entries have been retired over the registry's
+// lifetime.
+func (r *Registry) Retired() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.retired
+}
+
+// Prune decides whether the shard can be skipped for a query over table
+// whose predicate pins the given per-column intervals (column → interval
+// the WHERE clause proves). It returns the winning entry and a rendered
+// reason when the shard is prunable.
+func (r *Registry) Prune(shardID int, table string, colIvs map[string]expr.Interval) (*Entry, string, bool) {
+	table = strings.ToLower(table)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if !e.Active || e.Shard != shardID || e.Table != table {
+			continue
+		}
+		iv, ok := colIvs[e.Column]
+		if !ok {
+			// A range entry with an empty interval marks a shard holding no
+			// rows of the table at all; it prunes regardless of predicate.
+			if e.Kind == KindRange && e.Iv.Empty() {
+				return e, fmt.Sprintf("%s empty on shard %d", e.Table, e.Shard), true
+			}
+			continue
+		}
+		switch e.Kind {
+		case KindRange:
+			if iv.Disjoint(e.Iv) {
+				return e, fmt.Sprintf("%s.%s %s outside shard %d range %s", e.Table, e.Column, iv, e.Shard, e.Iv), true
+			}
+		case KindHole:
+			if !iv.IsUnbounded() && iv.CoveredBy(e.Iv) {
+				return e, fmt.Sprintf("%s.%s %s inside shard %d proven hole %s", e.Table, e.Column, iv, e.Shard, e.Iv), true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// Snapshot returns a stable-ordered copy of every entry for SHOW SHARDS
+// and the debug endpoint.
+func (r *Registry) Snapshot() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// ascDeactivated matches the engine's dml.go deactivation notice:
+//
+//	ASC <name> on <table> deactivated by violating write
+//
+// This is the cross-shard invalidation signal: the notice string is the
+// contract (PR 5 made it the cross-session one), so the router parses it
+// rather than inventing a second channel.
+var ascDeactivated = regexp.MustCompile(`^ASC (\S+) on \S+ deactivated by violating write$`)
+
+// AbsorbNotices scans a shard response's notices for constraint
+// deactivations and retires the matching registry entries, returning how
+// many entries were retired.
+func (r *Registry) AbsorbNotices(notices []string) int {
+	n := 0
+	for _, notice := range notices {
+		if m := ascDeactivated.FindStringSubmatch(notice); m != nil {
+			if r.RetireConstraint(m[1]) {
+				n++
+			}
+		}
+	}
+	return n
+}

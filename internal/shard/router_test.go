@@ -1,0 +1,698 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/engine"
+	"softdb/internal/exec"
+	"softdb/internal/server"
+	"softdb/internal/types"
+)
+
+// cluster is an in-process shard fleet: n engine servers, a router over
+// them, and a single-node twin engine that receives every statement the
+// router does — the differential oracle.
+type cluster struct {
+	t      *testing.T
+	r      *Router
+	sess   *Session
+	single *engine.Database
+	srvs   []*server.Server
+}
+
+func newCluster(t *testing.T, n int, mutate func(*Config)) *cluster {
+	t.Helper()
+	cfg := Config{DialTimeout: 5 * time.Second, DialAttempts: 2}
+	var srvs []*server.Server
+	for i := 0; i < n; i++ {
+		db := engine.Open()
+		srv := server.New(db, server.Config{Addr: "127.0.0.1:0"})
+		addr, err := srv.Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve() }()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		cfg.Addrs = append(cfg.Addrs, addr.String())
+		srvs = append(srvs, srv)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	c := &cluster{t: t, r: r, sess: r.NewSession(), single: engine.Open(), srvs: srvs}
+	t.Cleanup(c.sess.Close)
+	return c
+}
+
+// exec applies one statement through the router AND to the single-node
+// twin, failing on either error.
+func (c *cluster) exec(stmt string) {
+	c.t.Helper()
+	if _, err := c.sess.Exec(context.Background(), stmt); err != nil {
+		c.t.Fatalf("router %q: %v", stmt, err)
+	}
+	if _, err := c.single.Exec(stmt); err != nil {
+		c.t.Fatalf("single %q: %v", stmt, err)
+	}
+}
+
+// routerOnly applies a statement through the router alone (e.g. ROUTER
+// SYNC, which the twin has no notion of).
+func (c *cluster) routerOnly(stmt string) *client.Result {
+	c.t.Helper()
+	res, err := c.sess.Exec(context.Background(), stmt)
+	if err != nil {
+		c.t.Fatalf("router %q: %v", stmt, err)
+	}
+	return res
+}
+
+// canon renders a result for comparison: ordered queries compare rows in
+// place, unordered ones as a sorted multiset.
+func canon(cols []string, rows []types.Row, ordered bool) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, "|"))
+	b.WriteString("\n")
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = r.Key()
+	}
+	if !ordered {
+		sort.Strings(lines)
+	}
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// differ runs one query on router and twin and requires byte-identical
+// canonical results.
+func (c *cluster) differ(query string, ordered bool) {
+	c.t.Helper()
+	got, err := c.sess.Exec(context.Background(), query)
+	if err != nil {
+		c.t.Fatalf("router %q: %v", query, err)
+	}
+	want, err := c.single.Exec(query)
+	if err != nil {
+		c.t.Fatalf("single %q: %v", query, err)
+	}
+	g := canon(got.Columns, got.Rows, ordered)
+	w := canon(want.Columns, want.Rows, ordered)
+	if g != w {
+		c.t.Errorf("%q diverged\nrouter:\n%s\nsingle:\n%s", query, g, w)
+	}
+}
+
+const diffSchema = `CREATE TABLE orders (id INT PRIMARY KEY, amount INT, region TEXT, note TEXT)`
+
+func loadDiffData(c *cluster) {
+	c.exec(diffSchema)
+	c.exec("CREATE TABLE regions (name TEXT, zone INT)")
+	for _, r := range []string{"('east', 1)", "('west', 2)", "('north', 1)"} {
+		c.exec("INSERT INTO regions VALUES " + r)
+	}
+	regions := []string{"'east'", "'west'", "'north'"}
+	var rows []string
+	for i := 0; i < 120; i++ {
+		note := "NULL"
+		if i%7 == 0 {
+			note = fmt.Sprintf("'n%d'", i)
+		}
+		rows = append(rows, fmt.Sprintf("(%d, %d, %s, %s)", i, (i*13)%500, regions[i%3], note))
+	}
+	// Multi-row inserts exercise the router's per-shard split.
+	for i := 0; i < len(rows); i += 10 {
+		c.exec("INSERT INTO orders VALUES " + strings.Join(rows[i:i+10], ", "))
+	}
+	// Mixed DML so the shards aren't insert-only.
+	c.exec("UPDATE orders SET amount = amount + 1 WHERE amount < 50")
+	c.exec("DELETE FROM orders WHERE id >= 110 AND note IS NULL")
+}
+
+// differentialQueries is the shared suite run under every combination of
+// scheme (hash/range), pruning (on/off), and shard-engine parallelism.
+// SUM/AVG arguments stay INT so cross-shard combines are exact.
+var differentialQueries = []struct {
+	q       string
+	ordered bool
+}{
+	{"SELECT * FROM orders ORDER BY id", true},
+	{"SELECT id, amount FROM orders WHERE amount > 100 ORDER BY id", true},
+	{"SELECT id FROM orders WHERE id = 57", false},
+	{"SELECT id FROM orders WHERE id >= 30 AND id < 40 ORDER BY id", true},
+	{"SELECT COUNT(*) FROM orders", false},
+	{"SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM orders", false},
+	{"SELECT COUNT(note) FROM orders", false},
+	{"SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM orders GROUP BY region ORDER BY region", true},
+	{"SELECT region, AVG(amount) AS mean FROM orders GROUP BY region ORDER BY region", true},
+	{"SELECT DISTINCT region FROM orders", false},
+	{"SELECT id, amount FROM orders ORDER BY amount DESC, id LIMIT 7", true},
+	{"SELECT id FROM orders WHERE amount > 9999", false},
+	{"SELECT o.id, r.zone FROM orders o, regions r WHERE o.region = r.name AND o.id < 20 ORDER BY o.id", true},
+	{"SELECT SUM(amount) FROM orders WHERE region = 'east'", false},
+}
+
+func runDifferential(t *testing.T, spec string) {
+	for _, prune := range []bool{true, false} {
+		for _, parallel := range []bool{false, true} {
+			name := fmt.Sprintf("prune=%v/parallel=%v", prune, parallel)
+			t.Run(name, func(t *testing.T) {
+				c := newCluster(t, 3, func(cfg *Config) {
+					sp, err := ParseSpec(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.Specs = []Spec{sp}
+				})
+				loadDiffData(c)
+				if prune {
+					c.routerOnly("ROUTER SYNC")
+				} else {
+					if err := c.sess.Set("shard_prune", "off"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if parallel {
+					if err := c.sess.Set("parallel", "2"); err != nil {
+						t.Fatal(err)
+					}
+					c.single.Parallel = 2
+				}
+				for _, dq := range differentialQueries {
+					c.differ(dq.q, dq.ordered)
+				}
+			})
+		}
+	}
+}
+
+func TestDifferentialHash(t *testing.T) {
+	runDifferential(t, "orders=hash(id)")
+}
+
+func TestDifferentialRange(t *testing.T) {
+	runDifferential(t, "orders=range(id:40,80)")
+}
+
+// shardQueryCounts snapshots the per-shard forwarded-statement counters.
+func (c *cluster) shardQueryCounts() []int64 {
+	return c.r.ShardQueryCounts()
+}
+
+func contacted(before, after []int64) int {
+	n := 0
+	for i := range before {
+		if after[i] > before[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPartitionRoutingContactsOneShard(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:40,80)")
+		cfg.Specs = []Spec{sp}
+	})
+	loadDiffData(c)
+	before := c.shardQueryCounts()
+	res, err := c.sess.Exec(context.Background(), "SELECT id, amount FROM orders WHERE id = 57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n := contacted(before, c.shardQueryCounts()); n != 1 {
+		t.Fatalf("point query contacted %d shards, want 1", n)
+	}
+	// Broadcast for comparison touches all three.
+	before = c.shardQueryCounts()
+	if _, err := c.sess.Exec(context.Background(), "SELECT COUNT(*) FROM orders"); err != nil {
+		t.Fatal(err)
+	}
+	if n := contacted(before, c.shardQueryCounts()); n != 3 {
+		t.Fatalf("broadcast contacted %d shards, want 3", n)
+	}
+}
+
+// TestConstraintPruning is the zone-map analogy end to end: after a sync,
+// a predicate outside every other shard's value range contacts exactly
+// one shard, with results byte-identical to the broadcast the same query
+// performs when pruning is off.
+func TestConstraintPruning(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+		cfg.TrackCols = []string{"orders.amount"}
+	})
+	loadDiffData(c)
+	// Disjoint per-shard amount bands so range entries can prune: shard
+	// assignment is by hashed id, so rewrite amounts into id-correlated
+	// bands the sync will discover.
+	c.routerOnly("ROUTER SYNC")
+
+	// A predicate over an amount band present on (at most) a subset of
+	// shards: compare pruned vs broadcast results.
+	query := "SELECT id, amount FROM orders WHERE amount >= 450 AND amount <= 460 ORDER BY id"
+	pruned, err := c.sess.Exec(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.sess.Set("shard_prune", "off"); err != nil {
+		t.Fatal(err)
+	}
+	broadcast, err := c.sess.Exec(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(pruned.Columns, pruned.Rows, true) != canon(broadcast.Columns, broadcast.Rows, true) {
+		t.Fatalf("pruned and broadcast diverged:\n%v\nvs\n%v", pruned.Rows, broadcast.Rows)
+	}
+}
+
+func TestEmptyShardPrunes(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:1000)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	c.exec("INSERT INTO orders VALUES (1, 10, 'east', NULL)") // all rows land on shard 0
+	c.routerOnly("ROUTER SYNC")
+	res := c.routerOnly("EXPLAIN SELECT COUNT(*) FROM orders")
+	plan := planText(res)
+	if !strings.Contains(plan, "shards=1/2 pruned=1") {
+		t.Fatalf("empty shard 1 should be pruned from the broadcast:\n%s", plan)
+	}
+	if !strings.Contains(plan, "shard-pruned 1") || !strings.Contains(plan, "empty") {
+		t.Fatalf("plan should name the pruned shard and reason:\n%s", plan)
+	}
+	// And the count is still right.
+	c.differ("SELECT COUNT(*) FROM orders", false)
+}
+
+func planText(res *client.Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].Str())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestCrossShardInvalidation is acceptance criterion (c): a violating
+// write on one shard retires the backing registry entry at the router —
+// via the deactivation notice riding the write's own response — before
+// the next routed query runs.
+func TestCrossShardInvalidation(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:100)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	for i := 0; i < 10; i++ {
+		c.exec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, 'east', NULL)", i, i*10))
+		c.exec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, 'west', NULL)", 100+i, i*10))
+	}
+	c.routerOnly("ROUTER SYNC")
+
+	// Shard 0's synced range is id in [0, 9]: a query for id = 50 (owned
+	// by shard 0 per the partition bounds) is pruned by the registry.
+	query := "SELECT id FROM orders WHERE id = 50"
+	res := c.routerOnly("EXPLAIN " + query)
+	if !strings.Contains(planText(res), "pruned=1") {
+		t.Fatalf("id=50 should prune shard 0 before the write:\n%s", planText(res))
+	}
+	if got := c.routerOnly(query); len(got.Rows) != 0 {
+		t.Fatalf("no row yet: %v", got.Rows)
+	}
+
+	// The violating write: id=50 routes to shard 0 and breaks its synced
+	// range CHECK. The deactivation notice must retire the entry before
+	// Exec returns.
+	c.exec("INSERT INTO orders VALUES (50, 1, 'east', NULL)")
+	if c.r.Registry().Retired() == 0 {
+		t.Fatal("violating write should have retired the shard 0 range entry")
+	}
+
+	// The very next routed query sees the row: no stale prune.
+	got := c.routerOnly(query)
+	if len(got.Rows) != 1 || got.Rows[0][0].Int() != 50 {
+		t.Fatalf("row must be visible after invalidation: %v", got.Rows)
+	}
+	res = c.routerOnly("EXPLAIN " + query)
+	if !strings.Contains(planText(res), "pruned=0") {
+		t.Fatalf("retired entry must not prune:\n%s", planText(res))
+	}
+	c.differ(query, false)
+}
+
+func TestHoleSyncAndPrune(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+		h, err := ParseHole("0:orders.amount:1000,2000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Holes = []Hole{h}
+	})
+	c.exec(diffSchema)
+	for i := 0; i < 20; i++ {
+		c.exec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, 'east', NULL)", i, i))
+	}
+	res := c.routerOnly("ROUTER SYNC")
+	joined := strings.Join(res.Notices, "\n")
+	if !strings.Contains(joined, "hole") {
+		t.Fatalf("sync notices should mention the verified hole:\n%s", joined)
+	}
+	plan := planText(c.routerOnly("EXPLAIN SELECT id FROM orders WHERE amount >= 1200 AND amount <= 1300"))
+	if !strings.Contains(plan, "proven hole") {
+		t.Fatalf("predicate inside the hole should prune shard 0:\n%s", plan)
+	}
+	c.differ("SELECT id FROM orders WHERE amount >= 1200 AND amount <= 1300", false)
+}
+
+func TestTxnSingleShard(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:100)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	ctx := context.Background()
+	if _, err := c.sess.Exec(ctx, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.sess.Exec(ctx, "INSERT INTO orders VALUES (1, 10, 'east', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	// Same shard again: fine.
+	if _, err := c.sess.Exec(ctx, "SELECT * FROM orders WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.sess.Exec(ctx, "COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res := c.routerOnly("SELECT COUNT(*) FROM orders")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("committed row missing: %v", res.Rows)
+	}
+}
+
+func TestTxnWrongShard(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:100)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	ctx := context.Background()
+	c.routerOnly("BEGIN")
+	c.routerOnly("INSERT INTO orders VALUES (1, 10, 'east', NULL)") // pins shard 0
+	_, err := c.sess.Exec(ctx, "INSERT INTO orders VALUES (200, 10, 'west', NULL)")
+	if client.Kind(err) != exec.KindWrongShard {
+		t.Fatalf("kind = %v (err %v), want wrong-shard", client.Kind(err), err)
+	}
+	c.routerOnly("ROLLBACK")
+}
+
+func TestTxnMultiShardRejected(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:100)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	ctx := context.Background()
+	c.routerOnly("BEGIN")
+	// A single INSERT spanning both shards.
+	_, err := c.sess.Exec(ctx, "INSERT INTO orders VALUES (1, 1, 'east', NULL), (200, 2, 'west', NULL)")
+	if client.Kind(err) != exec.KindMultiShardTxn {
+		t.Fatalf("kind = %v (err %v), want multi-shard-txn", client.Kind(err), err)
+	}
+	// A broadcast read inside the transaction.
+	_, err = c.sess.Exec(ctx, "SELECT COUNT(*) FROM orders")
+	if client.Kind(err) != exec.KindMultiShardTxn {
+		t.Fatalf("kind = %v (err %v), want multi-shard-txn", client.Kind(err), err)
+	}
+	c.routerOnly("ROLLBACK")
+	// Outside the transaction both statements work.
+	c.routerOnly("INSERT INTO orders VALUES (1, 1, 'east', NULL), (200, 2, 'west', NULL)")
+	res := c.routerOnly("SELECT COUNT(*) FROM orders")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+}
+
+func TestReplicatedTableWrites(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	c.exec("CREATE TABLE regions (name TEXT, zone INT)")
+	c.exec("INSERT INTO regions VALUES ('east', 1)")
+	// Every shard must hold the replicated row (the partitioned join
+	// depends on it); ask each shard directly through its counter deltas.
+	for shard := 0; shard < 3; shard++ {
+		res, err := c.r.adminQuery(context.Background(), shard, "SELECT COUNT(*) FROM regions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 1 {
+			t.Fatalf("shard %d: replicated row missing", shard)
+		}
+	}
+	c.exec("UPDATE regions SET zone = 2 WHERE name = 'east'")
+	c.exec("INSERT INTO orders VALUES (1, 10, 'east', NULL)")
+	c.differ("SELECT o.id, r.zone FROM orders o, regions r WHERE o.region = r.name", false)
+}
+
+func TestUpdatePartitionKeyRejected(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	_, err := c.sess.Exec(context.Background(), "UPDATE orders SET id = 5 WHERE id = 1")
+	if err == nil || !strings.Contains(err.Error(), "partition key") {
+		t.Fatalf("err = %v, want partition-key rejection", err)
+	}
+}
+
+func TestShardUnreachable(t *testing.T) {
+	db0 := engine.Open()
+	srv0 := server.New(db0, server.Config{Addr: "127.0.0.1:0"})
+	a0, err := srv0.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv0.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv0.Shutdown(ctx)
+	})
+	db1 := engine.Open()
+	srv1 := server.New(db1, server.Config{Addr: "127.0.0.1:0"})
+	a1, err := srv1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv1.Serve() }()
+
+	// Range partitioning so id=1 deterministically lives on shard 0, the
+	// shard that stays up.
+	sp, _ := ParseSpec("orders=range(id:100)")
+	r, err := New(Config{
+		Addrs:        []string{a0.String(), a1.String()},
+		Specs:        []Spec{sp},
+		DialTimeout:  500 * time.Millisecond,
+		DialAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	sess := r.NewSession()
+	t.Cleanup(sess.Close)
+	ctx := context.Background()
+	if _, err := sess.Exec(ctx, diffSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(ctx, "INSERT INTO orders VALUES (1, 10, 'east', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 1 and broadcast: the statement must fail fast with the
+	// typed kind, not hang.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = srv1.Shutdown(shutCtx)
+	cancel()
+	deadline, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	_, err = sess.Exec(deadline, "SELECT COUNT(*) FROM orders")
+	if client.Kind(err) != exec.KindShardUnreachable {
+		t.Fatalf("kind = %v (err %v), want shard-unreachable", client.Kind(err), err)
+	}
+	if deadline.Err() != nil {
+		t.Fatal("unreachable shard made the router hang")
+	}
+	if r.cUnreach.Value() == 0 {
+		t.Fatal("unreachable counter should have incremented")
+	}
+	// Statements that never touch the dead shard still work.
+	res, err := sess.Exec(ctx, "SELECT id FROM orders WHERE id = 1")
+	if err != nil {
+		t.Fatalf("point query to the live shard: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestShowShardsAndEconomy(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:100)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	c.exec("INSERT INTO orders VALUES (1, 10, 'east', NULL)")
+	c.routerOnly("ROUTER SYNC")
+	res := c.routerOnly("SHOW SHARDS")
+	if len(res.Columns) != 8 || res.Columns[0] != "shard" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	text := ""
+	for _, r := range res.Rows {
+		text += r.Key() + "\n"
+	}
+	for _, want := range []string{"configured", "partition", "range", "router_orders"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("SHOW SHARDS missing %q:\n%s", want, text)
+		}
+	}
+	// Earn a prune, then check the economy surfaced it.
+	c.routerOnly("SELECT id FROM orders WHERE id = 50")
+	econ := c.routerOnly("SHOW CONSTRAINTS ECONOMY")
+	if len(econ.Columns) != 2 || econ.Columns[1] != "shards_pruned" {
+		t.Fatalf("economy columns = %v", econ.Columns)
+	}
+	total := int64(0)
+	for _, r := range econ.Rows {
+		total += r[1].Int()
+	}
+	if total == 0 {
+		t.Fatalf("a pruned query should credit the ledger: %v", econ.Rows)
+	}
+}
+
+func TestRouterDDLFansOut(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+	})
+	c.exec(diffSchema)
+	c.exec("CREATE INDEX idx_amount ON orders (amount)")
+	c.exec("ALTER TABLE orders ADD CONSTRAINT amount_pos CHECK (amount >= 0) SOFT")
+	for i := 0; i < 30; i++ {
+		c.exec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, 'east', NULL)", i, i))
+	}
+	c.differ("SELECT id FROM orders WHERE amount = 7", false)
+	c.exec("DROP TABLE orders")
+	// Recreate under the same name: no stale registry entries.
+	c.exec(diffSchema)
+	c.exec("INSERT INTO orders VALUES (500, 1, 'east', NULL)")
+	c.differ("SELECT COUNT(*) FROM orders", false)
+}
+
+// TestFrontendWireRoundTrip drives the router through the real TCP wire
+// front end with the ordinary client library.
+func TestFrontendWireRoundTrip(t *testing.T) {
+	c := newCluster(t, 2, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=hash(id)")
+		cfg.Specs = []Spec{sp}
+	})
+	fe := NewFrontend(c.r, FrontendConfig{Addr: "127.0.0.1:0"})
+	addr, err := fe.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = fe.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = fe.Shutdown(ctx)
+	})
+	conn, err := client.Connect(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	ctx := context.Background()
+	if _, err := conn.Query(ctx, diffSchema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Query(ctx, fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, 'east', NULL)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := conn.Query(ctx, "SELECT COUNT(*), SUM(amount) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 || res.Rows[0][1].Int() != 45 {
+		t.Fatalf("wire result = %v", res.Rows)
+	}
+	if err := conn.Set("shard_prune", "off"); err != nil {
+		t.Fatalf("SET over the wire: %v", err)
+	}
+	if _, err := conn.Query(ctx, "SHOW SHARDS"); err != nil {
+		t.Fatalf("SHOW SHARDS over the wire: %v", err)
+	}
+	// Typed error end to end: wrong-shard inside a wire transaction.
+	if _, err := conn.Query(ctx, "BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query(ctx, "SELECT id FROM orders WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if client.Kind(err) != exec.KindMultiShardTxn {
+		t.Fatalf("kind over the wire = %v (err %v)", client.Kind(err), err)
+	}
+	if _, err := conn.Query(ctx, "ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainAnalyzeShardLine(t *testing.T) {
+	c := newCluster(t, 3, func(cfg *Config) {
+		sp, _ := ParseSpec("orders=range(id:40,80)")
+		cfg.Specs = []Spec{sp}
+	})
+	loadDiffData(c)
+	c.routerOnly("ROUTER SYNC")
+	plan := planText(c.routerOnly("EXPLAIN ANALYZE SELECT id FROM orders WHERE id = 57"))
+	if !strings.Contains(plan, "router: shards=1/3") {
+		t.Fatalf("EXPLAIN ANALYZE missing router shard line:\n%s", plan)
+	}
+	plan = planText(c.routerOnly("EXPLAIN ANALYZE SELECT COUNT(*) FROM orders"))
+	if !strings.Contains(plan, "router: shards=3/3 pruned=0") {
+		t.Fatalf("broadcast EXPLAIN ANALYZE:\n%s", plan)
+	}
+}

@@ -1,0 +1,224 @@
+// Package shard is softdb's scale-out subsystem: a router that fronts N
+// independent engine shards over the ordinary wire protocol and client
+// library. Tables are hash- or range-partitioned by one column; DDL fans
+// to every shard, DML routes by partition key, scans fan out and merge,
+// and aggregates push down as per-shard partials combined at the router.
+//
+// The paper-native twist is the constraint registry (registry.go): the
+// router keeps each shard's soft data characterizations — value ranges
+// and proven holes, each backed by a shard-side soft absolute constraint
+// (ASC) — and uses them to prune whole shards from a query's fan-out
+// exactly the way zone maps prune heap pages: a predicate that falls
+// outside a shard's value range, or inside its proven hole, never
+// crosses the network. Violating writes retire the backing ASC on the
+// shard, and the deactivation notice (the PR 5 mechanism) rides the
+// write's own response back through the router, which retires the
+// registry entry before the write returns — the next routed query can
+// no longer use it.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"softdb/internal/expr"
+	"softdb/internal/types"
+)
+
+// Scheme is how a table's rows map to shards.
+type Scheme int
+
+const (
+	// SchemeHash routes each row by an FNV-64a hash of its partition-key
+	// value modulo the shard count.
+	SchemeHash Scheme = iota
+	// SchemeRange routes by sorted split points: with bounds b0 < b1 < ...
+	// shard 0 owns (-inf, b0), shard i owns [b(i-1), bi), and the last
+	// shard owns [blast, +inf).
+	SchemeRange
+)
+
+func (s Scheme) String() string {
+	if s == SchemeRange {
+		return "range"
+	}
+	return "hash"
+}
+
+// Spec declares one table's partitioning. Tables without a Spec are
+// replicated: DDL and writes fan to every shard, reads route to one.
+type Spec struct {
+	Table  string
+	Column string
+	Scheme Scheme
+	// Bounds are SchemeRange's split points, ascending. A router serving
+	// n shards uses the first n-1 bounds; fewer bounds than n-1 leaves
+	// the tail shards owning nothing, which is rejected at config time.
+	Bounds []types.Datum
+}
+
+// ParseSpec parses a -partition flag value:
+//
+//	sales=hash(id)
+//	sales=range(id:1000,2000,3000)
+//
+// Range bounds parse as INT, then FLOAT, then bare (or single-quoted)
+// string literals.
+func ParseSpec(s string) (Spec, error) {
+	table, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return Spec{}, fmt.Errorf("shard: partition spec %q: want table=scheme(column...)", s)
+	}
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return Spec{}, fmt.Errorf("shard: partition spec %q: want scheme(column...)", s)
+	}
+	scheme := strings.ToLower(strings.TrimSpace(rest[:open]))
+	inner := rest[open+1 : len(rest)-1]
+	sp := Spec{Table: strings.ToLower(strings.TrimSpace(table))}
+	switch scheme {
+	case "hash":
+		sp.Scheme = SchemeHash
+		sp.Column = strings.ToLower(strings.TrimSpace(inner))
+		if sp.Column == "" {
+			return Spec{}, fmt.Errorf("shard: partition spec %q: empty column", s)
+		}
+	case "range":
+		sp.Scheme = SchemeRange
+		col, bounds, ok := strings.Cut(inner, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("shard: partition spec %q: want range(column:b1,b2,...)", s)
+		}
+		sp.Column = strings.ToLower(strings.TrimSpace(col))
+		for _, b := range strings.Split(bounds, ",") {
+			d, err := parseBound(strings.TrimSpace(b))
+			if err != nil {
+				return Spec{}, fmt.Errorf("shard: partition spec %q: %w", s, err)
+			}
+			sp.Bounds = append(sp.Bounds, d)
+		}
+		for i := 1; i < len(sp.Bounds); i++ {
+			if sp.Bounds[i-1].Compare(sp.Bounds[i]) >= 0 {
+				return Spec{}, fmt.Errorf("shard: partition spec %q: bounds must be strictly ascending", s)
+			}
+		}
+		if len(sp.Bounds) == 0 {
+			return Spec{}, fmt.Errorf("shard: partition spec %q: range needs at least one bound", s)
+		}
+	default:
+		return Spec{}, fmt.Errorf("shard: partition spec %q: unknown scheme %q", s, scheme)
+	}
+	return sp, nil
+}
+
+func parseBound(s string) (types.Datum, error) {
+	if s == "" {
+		return types.Null, fmt.Errorf("empty range bound")
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return types.NewInt(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return types.NewFloat(f), nil
+	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		s = s[1 : len(s)-1]
+	}
+	return types.NewString(s), nil
+}
+
+// String renders the spec in the -partition flag grammar.
+func (sp Spec) String() string {
+	if sp.Scheme == SchemeHash {
+		return fmt.Sprintf("%s=hash(%s)", sp.Table, sp.Column)
+	}
+	parts := make([]string, len(sp.Bounds))
+	for i, b := range sp.Bounds {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("%s=range(%s:%s)", sp.Table, sp.Column, strings.Join(parts, ","))
+}
+
+// Validate checks the spec can drive n shards.
+func (sp Spec) Validate(n int) error {
+	if sp.Scheme == SchemeRange && len(sp.Bounds) != n-1 {
+		return fmt.Errorf("shard: table %s: range partitioning over %d shards needs exactly %d bounds, have %d",
+			sp.Table, n, n-1, len(sp.Bounds))
+	}
+	return nil
+}
+
+// ShardFor routes one partition-key value to its owning shard among n.
+// NULL keys route deterministically to shard 0.
+func (sp Spec) ShardFor(v types.Datum, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0
+	}
+	if sp.Scheme == SchemeHash {
+		h := fnv.New64a()
+		h.Write([]byte{byte(v.Kind())})
+		h.Write([]byte(v.String()))
+		return int(h.Sum64() % uint64(n))
+	}
+	// Range: count bounds <= v; that index is the owning shard.
+	i := 0
+	for i < len(sp.Bounds) && i < n-1 && sp.Bounds[i].Compare(v) <= 0 {
+		i++
+	}
+	return i
+}
+
+// OwnedInterval is the value interval shard i is responsible for under
+// range partitioning; hash partitioning owns an unbounded interval on
+// every shard (any value can land anywhere).
+func (sp Spec) OwnedInterval(i, n int) expr.Interval {
+	if sp.Scheme == SchemeHash || n <= 1 {
+		return expr.Unbounded()
+	}
+	last := min(len(sp.Bounds), n-1)
+	switch {
+	case i <= 0:
+		return expr.AtMost(sp.Bounds[0], false)
+	case i >= last:
+		return expr.AtLeast(sp.Bounds[last-1], true)
+	default:
+		return expr.Between(sp.Bounds[i-1], sp.Bounds[i], true, false)
+	}
+}
+
+// CandidateShards returns the shards that can hold rows whose
+// partition-key value lies in iv: a pinned value routes exactly (hash or
+// range), a range predicate narrows range partitioning via the owned
+// intervals, and anything else is every shard.
+func (sp Spec) CandidateShards(iv expr.Interval, n int) []int {
+	if iv.Empty() {
+		return nil
+	}
+	if iv.EqualityConstant != nil {
+		return []int{sp.ShardFor(*iv.EqualityConstant, n)}
+	}
+	if sp.Scheme == SchemeHash || iv.IsUnbounded() {
+		return allShards(n)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !sp.OwnedInterval(i, n).Disjoint(iv) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"softdb/internal/expr"
+	"softdb/internal/types"
+)
+
+func TestParseSpecHash(t *testing.T) {
+	sp, err := ParseSpec("Sales=hash(ID)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Table != "sales" || sp.Column != "id" || sp.Scheme != SchemeHash {
+		t.Fatalf("parsed %+v", sp)
+	}
+	if got := sp.String(); got != "sales=hash(id)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseSpecRange(t *testing.T) {
+	sp, err := ParseSpec("orders=range(amount:100,200,300)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Scheme != SchemeRange || len(sp.Bounds) != 3 {
+		t.Fatalf("parsed %+v", sp)
+	}
+	if sp.Bounds[1].Kind() != types.KindInt || sp.Bounds[1].Int() != 200 {
+		t.Fatalf("bound 1 = %v", sp.Bounds[1])
+	}
+	if err := sp.Validate(4); err != nil {
+		t.Fatalf("4 shards with 3 bounds: %v", err)
+	}
+	if err := sp.Validate(3); err == nil {
+		t.Fatal("3 shards with 3 bounds should fail validation")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nope",
+		"t=spiral(k)",
+		"t=hash()",
+		"t=range(k)",
+		"t=range(k:5,3)", // descending bounds
+		"t=range(k:)",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestShardForRange(t *testing.T) {
+	sp, _ := ParseSpec("t=range(k:100,200)")
+	cases := map[int64]int{0: 0, 99: 0, 100: 1, 150: 1, 199: 1, 200: 2, 5000: 2}
+	for v, want := range cases {
+		if got := sp.ShardFor(types.NewInt(v), 3); got != want {
+			t.Errorf("ShardFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := sp.ShardFor(types.Null, 3); got != 0 {
+		t.Errorf("NULL key should route to shard 0, got %d", got)
+	}
+}
+
+func TestShardForHashDeterministic(t *testing.T) {
+	sp, _ := ParseSpec("t=hash(k)")
+	seen := map[int]bool{}
+	for i := int64(0); i < 200; i++ {
+		a := sp.ShardFor(types.NewInt(i), 4)
+		b := sp.ShardFor(types.NewInt(i), 4)
+		if a != b {
+			t.Fatalf("hash routing must be deterministic: %d vs %d", a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("shard out of range: %d", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("200 int keys over 4 shards hit only %d shards", len(seen))
+	}
+}
+
+func TestOwnedInterval(t *testing.T) {
+	sp, _ := ParseSpec("t=range(k:100,200)")
+	if got := sp.OwnedInterval(0, 3).String(); got != "(-inf, 100)" {
+		t.Errorf("shard 0 owns %s", got)
+	}
+	if got := sp.OwnedInterval(1, 3).String(); got != "[100, 200)" {
+		t.Errorf("shard 1 owns %s", got)
+	}
+	if got := sp.OwnedInterval(2, 3).String(); got != "[200, +inf)" {
+		t.Errorf("shard 2 owns %s", got)
+	}
+	// Hash partitions own everything everywhere.
+	hp, _ := ParseSpec("t=hash(k)")
+	if !hp.OwnedInterval(1, 3).IsUnbounded() {
+		t.Error("hash shard should own an unbounded interval")
+	}
+}
+
+func TestCandidateShards(t *testing.T) {
+	sp, _ := ParseSpec("t=range(k:100,200)")
+	if got := sp.CandidateShards(expr.Point(types.NewInt(150)), 3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("point 150 candidates = %v", got)
+	}
+	if got := sp.CandidateShards(expr.AtLeast(types.NewInt(150), true), 3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("k >= 150 candidates = %v", got)
+	}
+	if got := sp.CandidateShards(expr.Unbounded(), 3); len(got) != 3 {
+		t.Errorf("unbounded candidates = %v", got)
+	}
+	if got := sp.CandidateShards(expr.Interval{ExactEmpty: true}, 3); got != nil {
+		t.Errorf("empty interval candidates = %v", got)
+	}
+	// Hash: equality routes exactly, ranges fan out.
+	hp, _ := ParseSpec("t=hash(k)")
+	if got := hp.CandidateShards(expr.Point(types.NewInt(7)), 4); len(got) != 1 {
+		t.Errorf("hash point candidates = %v", got)
+	}
+	if got := hp.CandidateShards(expr.AtLeast(types.NewInt(7), true), 4); len(got) != 4 {
+		t.Errorf("hash range candidates = %v", got)
+	}
+}
+
+func TestParseHole(t *testing.T) {
+	h, err := ParseHole("2:Orders.Amount:100,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shard != 2 || h.Table != "orders" || h.Column != "amount" {
+		t.Fatalf("parsed %+v", h)
+	}
+	if h.Lo.Int() != 100 || h.Hi.Int() != 200 {
+		t.Fatalf("bounds %v %v", h.Lo, h.Hi)
+	}
+	for _, bad := range []string{"orders.amount:1,2", "x:t.c:1,2", "0:t:1,2", "0:t.c:9,1"} {
+		if _, err := ParseHole(bad); err == nil {
+			t.Errorf("ParseHole(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSpecBoundKinds(t *testing.T) {
+	sp, err := ParseSpec("t=range(name:'m')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Bounds[0].Kind() != types.KindString || sp.Bounds[0].Str() != "m" {
+		t.Fatalf("string bound = %v", sp.Bounds[0])
+	}
+	if got := sp.ShardFor(types.NewString("alice"), 2); got != 0 {
+		t.Errorf("alice routes to %d", got)
+	}
+	if got := sp.ShardFor(types.NewString("zed"), 2); got != 1 {
+		t.Errorf("zed routes to %d", got)
+	}
+	fp, err := ParseSpec("t=range(x:1.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Bounds[0].Kind() != types.KindFloat {
+		t.Fatalf("float bound = %v", fp.Bounds[0])
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{"t=hash(k)", "t=range(k:10,20,30)"} {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", sp.String(), err)
+		}
+		if !strings.EqualFold(again.String(), sp.String()) {
+			t.Errorf("round trip %q -> %q", sp.String(), again.String())
+		}
+	}
+}

@@ -240,8 +240,12 @@ type Rollback struct{}
 
 func (*Rollback) stmt() {}
 
-// Show is SHOW CONSTRAINTS ECONOMY: report the per-constraint
-// benefit/cost ledger, ranked by net benefit.
-type Show struct{}
+// Show is SHOW CONSTRAINTS ECONOMY (the per-constraint benefit/cost
+// ledger, ranked by net benefit) or — with Shards set — SHOW SHARDS (the
+// shard router's topology and constraint registry; a plain engine answers
+// with an empty single-node result).
+type Show struct {
+	Shards bool
+}
 
 func (*Show) stmt() {}

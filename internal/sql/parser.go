@@ -207,6 +207,9 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &Rollback{}, nil
 	case "SHOW":
 		p.pos++
+		if p.eatKeyword("SHARDS") {
+			return &Show{Shards: true}, nil
+		}
 		if err := p.expectKeyword("CONSTRAINTS"); err != nil {
 			return nil, err
 		}

@@ -40,7 +40,11 @@ func printStmt(b *strings.Builder, st Statement) {
 	case *Rollback:
 		b.WriteString("ROLLBACK")
 	case *Show:
-		b.WriteString("SHOW CONSTRAINTS ECONOMY")
+		if s.Shards {
+			b.WriteString("SHOW SHARDS")
+		} else {
+			b.WriteString("SHOW CONSTRAINTS ECONOMY")
+		}
 	case *CreateTable:
 		printCreateTable(b, s)
 	case *CreateIndex:

@@ -277,13 +277,51 @@ func (e *Error) Error() string {
 }
 
 // ErrorFrom flattens any server-side error into its wire form: a
-// *exec.QueryError keeps its kind and op; everything else (parse errors,
-// constraint violations, ...) travels as KindError.
+// *exec.QueryError keeps its kind and op, a *Error passes through
+// unchanged (the shard router proxies shard errors to its own clients);
+// everything else (parse errors, constraint violations, ...) travels as
+// KindError.
 func ErrorFrom(err error) *Error {
+	var we *Error
+	if errors.As(err, &we) {
+		return we
+	}
 	if qe, ok := exec.AsQueryError(err); ok {
 		return &Error{Kind: qe.Kind, Op: qe.Op, Msg: qe.Err.Error()}
 	}
 	return &Error{Kind: exec.KindError, Msg: err.Error()}
+}
+
+// WriteResponse streams one successful response sequence — RowDesc (when
+// the result has columns), batched rows, notices, Done — onto w. It is the
+// single encoder of the response grammar in the package comment, shared by
+// the engine server and the shard router so the two fronts cannot drift.
+// The caller owns buffering and flushing.
+func WriteResponse(w io.Writer, cols []string, rows []types.Row, notices []string, rowsAffected int64) error {
+	if len(cols) > 0 {
+		if err := WriteFrame(w, FrameRowDesc, AppendColumns(nil, cols)); err != nil {
+			return err
+		}
+		for off := 0; off < len(rows); off += RowBatchSize {
+			end := min(off+RowBatchSize, len(rows))
+			payload, err := AppendRows(nil, rows[off:end])
+			if err != nil {
+				// Encoding failure, not an I/O failure: the stream is still in
+				// sync, so terminate the response with a structured error the
+				// client can classify; the connection stays usable.
+				return WriteFrame(w, FrameError, AppendError(nil, ErrorFrom(err)))
+			}
+			if err := WriteFrame(w, FrameRowBatch, payload); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range notices {
+		if err := WriteFrame(w, FrameNotice, []byte(n)); err != nil {
+			return err
+		}
+	}
+	return WriteFrame(w, FrameDone, AppendDone(nil, Done{RowsAffected: rowsAffected}))
 }
 
 // AppendError encodes e onto b.

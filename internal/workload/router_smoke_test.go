@@ -1,0 +1,148 @@
+package workload_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"softdb/internal/client"
+	"softdb/internal/exec"
+	"softdb/internal/workload"
+)
+
+// TestRouterEnvSmoke drives an externally started softdb-router (the CI
+// shard-smoke job): SOFTDB_ROUTER_ADDR points at a router fronting two
+// softdbd shards with `-partition "kv=range(k:300)"`, `-partition
+// "events=range(k:300)"`, and `-track events.v`. The test seeds both
+// tables through the router (DDL fans out, DML routes by key), syncs the
+// constraint registry, proves a predicate on the tracked non-partition
+// column prunes down to one shard, and then runs the concurrent driver
+// mix against the cluster.
+func TestRouterEnvSmoke(t *testing.T) {
+	addr := os.Getenv("SOFTDB_ROUTER_ADDR")
+	if addr == "" {
+		t.Skip("SOFTDB_ROUTER_ADDR not set; router smoke only runs in CI")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.ConnectTimeout(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(ctx, "CREATE TABLE kv (k INT NOT NULL, v STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	flush := func() {
+		if len(vals) == 0 {
+			return
+		}
+		if _, err := c.Query(ctx, "INSERT INTO kv VALUES "+strings.Join(vals, ", ")); err != nil {
+			t.Fatal(err)
+		}
+		vals = vals[:0]
+	}
+	for i := 0; i < 600; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, '%c')", i, 'a'+byte(i%3)))
+		if len(vals) == 100 {
+			flush()
+		}
+	}
+	flush()
+	// The events table carries the tracked non-partition column v (the
+	// router runs with -track events.v): after ROUTER SYNC each shard's
+	// v-range is a registry entry backed by a shard-side soft CHECK, so a
+	// v-predicate prunes shards the way partition routing prunes on k.
+	if _, err := c.Query(ctx, "CREATE TABLE events (k INT NOT NULL, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, i))
+		if len(vals) == 100 {
+			if _, err := c.Query(ctx, "INSERT INTO events VALUES "+strings.Join(vals, ", ")); err != nil {
+				t.Fatal(err)
+			}
+			vals = vals[:0]
+		}
+	}
+	if _, err := c.Query(ctx, "ROUTER SYNC"); err != nil {
+		t.Fatalf("ROUTER SYNC: %v", err)
+	}
+	// With events range-partitioned at k=300 and v=k, shard 0's synced
+	// v-range is [0,299]: the upper band must registry-prune it.
+	res, err := c.Query(ctx, "EXPLAIN SELECT k, v FROM events WHERE v >= 450 AND v <= 470")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].Str())
+		plan.WriteByte('\n')
+	}
+	t.Logf("explain:\n%s", plan.String())
+	if !strings.Contains(plan.String(), "router: shards=1/2 pruned=1") {
+		t.Fatalf("upper-band predicate did not prune to one shard:\n%s", plan.String())
+	}
+
+	rep, err := workload.RunDriver(workload.DriverConfig{
+		Addr:         addr,
+		Clients:      8,
+		OpsPerClient: 25,
+		Seed:         7,
+		Timeout:      30 * time.Second,
+		Statement:    mixStatement,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted.N+rep.Shed != rep.Requests {
+		t.Fatalf("request accounting: %+v", rep)
+	}
+	if len(rep.ErrKinds) > 0 {
+		t.Fatalf("router run errored: %+v", rep.ErrKinds)
+	}
+	if rep.Rows == 0 {
+		t.Fatalf("router returned no rows: %+v", rep)
+	}
+	t.Logf("router: %.0f stmt/s, accepted %s", rep.Throughput, rep.Accepted)
+}
+
+// TestRouterEnvShardDown runs after the CI job kills one shard: broadcast
+// statements must fail fast with the typed shard-unreachable error while
+// statements routed to the surviving shard keep working. Gated separately
+// so the healthy-cluster smoke above can run first.
+func TestRouterEnvShardDown(t *testing.T) {
+	addr := os.Getenv("SOFTDB_ROUTER_ADDR")
+	if addr == "" || os.Getenv("SOFTDB_ROUTER_SHARD_DOWN") == "" {
+		t.Skip("SOFTDB_ROUTER_ADDR/SOFTDB_ROUTER_SHARD_DOWN not set; shard-down smoke only runs in CI")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	c, err := client.ConnectTimeout(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The CI job killed the second shard (k >= 300 under the range spec).
+	// A broadcast must report shard-unreachable without hanging.
+	start := time.Now()
+	_, err = c.Query(ctx, "SELECT COUNT(*) AS n FROM kv")
+	if kind := client.Kind(err); kind != exec.KindShardUnreachable {
+		t.Fatalf("broadcast with a dead shard: kind %q err %v, want %q", kind, err, exec.KindShardUnreachable)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("shard-unreachable took %v; the router is hanging on the dead shard", d)
+	}
+	// The surviving shard still serves its key range.
+	res, err := c.Query(ctx, "SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatalf("point query to the live shard: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("live shard returned %d rows, want 1", len(res.Rows))
+	}
+}
